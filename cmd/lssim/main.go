@@ -1,0 +1,124 @@
+// Command lssim runs one simulator personality scenario and prints its
+// result metrics — the scenario-runner front end of the framework.
+//
+// Usage:
+//
+//	lssim -sim bricks|optorsim|simgrid|gridsim|chicsim|monarc [-seed N] [-jobs N]
+//
+// Each personality runs its default configuration with the seed and
+// job-count overrides applied where meaningful.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/simulators/bricks"
+	"repro/internal/simulators/chicsim"
+	"repro/internal/simulators/gridsim"
+	"repro/internal/simulators/monarc"
+	"repro/internal/simulators/optorsim"
+	"repro/internal/simulators/simgrid"
+)
+
+func main() {
+	sim := flag.String("sim", "monarc", "personality: bricks|optorsim|simgrid|gridsim|chicsim|monarc")
+	seed := flag.Uint64("seed", 1, "random seed")
+	jobs := flag.Int("jobs", 0, "job/task count override (0 = personality default)")
+	flag.Parse()
+
+	t := metrics.NewTable(fmt.Sprintf("lssim: %s (seed %d)", *sim, *seed), "metric", "value")
+	switch *sim {
+	case "bricks":
+		cfg := bricks.DefaultConfig()
+		cfg.Seed = *seed
+		if *jobs > 0 {
+			cfg.JobsPerClient = *jobs / cfg.Clients
+		}
+		r := bricks.Run(cfg)
+		t.AddRowf("jobs", r.Jobs)
+		t.AddRowf("makespan s", r.Makespan)
+		t.AddRowf("mean response s", r.MeanResponse)
+		t.AddRowf("mean wait s", r.MeanWait)
+		t.AddRowf("server utilization", r.Utilization)
+		t.AddRowf("WAN GB", r.WANBytesMoved/1e9)
+	case "optorsim":
+		cfg := optorsim.DefaultConfig()
+		cfg.Seed = *seed
+		if *jobs > 0 {
+			cfg.Jobs = *jobs
+		}
+		r := optorsim.Run(cfg)
+		t.AddRowf("jobs", r.Jobs)
+		t.AddRowf("mean job time s", r.MeanJobTime)
+		t.AddRowf("local hit ratio", r.LocalHitRatio)
+		t.AddRowf("replica pulls", r.Pulls)
+		t.AddRowf("evictions", r.Evictions)
+		t.AddRowf("WAN GB", r.WANBytes/1e9)
+	case "simgrid":
+		cfg := simgrid.DefaultConfig()
+		cfg.Seed = *seed
+		if *jobs > 0 {
+			cfg.Tasks = *jobs
+		}
+		r := simgrid.Run(cfg)
+		t.AddRowf("tasks", r.Tasks)
+		t.AddRowf("makespan s", r.Makespan)
+		t.AddRowf("mean response s", r.MeanResponse)
+		for i, n := range r.PerMachineJobs {
+			t.AddRowf(fmt.Sprintf("machine %d tasks", i), n)
+		}
+	case "gridsim":
+		cfg := gridsim.DefaultConfig()
+		cfg.Seed = *seed
+		if *jobs > 0 {
+			cfg.Jobs = *jobs
+		}
+		r := gridsim.Run(cfg)
+		t.AddRowf("jobs", r.Jobs)
+		t.AddRowf("completed", r.Completed)
+		t.AddRowf("rejected", r.Rejected)
+		t.AddRowf("deadline misses", r.DeadlineMisses)
+		t.AddRowf("total spend", r.TotalSpend)
+		t.AddRowf("mean response s", r.MeanResponse)
+	case "chicsim":
+		cfg := chicsim.DefaultConfig()
+		cfg.Seed = *seed
+		if *jobs > 0 {
+			cfg.Jobs = *jobs
+		}
+		r := chicsim.Run(cfg)
+		t.AddRowf("jobs", r.Jobs)
+		t.AddRowf("mean response s", r.MeanResponse)
+		t.AddRowf("local hit ratio", r.LocalHitRatio)
+		t.AddRowf("pushes", r.Pushes)
+		t.AddRowf("WAN GB", r.WANBytes/1e9)
+	case "monarc":
+		cfg := monarc.DefaultConfig()
+		cfg.Seed = *seed
+		if *jobs > 0 {
+			cfg.Runs = *jobs
+		}
+		r := monarc.Run(cfg)
+		t.AddRowf("RAW files produced", r.RawProduced)
+		t.AddRowf("replicas shipped", r.Shipped)
+		t.AddRowf("agent max delay s", r.AgentMaxDelay)
+		t.AddRowf("reco jobs", r.RecoJobs)
+		t.AddRowf("analysis jobs", r.AnalysisJobs)
+		t.AddRowf("mean reco s", r.MeanRecoTime)
+		t.AddRowf("mean analysis s", r.MeanAnaTime)
+		t.AddRowf("T0 utilization", r.T0Utilization)
+		t.AddRowf("WAN GB", r.WANBytes/1e9)
+		t.AddRowf("DB queries", r.DBQueries)
+	default:
+		fmt.Fprintf(os.Stderr, "lssim: unknown personality %q\n", *sim)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lssim:", err)
+		os.Exit(1)
+	}
+}

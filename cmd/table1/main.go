@@ -1,0 +1,40 @@
+// Command table1 regenerates the paper's Table 1 — "Design comparison
+// of surveyed Grid simulation projects" — from the machine-readable
+// taxonomy profiles the simulator personalities export, plus the
+// pairwise-differences report of the critical analysis.
+//
+// Usage:
+//
+//	table1 [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	flag.Parse()
+
+	t1 := experiments.E1Table1()
+	if *csv {
+		if err := t1.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := t1.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if err := experiments.E1Diffs().Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+}

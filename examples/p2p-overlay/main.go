@@ -1,0 +1,84 @@
+// P2P overlay: a Chord-like DHT and an epidemic gossip protocol over
+// the framework's network fabric — the "P2P networks" corner of the
+// taxonomy's scope axis.
+//
+// Part 1 runs DHT puts/gets from random peers and reports the O(log n)
+// routing cost. Part 2 disseminates a rumor epidemically and prints
+// the coverage curve. Both pay real simulated network time per hop.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/p2p"
+	"repro/internal/topology"
+)
+
+func main() {
+	dhtStudy()
+	gossipStudy()
+}
+
+// dhtStudy measures lookup hop counts across overlay sizes.
+func dhtStudy() {
+	t := metrics.NewTable("Chord-like DHT: lookup cost vs overlay size",
+		"peers", "lookups", "mean hops", "2*log2(n) bound", "sim time s")
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		e := des.NewEngine(des.WithSeed(11))
+		g := topology.P2PRing(e, n, topology.SiteSpec{}, 10e6, 0.002)
+		net := netsim.NewNetwork(e, g.Topo)
+		ring := p2p.NewRing(e, net, g.Sites, 24)
+		src := e.Stream("keys")
+		e.Spawn("client", func(p *des.Process) {
+			// Store then retrieve 100 keys from random peers.
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("object-%04d", i)
+				from := ring.Peers()[src.Intn(n)]
+				ring.Put(p, from, key, []byte("v"))
+			}
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("object-%04d", i)
+				from := ring.Peers()[src.Intn(n)]
+				if v := ring.Get(p, from, key); v == nil {
+					panic("lost key " + key)
+				}
+			}
+		})
+		e.Run()
+		bound := 0.0
+		for m := 1; m < n; m *= 2 {
+			bound += 2
+		}
+		t.AddRowf(n, ring.Lookups, ring.MeanHops(), bound, e.Now())
+	}
+	must(t.Write(os.Stdout))
+	fmt.Println()
+}
+
+// gossipStudy disseminates a rumor and prints the coverage curve.
+func gossipStudy() {
+	e := des.NewEngine(des.WithSeed(3))
+	g := topology.P2PRing(e, 64, topology.SiteSpec{}, 10e6, 0.002)
+	net := netsim.NewNetwork(e, g.Topo)
+	ring := p2p.NewRing(e, net, g.Sites, 24)
+	gsp := p2p.NewGossip(ring, e.Stream("gossip"), 2, 1.0)
+	rounds := gsp.Run(ring.Peers()[0], 100)
+
+	t := metrics.NewTable("Epidemic gossip (64 peers, fanout 2)", "metric", "value")
+	t.AddRowf("rounds to full coverage", rounds)
+	t.AddRowf("messages", gsp.Messages)
+	must(t.Write(os.Stdout))
+	fmt.Println()
+	fmt.Print(metrics.AsciiPlot("Coverage vs round", 48, 12, &gsp.Coverage))
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eventq"
+	"repro/internal/netsim"
+	"repro/internal/replication"
+	"repro/internal/scheduler"
+	"repro/internal/topology"
+)
+
+func TestNewDefaults(t *testing.T) {
+	s := New(Config{})
+	if s.Engine == nil || s.Grid == nil {
+		t.Fatal("missing engine or grid")
+	}
+	if _, ok := s.Fabric().(*netsim.Network); !ok {
+		t.Fatalf("default fabric = %T", s.Fabric())
+	}
+}
+
+func TestPacketGranularity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Granularity = PacketLevel
+	s := New(cfg)
+	if _, ok := s.Fabric().(*netsim.PacketNet); !ok {
+		t.Fatalf("fabric = %T", s.Fabric())
+	}
+}
+
+func TestQueueKindSelection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Queue = eventq.KindCalendar
+	s := New(cfg)
+	fired := false
+	s.Engine.Schedule(1, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("engine with calendar queue did not run")
+	}
+}
+
+func TestEndToEndScenario(t *testing.T) {
+	s := New(DefaultConfig())
+	origin := s.Grid.AddSite("origin", topology.SiteSpec{})
+	a := s.Grid.AddSite("a", topology.SiteSpec{Cores: 2, CoreSpeed: 100})
+	b := s.Grid.AddSite("b", topology.SiteSpec{Cores: 2, CoreSpeed: 200})
+	s.Grid.Link(origin, a, 1e6, 0.01)
+	s.Grid.Link(origin, b, 1e6, 0.01)
+	s.Grid.Topo.ComputeRoutes()
+	s.AddCluster(a, scheduler.FCFS)
+	s.AddCluster(b, scheduler.FCFS)
+	broker := s.NewBroker("main", scheduler.MCTPolicy{})
+	done := 0
+	broker.OnDone(func(j *scheduler.Job) { done++ })
+	for i := 0; i < 10; i++ {
+		broker.Submit(&scheduler.Job{ID: i, Name: "t", Ops: 500, Origin: origin})
+	}
+	s.Run()
+	if done != 10 {
+		t.Fatalf("done = %d", done)
+	}
+	var sb strings.Builder
+	if err := s.Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Engine", "Clusters", "Brokers", "main", "mct"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplicationIntegration(t *testing.T) {
+	s := New(DefaultConfig())
+	a := s.Grid.AddSite("a", topology.SiteSpec{Cores: 1, CoreSpeed: 100, DiskBytes: 1e9, DiskBps: 1e8, DiskChans: 2})
+	b := s.Grid.AddSite("b", topology.SiteSpec{Cores: 1, CoreSpeed: 100, DiskBytes: 1e9, DiskBps: 1e8, DiskChans: 2})
+	s.Grid.Link(a, b, 1e6, 0.01)
+	s.Grid.Topo.ComputeRoutes()
+	rep := s.Replication()
+	rep.AddStore(a, replication.EvictLRU, replication.ModePull)
+	rep.AddStore(b, replication.EvictLRU, replication.ModePull)
+	rep.Place(&replication.File{Name: "f", Bytes: 100}, a)
+	s.AddCluster(a, scheduler.FCFS)
+	s.AddCluster(b, scheduler.FCFS)
+	// A broker created after Replication() wires the catalog into the
+	// data-aware policy.
+	broker := s.NewBroker("d", scheduler.DataAwarePolicy{})
+	var placed *topology.Site
+	broker.OnDone(func(j *scheduler.Job) { placed = j.Site })
+	broker.Submit(&scheduler.Job{ID: 1, Name: "t", Ops: 100, Origin: b, InputFiles: []string{"f"}})
+	s.Run()
+	if placed != a {
+		t.Fatalf("data-aware broker placed job at %v, want a (holds file)", placed)
+	}
+}
+
+func TestUseGridValidation(t *testing.T) {
+	s := New(DefaultConfig())
+	other := New(DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.UseGrid(other.Grid)
+}
+
+func TestAddClusterValidation(t *testing.T) {
+	s := New(DefaultConfig())
+	noCPU := s.Grid.AddSite("x", topology.SiteSpec{})
+	t.Run("no cpu", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		s.AddCluster(noCPU, scheduler.FCFS)
+	})
+	t.Run("dup", func(t *testing.T) {
+		withCPU := s.Grid.AddSite("y", topology.SiteSpec{Cores: 1, CoreSpeed: 1})
+		s.AddCluster(withCPU, scheduler.FCFS)
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		s.AddCluster(withCPU, scheduler.FCFS)
+	})
+}
+
+func TestSelfProfile(t *testing.T) {
+	p := SelfProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The framework must tick the paper's "future trends" boxes:
+	// generic scope, all four components, O(1) queue availability,
+	// distributed execution, and both validation kinds.
+	if !p.HasScope("generic LSDS") {
+		t.Fatal("self profile not generic")
+	}
+	if len(p.Components) != 4 {
+		t.Fatal("self profile must cover all four component layers")
+	}
+	if p.Queue != "O(1)" || p.Execution != "distributed" || p.Validation != "math+testbed" {
+		t.Fatalf("self profile = %+v", p)
+	}
+}

@@ -1,0 +1,190 @@
+// Package dag models workflow applications as directed acyclic graphs
+// of tasks with data dependencies, and schedules them onto
+// heterogeneous machines.
+//
+// SimGrid — "a toolkit for the simulation of application scheduling"
+// (Casanova 2001) — was built precisely for this problem class:
+// scheduling DAG-structured distributed applications on heterogeneous
+// platforms, with decisions taken either entirely before execution
+// ("compile time") or reacting to it ("running time"). This package
+// supplies the task-graph substrate the simgrid personality's DAG mode
+// builds on: graph construction and validation, topological order,
+// critical-path analysis (the classic lower bound), and HEFT
+// (heterogeneous earliest finish time), the standard list-scheduling
+// heuristic for this setting.
+package dag
+
+import (
+	"fmt"
+	"math"
+)
+
+// Task is one node of the workflow.
+type Task struct {
+	ID   int
+	Name string
+	// Ops is the compute demand (operations).
+	Ops float64
+	// Output[child] is the bytes shipped to each dependent task.
+	preds []*Edge
+	succs []*Edge
+}
+
+// Edge is a data dependency: child cannot start until parent finished
+// and Bytes were transferred (when scheduled on different machines).
+type Edge struct {
+	From, To *Task
+	Bytes    float64
+}
+
+// Preds returns the incoming edges.
+func (t *Task) Preds() []*Edge { return t.preds }
+
+// Succs returns the outgoing edges.
+func (t *Task) Succs() []*Edge { return t.succs }
+
+// Graph is a DAG of tasks.
+type Graph struct {
+	tasks []*Task
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddTask creates a task with the given compute demand.
+func (g *Graph) AddTask(name string, ops float64) *Task {
+	if ops < 0 {
+		panic(fmt.Sprintf("dag: AddTask(%q, %v)", name, ops))
+	}
+	t := &Task{ID: len(g.tasks), Name: name, Ops: ops}
+	g.tasks = append(g.tasks, t)
+	return t
+}
+
+// AddDep declares that child depends on parent, with bytes of data
+// flowing along the edge. Self-dependencies panic; cycles are caught
+// by Validate / TopoOrder.
+func (g *Graph) AddDep(parent, child *Task, bytes float64) {
+	if parent == child {
+		panic(fmt.Sprintf("dag: self-dependency on %q", parent.Name))
+	}
+	if bytes < 0 {
+		panic("dag: negative edge bytes")
+	}
+	e := &Edge{From: parent, To: child, Bytes: bytes}
+	parent.succs = append(parent.succs, e)
+	child.preds = append(child.preds, e)
+}
+
+// Tasks returns the tasks in creation order.
+func (g *Graph) Tasks() []*Task { return g.tasks }
+
+// Len returns the task count.
+func (g *Graph) Len() int { return len(g.tasks) }
+
+// TopoOrder returns the tasks in a dependency-respecting order
+// (Kahn's algorithm, stable by task ID). It returns an error when the
+// graph has a cycle.
+func (g *Graph) TopoOrder() ([]*Task, error) {
+	indeg := make([]int, len(g.tasks))
+	for _, t := range g.tasks {
+		indeg[t.ID] = len(t.preds)
+	}
+	var ready []*Task
+	for _, t := range g.tasks {
+		if indeg[t.ID] == 0 {
+			ready = append(ready, t)
+		}
+	}
+	var order []*Task
+	for len(ready) > 0 {
+		t := ready[0]
+		ready = ready[1:]
+		order = append(order, t)
+		for _, e := range t.succs {
+			indeg[e.To.ID]--
+			if indeg[e.To.ID] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	if len(order) != len(g.tasks) {
+		return nil, fmt.Errorf("dag: graph has a cycle (%d of %d tasks orderable)", len(order), len(g.tasks))
+	}
+	return order, nil
+}
+
+// Validate checks the graph is acyclic.
+func (g *Graph) Validate() error {
+	_, err := g.TopoOrder()
+	return err
+}
+
+// CriticalPath returns the length (in seconds) of the longest
+// compute+transfer chain assuming every task runs at speed `speed` and
+// every edge pays bytes/bps, plus the path itself. It is the classic
+// lower bound on makespan for a single-speed platform with unlimited
+// machines.
+func (g *Graph) CriticalPath(speed, bps float64) (float64, []*Task, error) {
+	if speed <= 0 || bps <= 0 {
+		return 0, nil, fmt.Errorf("dag: CriticalPath(speed=%v, bps=%v)", speed, bps)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0, nil, err
+	}
+	dist := make([]float64, len(g.tasks))
+	prev := make([]*Task, len(g.tasks))
+	for _, t := range order {
+		best := 0.0
+		for _, e := range t.preds {
+			cand := dist[e.From.ID] + e.Bytes/bps
+			if cand > best {
+				best = cand
+				prev[t.ID] = e.From
+			}
+		}
+		dist[t.ID] = best + t.Ops/speed
+	}
+	end := -1
+	long := math.Inf(-1)
+	for _, t := range g.tasks {
+		if dist[t.ID] > long {
+			long = dist[t.ID]
+			end = t.ID
+		}
+	}
+	var path []*Task
+	for t := g.tasks[end]; t != nil; t = prev[t.ID] {
+		path = append([]*Task{t}, path...)
+	}
+	return long, path, nil
+}
+
+// FanInOut builds the classic diamond benchmark graph: one source
+// fanning out to width parallel tasks, joining into one sink.
+func FanInOut(width int, srcOps, midOps, sinkOps, edgeBytes float64) *Graph {
+	g := NewGraph()
+	src := g.AddTask("source", srcOps)
+	sink := g.AddTask("sink", sinkOps)
+	for i := 0; i < width; i++ {
+		mid := g.AddTask(fmt.Sprintf("mid%03d", i), midOps)
+		g.AddDep(src, mid, edgeBytes)
+		g.AddDep(mid, sink, edgeBytes)
+	}
+	return g
+}
+
+// Chain builds a linear pipeline of n tasks.
+func Chain(n int, ops, edgeBytes float64) *Graph {
+	g := NewGraph()
+	var prev *Task
+	for i := 0; i < n; i++ {
+		t := g.AddTask(fmt.Sprintf("stage%03d", i), ops)
+		if prev != nil {
+			g.AddDep(prev, t, edgeBytes)
+		}
+		prev = t
+	}
+	return g
+}

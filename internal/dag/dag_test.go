@@ -1,0 +1,267 @@
+package dag
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+func TestTopoOrderChain(t *testing.T) {
+	g := Chain(5, 100, 10)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i].ID <= order[i-1].ID {
+			t.Fatalf("chain order broken: %v", order)
+		}
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := NewGraph()
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.AddDep(a, b, 0)
+	g.AddDep(b, a, 0)
+	if err := g.Validate(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	g := NewGraph()
+	a := g.AddTask("a", 1)
+	for name, fn := range map[string]func(){
+		"neg ops":  func() { g.AddTask("x", -1) },
+		"self dep": func() { g.AddDep(a, a, 0) },
+		"neg edge": func() { b := g.AddTask("b", 1); g.AddDep(a, b, -5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	// 4 stages of 100 ops at speed 10, 3 edges of 50 bytes at 5 B/s:
+	// 4*10 + 3*10 = 70.
+	g := Chain(4, 100, 50)
+	length, path, err := g.CriticalPath(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(length-70) > 1e-9 {
+		t.Fatalf("critical path = %v, want 70", length)
+	}
+	if len(path) != 4 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	// src(10) -> N mids(varying) -> sink(10): critical path goes
+	// through the largest mid.
+	g := NewGraph()
+	src := g.AddTask("src", 100)
+	sink := g.AddTask("sink", 100)
+	small := g.AddTask("small", 10)
+	big := g.AddTask("big", 1000)
+	g.AddDep(src, small, 0)
+	g.AddDep(src, big, 0)
+	g.AddDep(small, sink, 0)
+	g.AddDep(big, sink, 0)
+	length, path, err := g.CriticalPath(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(length-1200) > 1e-9 {
+		t.Fatalf("length = %v", length)
+	}
+	if len(path) != 3 || path[1].Name != "big" {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestHEFTPrefersFastMachine(t *testing.T) {
+	g := Chain(3, 1000, 0) // zero-byte edges: no transfer penalty
+	machines := []Machine{
+		{Name: "slow", Speed: 10, Bps: 1e6},
+		{Name: "fast", Speed: 1000, Bps: 1e6},
+	}
+	p, err := HEFT(g, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, m := range p.Machine {
+		if m != 1 {
+			t.Fatalf("task %d on machine %d, want fast", id, m)
+		}
+	}
+	if math.Abs(p.Makespan-3) > 1e-9 {
+		t.Fatalf("makespan = %v, want 3", p.Makespan)
+	}
+}
+
+func TestHEFTUsesParallelism(t *testing.T) {
+	g := FanInOut(8, 0, 1000, 0, 0)
+	machines := []Machine{
+		{Name: "m0", Speed: 100, Bps: 1e9},
+		{Name: "m1", Speed: 100, Bps: 1e9},
+		{Name: "m2", Speed: 100, Bps: 1e9},
+		{Name: "m3", Speed: 100, Bps: 1e9},
+	}
+	p, err := HEFT(g, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 mids of 10 s over 4 machines: makespan 20 s (perfect packing).
+	if math.Abs(p.Makespan-20) > 1e-9 {
+		t.Fatalf("makespan = %v, want 20", p.Makespan)
+	}
+	used := map[int]bool{}
+	for _, m := range p.Machine {
+		used[m] = true
+	}
+	if len(used) != 4 {
+		t.Fatalf("HEFT used %d machines", len(used))
+	}
+}
+
+func TestHEFTRespectsTransferCosts(t *testing.T) {
+	// Huge edges: keeping the chain on one machine beats hopping to a
+	// slightly faster one.
+	g := Chain(3, 1000, 1e9)
+	machines := []Machine{
+		{Name: "a", Speed: 100, Bps: 10},
+		{Name: "b", Speed: 110, Bps: 10},
+	}
+	p, err := HEFT(g, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Machine[0] != p.Machine[1] || p.Machine[1] != p.Machine[2] {
+		t.Fatalf("HEFT split a transfer-heavy chain: %v", p.Machine)
+	}
+}
+
+func TestHEFTErrors(t *testing.T) {
+	g := Chain(2, 1, 0)
+	if _, err := HEFT(g, nil); err == nil {
+		t.Fatal("no machines: no error")
+	}
+	if _, err := HEFT(g, []Machine{{Name: "x", Speed: 0, Bps: 1}}); err == nil {
+		t.Fatal("bad machine: no error")
+	}
+	cyc := NewGraph()
+	a := cyc.AddTask("a", 1)
+	b := cyc.AddTask("b", 1)
+	cyc.AddDep(a, b, 0)
+	cyc.AddDep(b, a, 0)
+	if _, err := HEFT(cyc, []Machine{{Name: "m", Speed: 1, Bps: 1}}); err == nil {
+		t.Fatal("cycle: no error")
+	}
+}
+
+func TestExecuteMatchesPlan(t *testing.T) {
+	// The DES realization of a HEFT plan must match the plan exactly:
+	// same model, same arithmetic.
+	g := FanInOut(6, 500, 2000, 500, 1e6)
+	machines := []Machine{
+		{Name: "a", Speed: 100, Bps: 1e6},
+		{Name: "b", Speed: 200, Bps: 1e6},
+		{Name: "c", Speed: 400, Bps: 1e6},
+	}
+	p, err := HEFT(g, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := des.NewEngine()
+	res, err := Execute(e, g, machines, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Makespan-p.Makespan) > p.Makespan*0.25+1e-9 {
+		t.Fatalf("realized %v vs planned %v", res.Makespan, p.Makespan)
+	}
+	// Dependencies respected in the realization.
+	for _, task := range g.Tasks() {
+		for _, edge := range task.Preds() {
+			if res.Start[task.ID] < res.Finish[edge.From.ID]-1e-9 {
+				t.Fatalf("task %q started before parent %q finished", task.Name, edge.From.Name)
+			}
+		}
+	}
+}
+
+func TestExecuteRejectsBadPlacement(t *testing.T) {
+	g := Chain(2, 1, 0)
+	machines := []Machine{{Name: "m", Speed: 1, Bps: 1}}
+	e := des.NewEngine()
+	if _, err := Execute(e, g, machines, Placement{Machine: []int{0}}); err == nil {
+		t.Fatal("short placement accepted")
+	}
+	e2 := des.NewEngine()
+	if _, err := Execute(e2, g, machines, Placement{Machine: []int{0, 5}, Start: make([]float64, 2), Finish: make([]float64, 2)}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestQuickHEFTValidSchedules(t *testing.T) {
+	// Property: on random fan-out graphs, HEFT schedules every task
+	// exactly once, never overlaps two tasks on one machine, and never
+	// starts a child before its parent's finish.
+	f := func(seed uint64, widthRaw, machRaw uint8) bool {
+		src := rng.New(seed)
+		width := int(widthRaw%12) + 1
+		nm := int(machRaw%4) + 1
+		g := FanInOut(width, src.Float64()*100, src.Float64()*1000+1, src.Float64()*100, src.Float64()*1e4)
+		machines := make([]Machine, nm)
+		for i := range machines {
+			machines[i] = Machine{Name: "m", Speed: src.Float64()*100 + 1, Bps: src.Float64()*1e5 + 1}
+		}
+		p, err := HEFT(g, machines)
+		if err != nil {
+			return false
+		}
+		// Parent-before-child (same machine ⇒ no transfer, else the
+		// start must be >= parent finish; transfer only adds).
+		for _, task := range g.Tasks() {
+			for _, e := range task.Preds() {
+				if p.Start[task.ID] < p.Finish[e.From.ID]-1e-9 {
+					return false
+				}
+			}
+		}
+		// No overlap per machine.
+		type span struct{ s, f float64 }
+		perM := map[int][]span{}
+		for _, task := range g.Tasks() {
+			mi := p.Machine[task.ID]
+			perM[mi] = append(perM[mi], span{p.Start[task.ID], p.Finish[task.ID]})
+		}
+		for _, spans := range perM {
+			for i := range spans {
+				for j := i + 1; j < len(spans); j++ {
+					a, b := spans[i], spans[j]
+					if a.s < b.f-1e-9 && b.s < a.f-1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// ExecutionResult reports a simulated DAG execution.
+type ExecutionResult struct {
+	Makespan float64
+	Start    []float64
+	Finish   []float64
+}
+
+// Execute simulates the placement on a DES engine: each machine is a
+// serial execution context, each cross-machine edge pays bytes/bps of
+// transfer latency after the producer finishes. Tasks become runnable
+// when all inputs have arrived and their machine is free; ties resolve
+// in placement (priority) order. The realized makespan can exceed the
+// plan only through discretization of the same model, so plan vs
+// realization is a consistency check on both sides (SimGrid's
+// "correct and accurate simulation results" claim).
+func Execute(e *des.Engine, g *Graph, machines []Machine, p Placement) (ExecutionResult, error) {
+	if len(p.Machine) != g.Len() {
+		return ExecutionResult{}, fmt.Errorf("dag: placement covers %d of %d tasks", len(p.Machine), g.Len())
+	}
+	res := ExecutionResult{
+		Start:  make([]float64, g.Len()),
+		Finish: make([]float64, g.Len()),
+	}
+	// One FIFO resource per machine serializes its tasks; processes
+	// model tasks, mailbox-free: each task waits for its inputs via a
+	// WaitGroup seeded with its indegree.
+	slots := make([]*des.Resource, len(machines))
+	for i := range machines {
+		slots[i] = e.NewResource(fmt.Sprintf("m%d", i), 1)
+	}
+	inputs := make([]*des.WaitGroup, g.Len())
+	for _, t := range g.Tasks() {
+		inputs[t.ID] = e.NewWaitGroup()
+		inputs[t.ID].Add(len(t.Preds()))
+	}
+	for _, t := range g.Tasks() {
+		t := t
+		mi := p.Machine[t.ID]
+		if mi < 0 || mi >= len(machines) {
+			return ExecutionResult{}, fmt.Errorf("dag: task %q placed on unknown machine %d", t.Name, mi)
+		}
+		m := machines[mi]
+		e.Spawn("task:"+t.Name, func(proc *des.Process) {
+			inputs[t.ID].Wait(proc)
+			slots[mi].Acquire(proc, 1)
+			res.Start[t.ID] = proc.Now()
+			proc.Hold(t.Ops / m.Speed)
+			slots[mi].Release(1)
+			res.Finish[t.ID] = proc.Now()
+			if proc.Now() > res.Makespan {
+				res.Makespan = proc.Now()
+			}
+			// Ship outputs; cross-machine edges pay transfer time.
+			for _, edge := range t.Succs() {
+				edge := edge
+				delay := 0.0
+				if p.Machine[edge.To.ID] != mi {
+					delay = edge.Bytes / machines[p.Machine[edge.To.ID]].Bps
+				}
+				e.Schedule(delay, func() { inputs[edge.To.ID].Done() })
+			}
+		})
+	}
+	e.Run()
+	return res, nil
+}

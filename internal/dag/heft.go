@@ -1,0 +1,122 @@
+package dag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Machine is a scheduling target for HEFT: a single execution context
+// of the given speed, reachable at the given bandwidth (a simplified
+// fully connected platform, as in the original HEFT formulation).
+type Machine struct {
+	Name  string
+	Speed float64 // ops/second
+	Bps   float64 // bandwidth to every other machine
+}
+
+// Placement is a HEFT schedule: per-task machine assignment with
+// planned start/finish times.
+type Placement struct {
+	Machine []int     // task ID -> machine index
+	Start   []float64 // planned start times
+	Finish  []float64 // planned finish times
+	// Makespan is the planned completion of the last task.
+	Makespan float64
+}
+
+// HEFT computes the heterogeneous-earliest-finish-time schedule of the
+// graph on the machines: tasks are ranked by upward rank (critical
+// path to exit, using mean speeds), then greedily placed on the
+// machine minimizing their earliest finish time, accounting for
+// inter-machine transfer costs and machine availability (insertion-
+// free variant).
+func HEFT(g *Graph, machines []Machine) (Placement, error) {
+	if len(machines) == 0 {
+		return Placement{}, fmt.Errorf("dag: HEFT with no machines")
+	}
+	for _, m := range machines {
+		if m.Speed <= 0 || m.Bps <= 0 {
+			return Placement{}, fmt.Errorf("dag: HEFT machine %q with speed=%v bps=%v", m.Name, m.Speed, m.Bps)
+		}
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return Placement{}, err
+	}
+
+	meanSpeed := 0.0
+	meanBps := 0.0
+	for _, m := range machines {
+		meanSpeed += m.Speed
+		meanBps += m.Bps
+	}
+	meanSpeed /= float64(len(machines))
+	meanBps /= float64(len(machines))
+
+	// Upward ranks, computed in reverse topological order.
+	rank := make([]float64, g.Len())
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		best := 0.0
+		for _, e := range t.succs {
+			cand := e.Bytes/meanBps + rank[e.To.ID]
+			if cand > best {
+				best = cand
+			}
+		}
+		rank[t.ID] = t.Ops/meanSpeed + best
+	}
+
+	// Rank-descending priority list (stable by ID for determinism).
+	list := make([]*Task, len(order))
+	copy(list, order)
+	sort.SliceStable(list, func(i, j int) bool { return rank[list[i].ID] > rank[list[j].ID] })
+
+	p := Placement{
+		Machine: make([]int, g.Len()),
+		Start:   make([]float64, g.Len()),
+		Finish:  make([]float64, g.Len()),
+	}
+	available := make([]float64, len(machines)) // machine ready times
+	scheduled := make([]bool, g.Len())
+
+	for _, t := range list {
+		// Dependencies must already be scheduled: the rank order is a
+		// topological refinement (parents outrank children), but guard
+		// anyway.
+		for _, e := range t.preds {
+			if !scheduled[e.From.ID] {
+				return Placement{}, fmt.Errorf("dag: HEFT rank order broke dependencies at %q", t.Name)
+			}
+		}
+		bestM, bestFinish, bestStart := -1, math.Inf(1), 0.0
+		for mi, m := range machines {
+			start := available[mi]
+			for _, e := range t.preds {
+				arrival := p.Finish[e.From.ID]
+				if p.Machine[e.From.ID] != mi {
+					arrival += e.Bytes / m.Bps
+				}
+				if arrival > start {
+					start = arrival
+				}
+			}
+			finish := start + t.Ops/m.Speed
+			if finish < bestFinish {
+				bestFinish = finish
+				bestStart = start
+				bestM = mi
+			}
+		}
+		p.Machine[t.ID] = bestM
+		p.Start[t.ID] = bestStart
+		p.Finish[t.ID] = bestFinish
+		available[bestM] = bestFinish
+		scheduled[t.ID] = true
+		if bestFinish > p.Makespan {
+			p.Makespan = bestFinish
+		}
+	}
+	return p, nil
+}

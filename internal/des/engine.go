@@ -1,0 +1,269 @@
+// Package des implements the discrete-event simulation kernel shared
+// by every simulator personality in this repository.
+//
+// The kernel follows the taxonomy of the reproduced paper:
+//
+//   - It is an event-driven DES: simulation time advances by irregular
+//     increments, directly to the timestamp of the next pending event.
+//     A time-driven stepper (TimeDriven) is provided alongside it for
+//     the efficiency comparison the paper makes between the two.
+//   - The future event list is pluggable (see package eventq), because
+//     the paper singles out the queue structure — O(1) calendar-style
+//     versus O(log n) tree/heap structures — as the dominant factor in
+//     engine performance.
+//   - A process-oriented layer (Process, "active objects" in MONARC 2
+//     terminology) maps simulated concurrent programs onto goroutines
+//     with a strict handover protocol, so sequential runs remain fully
+//     deterministic.
+//
+// Determinism: with equal seeds and equal schedules, runs are
+// bit-identical. Simultaneous events execute in schedule (FIFO) order,
+// enforced by a monotone sequence number.
+package des
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/eventq"
+	"repro/internal/rng"
+)
+
+// Engine is an event-driven discrete-event simulation kernel.
+// An Engine is not safe for concurrent use: exactly one goroutine — the
+// one that called Run — executes events, and simulated processes hand
+// control back and forth with that goroutine synchronously.
+type Engine struct {
+	queue eventq.Queue
+	now   float64
+	seq   uint64
+	rng   *rng.Source
+
+	stopped bool
+	running bool
+
+	// statistics
+	executed  uint64
+	scheduled uint64
+	canceled  uint64
+	maxQueue  int
+
+	// trace hook, nil when tracing is off
+	onEvent func(t float64, label string)
+
+	// live process accounting (see process.go)
+	liveProcs    int
+	pendingPanic *procPanic
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithQueue selects the future-event-list implementation.
+// The default is the binary heap.
+func WithQueue(k eventq.Kind) Option {
+	return func(e *Engine) { e.queue = eventq.New(k) }
+}
+
+// WithSeed sets the root seed for the engine's random streams.
+// The default seed is 1.
+func WithSeed(seed uint64) Option {
+	return func(e *Engine) { e.rng = rng.New(seed) }
+}
+
+// NewEngine returns an engine at simulation time 0.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		queue: eventq.NewHeap(),
+		rng:   rng.New(1),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Rand returns the engine's root random source.
+func (e *Engine) Rand() *rng.Source { return e.rng }
+
+// Stream returns a named independent random substream. Equal engine
+// seeds and equal names always produce identical streams.
+func (e *Engine) Stream(name string) *rng.Source { return e.rng.Derive(name) }
+
+// Timer is a handle to a scheduled event; it supports cancellation.
+type Timer struct {
+	time     float64
+	canceled bool
+	fired    bool
+	fn       func()
+	label    string
+}
+
+// Time returns the simulation time the event is (or was) due.
+func (t *Timer) Time() float64 { return t.time }
+
+// Cancel prevents a pending event from firing. Canceling an event that
+// already fired (or was already canceled) is a no-op. Cancellation is
+// lazy: the tombstoned entry is discarded when it reaches the head of
+// the queue, which keeps every queue structure free of random removal.
+func (t *Timer) Cancel() {
+	if !t.fired {
+		t.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called before the event fired.
+func (t *Timer) Canceled() bool { return t.canceled }
+
+// Schedule runs fn after delay units of simulation time.
+// It panics on negative delay or non-finite delay: scheduling into the
+// past is always a model bug.
+func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+	return e.ScheduleNamed("", delay, fn)
+}
+
+// ScheduleNamed is Schedule with a trace label.
+func (e *Engine) ScheduleNamed(label string, delay float64, fn func()) *Timer {
+	if delay < 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
+		panic(fmt.Sprintf("des: Schedule with invalid delay %v at t=%v", delay, e.now))
+	}
+	return e.at(e.now+delay, label, fn)
+}
+
+// At runs fn at absolute simulation time t, which must not precede the
+// current time.
+func (e *Engine) At(t float64, fn func()) *Timer {
+	if t < e.now || math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("des: At with invalid time %v (now %v)", t, e.now))
+	}
+	return e.at(t, "", fn)
+}
+
+func (e *Engine) at(t float64, label string, fn func()) *Timer {
+	e.seq++
+	e.scheduled++
+	timer := &Timer{time: t, fn: fn, label: label}
+	e.queue.Push(eventq.Item{Time: t, Seq: e.seq, Value: timer})
+	if n := e.queue.Len(); n > e.maxQueue {
+		e.maxQueue = n
+	}
+	return timer
+}
+
+// OnEvent installs a trace hook invoked before each event executes.
+// Passing nil disables tracing.
+func (e *Engine) OnEvent(hook func(t float64, label string)) { e.onEvent = hook }
+
+// Stop halts Run after the current event completes. It may be called
+// from within an event handler or simulated process.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains, Stop is called, or no
+// runnable work remains. It returns the final simulation time.
+func (e *Engine) Run() float64 { return e.RunUntil(math.Inf(1)) }
+
+// RunUntil executes events with timestamps <= horizon. Events beyond
+// the horizon stay queued; the clock is left at min(horizon, time of
+// last executed event) — it never advances past work that was actually
+// performed, so a subsequent RunUntil continues seamlessly.
+func (e *Engine) RunUntil(horizon float64) float64 {
+	if e.running {
+		panic("des: RunUntil called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.stopped = false
+	for !e.stopped {
+		it, ok := e.queue.Peek()
+		if !ok {
+			break
+		}
+		if it.Time > horizon {
+			break
+		}
+		e.queue.Pop()
+		timer := it.Value.(*Timer)
+		if timer.canceled {
+			e.canceled++
+			continue
+		}
+		if it.Time < e.now {
+			panic(fmt.Sprintf("des: event queue returned time %v before now %v", it.Time, e.now))
+		}
+		e.now = it.Time
+		timer.fired = true
+		e.executed++
+		if e.onEvent != nil {
+			e.onEvent(e.now, timer.label)
+		}
+		timer.fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one event if one is pending, returning false
+// when the queue is empty. Used by the parallel engine driver.
+func (e *Engine) Step() bool {
+	for {
+		it, ok := e.queue.Peek()
+		if !ok {
+			return false
+		}
+		e.queue.Pop()
+		timer := it.Value.(*Timer)
+		if timer.canceled {
+			e.canceled++
+			continue
+		}
+		e.now = it.Time
+		timer.fired = true
+		e.executed++
+		if e.onEvent != nil {
+			e.onEvent(e.now, timer.label)
+		}
+		timer.fn()
+		return true
+	}
+}
+
+// PeekTime returns the timestamp of the next pending live event, or
+// +Inf when none is queued.
+func (e *Engine) PeekTime() float64 {
+	for {
+		it, ok := e.queue.Peek()
+		if !ok {
+			return math.Inf(1)
+		}
+		if timer := it.Value.(*Timer); timer.canceled {
+			e.queue.Pop()
+			e.canceled++
+			continue
+		}
+		return it.Time
+	}
+}
+
+// Stats reports engine counters: events executed, scheduled, canceled,
+// and the high-water mark of the pending-event queue.
+type Stats struct {
+	Executed  uint64
+	Scheduled uint64
+	Canceled  uint64
+	MaxQueue  int
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Executed:  e.executed,
+		Scheduled: e.scheduled,
+		Canceled:  e.canceled,
+		MaxQueue:  e.maxQueue,
+	}
+}
+
+// QueueLen returns the number of pending (possibly tombstoned) events.
+func (e *Engine) QueueLen() int { return e.queue.Len() }

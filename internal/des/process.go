@@ -1,0 +1,232 @@
+package des
+
+import "fmt"
+
+// Process is a simulated sequential activity — MONARC 2 calls these
+// "active objects": threaded entities with their own program counter
+// and stack that naturally express concurrently running programs,
+// network transfers and stochastic arrival patterns.
+//
+// Each Process runs on its own goroutine, but the engine enforces a
+// strict synchronous handover: at most one goroutine (either the
+// engine loop or exactly one process) executes at any instant, so
+// sequential simulations remain fully deterministic while models are
+// written as straight-line code with Hold/Acquire/Recv blocking calls.
+//
+// All Process methods must be called from simulation context (from the
+// process's own body, another process body, or an event handler) —
+// never from outside Run.
+type Process struct {
+	e    *Engine
+	name string
+
+	resume chan struct{}
+	yield  chan struct{}
+
+	state      procState
+	blockToken uint64 // invalidates stale wake events
+	started    bool
+	killed     bool
+	interrupt  bool // set when the current block was broken by Interrupt
+
+	body func(*Process)
+}
+
+type procState uint8
+
+const (
+	procNew procState = iota
+	procRunning
+	procBlocked
+	procEnded
+)
+
+// errProcKilled is the sentinel panic value used to unwind a killed
+// process's goroutine.
+type procKilledSentinel struct{}
+
+// procPanic carries a panic out of a process goroutine back onto the
+// engine goroutine, preserving crash semantics for model bugs.
+type procPanic struct{ value any }
+
+// Spawn creates a process and schedules its first activation at the
+// current simulation time. The body runs as straight-line code using
+// the blocking primitives (Hold, Passivate, Resource.Acquire, ...).
+func (e *Engine) Spawn(name string, body func(*Process)) *Process {
+	p := &Process{
+		e:      e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		body:   body,
+	}
+	e.liveProcs++
+	e.ScheduleNamed(name+":start", 0, func() { p.resumeNow() })
+	return p
+}
+
+// SpawnAt is Spawn with a start delay.
+func (e *Engine) SpawnAt(name string, delay float64, body func(*Process)) *Process {
+	p := &Process{
+		e:      e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+		body:   body,
+	}
+	e.liveProcs++
+	e.ScheduleNamed(name+":start", delay, func() { p.resumeNow() })
+	return p
+}
+
+// LiveProcesses returns the number of processes that have been spawned
+// and have not yet ended. A drained queue with live processes means
+// the model deadlocked (every process passive with nothing to wake it).
+func (e *Engine) LiveProcesses() int { return e.liveProcs }
+
+// Name returns the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine the process runs on.
+func (p *Process) Engine() *Engine { return p.e }
+
+// Now returns the current simulation time.
+func (p *Process) Now() float64 { return p.e.now }
+
+// Ended reports whether the process body has returned.
+func (p *Process) Ended() bool { return p.state == procEnded }
+
+// run is the goroutine body: it waits for the first handover, executes
+// the model code, and performs the final handover back to the engine.
+func (p *Process) run() {
+	<-p.resume
+	var crash any
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(procKilledSentinel); !ok {
+					crash = r
+				}
+			}
+		}()
+		p.body(p)
+	}()
+	p.state = procEnded
+	p.e.liveProcs--
+	if crash != nil {
+		p.e.pendingPanic = &procPanic{value: crash}
+	}
+	p.yield <- struct{}{}
+}
+
+// resumeNow transfers control to the process until it blocks or ends.
+// It must run on the engine goroutine (inside an event handler).
+func (p *Process) resumeNow() {
+	if p.state == procEnded {
+		return
+	}
+	if !p.started {
+		p.started = true
+		go p.run()
+	}
+	p.state = procRunning
+	p.resume <- struct{}{}
+	<-p.yield
+	if pp := p.e.pendingPanic; pp != nil {
+		p.e.pendingPanic = nil
+		panic(pp.value)
+	}
+}
+
+// suspend parks the process goroutine and hands control back to the
+// engine. It returns when some event calls resumeNow.
+func (p *Process) suspend() {
+	p.state = procBlocked
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(procKilledSentinel{})
+	}
+}
+
+// Hold advances the process's local time by d: the process blocks and
+// resumes d simulation-time units later. It returns true if the sleep
+// was cut short by Interrupt.
+func (p *Process) Hold(d float64) (interrupted bool) {
+	p.blockToken++
+	tok := p.blockToken
+	p.interrupt = false
+	p.e.ScheduleNamed(p.name+":wake", d, func() { p.wake(tok) })
+	p.suspend()
+	return p.interrupt
+}
+
+// Passivate blocks the process indefinitely; only Activate, Interrupt,
+// or a synchronization primitive can resume it.
+func (p *Process) Passivate() {
+	p.blockToken++
+	p.interrupt = false
+	p.suspend()
+}
+
+// wake resumes the process if (and only if) it is still in the block
+// the token belongs to; stale wakes from canceled sleeps are ignored.
+func (p *Process) wake(tok uint64) {
+	if p.state != procBlocked || tok != p.blockToken {
+		return
+	}
+	p.resumeNow()
+}
+
+// Activate schedules the process to resume at the current simulation
+// time (after already-queued events). Activating a process that is not
+// blocked — or that blocks again before the activation fires — is a
+// harmless no-op, which makes signal/timeout races safe by default.
+func (p *Process) Activate() {
+	tok := p.blockToken
+	p.e.ScheduleNamed(p.name+":activate", 0, func() { p.wake(tok) })
+}
+
+// Interrupt breaks the process out of its current Hold or Passivate at
+// the current simulation time; the interrupted call reports back via
+// its return value (Hold) or the Interrupted flag. Interrupting a
+// process that is not blocked is a no-op.
+func (p *Process) Interrupt() {
+	if p.state != procBlocked {
+		return
+	}
+	tok := p.blockToken
+	p.e.ScheduleNamed(p.name+":interrupt", 0, func() {
+		if p.state != procBlocked || tok != p.blockToken {
+			return
+		}
+		p.interrupt = true
+		p.resumeNow()
+	})
+}
+
+// Interrupted reports whether the most recent block ended in an
+// interrupt.
+func (p *Process) Interrupted() bool { return p.interrupt }
+
+// Kill terminates a blocked process: its goroutine unwinds (running
+// deferred functions) and the process ends without resuming model
+// code. Killing an ended process is a no-op; killing a running process
+// (i.e. the caller itself) panics, because a process cannot unwind a
+// peer that currently holds control.
+func (p *Process) Kill() {
+	switch p.state {
+	case procEnded:
+		return
+	case procRunning:
+		panic(fmt.Sprintf("des: Kill of running process %q", p.name))
+	case procNew:
+		// Never started: mark ended so the start event is ignored.
+		p.state = procEnded
+		p.e.liveProcs--
+		return
+	}
+	p.killed = true
+	p.blockToken++ // invalidate pending wakes
+	p.resumeNow()
+}

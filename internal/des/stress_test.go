@@ -1,0 +1,125 @@
+package des
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/eventq"
+)
+
+// TestStressMixedModelDeterminism runs a model that exercises every
+// kernel feature at once — processes, resources, mailboxes, triggers,
+// wait groups, cancellation, interrupts — and demands bit-identical
+// trajectories across all six FEL implementations.
+func TestStressMixedModelDeterminism(t *testing.T) {
+	run := func(kind eventq.Kind) (trace []float64, events uint64) {
+		e := NewEngine(WithQueue(kind), WithSeed(77))
+		src := e.Stream("stress")
+		res := e.NewResource("pool", 3)
+		mb := e.NewMailbox("work")
+		tr := e.NewTrigger("phase")
+		wg := e.NewWaitGroup()
+		record := func() { trace = append(trace, e.Now()) }
+
+		// Producers feed the mailbox at random times and fire the
+		// trigger occasionally.
+		for i := 0; i < 4; i++ {
+			e.Spawn(fmt.Sprintf("prod%d", i), func(p *Process) {
+				for j := 0; j < 20; j++ {
+					p.Hold(src.Exp(0.5))
+					mb.Send(j)
+					if j%7 == 0 {
+						tr.Fire()
+					}
+				}
+			})
+		}
+		// Consumers take work, contend for the pool, sometimes get
+		// interrupted by a watchdog.
+		for i := 0; i < 6; i++ {
+			wg.Add(1)
+			e.Spawn(fmt.Sprintf("cons%d", i), func(p *Process) {
+				defer wg.Done()
+				for j := 0; j < 10; j++ {
+					mb.Recv(p)
+					res.Acquire(p, 1)
+					p.Hold(src.Exp(2))
+					res.Release(1)
+					record()
+				}
+			})
+		}
+		// A waiter blocks on the trigger, then on the wait group.
+		e.Spawn("waiter", func(p *Process) {
+			tr.Wait(p)
+			record()
+			wg.Wait(p)
+			record()
+		})
+		// A watchdog interrupts a sleeper; a canceled timer must not
+		// fire.
+		sleeper := e.Spawn("sleeper", func(p *Process) {
+			if !p.Hold(1e9) {
+				t.Error("sleeper not interrupted")
+			}
+			record()
+		})
+		e.Schedule(13, func() { sleeper.Interrupt() })
+		dead := e.Schedule(5, func() { t.Error("canceled event fired") })
+		dead.Cancel()
+
+		e.Run()
+		if e.LiveProcesses() != 0 {
+			t.Fatalf("%s: leaked %d processes", kind, e.LiveProcesses())
+		}
+		return trace, e.Stats().Executed
+	}
+	refTrace, refEvents := run(eventq.KindHeap)
+	if len(refTrace) < 60 {
+		t.Fatalf("stress model too small: %d trace points", len(refTrace))
+	}
+	for _, k := range eventq.Kinds()[1:] {
+		got, events := run(k)
+		if events != refEvents {
+			t.Fatalf("%s: %d events vs heap %d", k, events, refEvents)
+		}
+		if len(got) != len(refTrace) {
+			t.Fatalf("%s: %d trace points vs %d", k, len(got), len(refTrace))
+		}
+		for i := range got {
+			if got[i] != refTrace[i] {
+				t.Fatalf("%s diverged at %d: %v vs %v", k, i, got[i], refTrace[i])
+			}
+		}
+	}
+}
+
+// TestStressManyShortLivedProcesses churns through process creation
+// and teardown to catch handover leaks.
+func TestStressManyShortLivedProcesses(t *testing.T) {
+	e := NewEngine(WithSeed(5))
+	src := e.Stream("churn")
+	const waves, perWave = 20, 250
+	finished := 0
+	var wave func(int)
+	wave = func(w int) {
+		if w >= waves {
+			return
+		}
+		for i := 0; i < perWave; i++ {
+			e.Spawn("ephemeral", func(p *Process) {
+				p.Hold(src.Exp(10))
+				finished++
+			})
+		}
+		e.Schedule(1, func() { wave(w + 1) })
+	}
+	e.Schedule(0, func() { wave(0) })
+	e.Run()
+	if finished != waves*perWave {
+		t.Fatalf("finished = %d", finished)
+	}
+	if e.LiveProcesses() != 0 {
+		t.Fatalf("leaked %d", e.LiveProcesses())
+	}
+}

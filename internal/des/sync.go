@@ -1,0 +1,245 @@
+package des
+
+import "fmt"
+
+// Resource is a counted, FIFO-fair simulated resource (CPU slots, disk
+// channels, tape drives, network tokens). Processes Acquire units and
+// block when none are free; Release hands freed units to waiters in
+// arrival order.
+type Resource struct {
+	e        *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+
+	// utilization accounting (time-weighted)
+	lastChange float64
+	busyArea   float64
+}
+
+type resWaiter struct {
+	p       *Process
+	n       int
+	granted bool
+}
+
+// NewResource creates a resource with the given capacity (> 0).
+func (e *Engine) NewResource(name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("des: NewResource %q with capacity %d", name, capacity))
+	}
+	return &Resource{e: e, name: name, capacity: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting to acquire.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+func (r *Resource) account() {
+	now := r.e.now
+	r.busyArea += float64(r.inUse) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// Utilization returns the time-averaged fraction of capacity in use
+// since the start of the simulation.
+func (r *Resource) Utilization() float64 {
+	if r.e.now <= 0 {
+		return 0
+	}
+	area := r.busyArea + float64(r.inUse)*(r.e.now-r.lastChange)
+	return area / (float64(r.capacity) * r.e.now)
+}
+
+// Acquire blocks the process until n units are available, then takes
+// them. Requests are served strictly FIFO (no overtaking, even when a
+// smaller later request would fit). It panics if n exceeds capacity —
+// such a request could never succeed.
+func (r *Resource) Acquire(p *Process, n int) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("des: Acquire(%d) on %q with capacity %d", n, r.name, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.capacity-r.inUse >= n {
+		r.account()
+		r.inUse += n
+		return
+	}
+	w := &resWaiter{p: p, n: n}
+	r.waiters = append(r.waiters, w)
+	for !w.granted {
+		p.Passivate()
+	}
+}
+
+// TryAcquire takes n units if immediately available, without blocking.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 || n > r.capacity {
+		return false
+	}
+	if len(r.waiters) == 0 && r.capacity-r.inUse >= n {
+		r.account()
+		r.inUse += n
+		return true
+	}
+	return false
+}
+
+// Release returns n units and grants as many head-of-line waiters as
+// now fit. It may be called from event handlers or process bodies.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("des: Release(%d) on %q with %d in use", n, r.name, r.inUse))
+	}
+	r.account()
+	r.inUse -= n
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.capacity-r.inUse < w.n {
+			break
+		}
+		r.waiters = r.waiters[1:]
+		r.account()
+		r.inUse += w.n
+		w.granted = true
+		w.p.Activate()
+	}
+}
+
+// Mailbox is an unbounded FIFO message channel between simulated
+// entities. Send never blocks; Recv blocks the receiving process until
+// a message is available. Multiple receivers are served FIFO.
+type Mailbox struct {
+	e        *Engine
+	name     string
+	messages []any
+	waiters  []*Process
+}
+
+// NewMailbox creates an empty mailbox.
+func (e *Engine) NewMailbox(name string) *Mailbox {
+	return &Mailbox{e: e, name: name}
+}
+
+// Name returns the mailbox name.
+func (m *Mailbox) Name() string { return m.name }
+
+// Len returns the number of queued (undelivered) messages.
+func (m *Mailbox) Len() int { return len(m.messages) }
+
+// Send enqueues a message and wakes the longest-waiting receiver, if
+// any. Callable from events or processes.
+func (m *Mailbox) Send(v any) {
+	m.messages = append(m.messages, v)
+	if len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		w.Activate()
+	}
+}
+
+// Recv blocks until a message is available and returns it.
+func (m *Mailbox) Recv(p *Process) any {
+	for len(m.messages) == 0 {
+		m.waiters = append(m.waiters, p)
+		p.Passivate()
+		// On spurious wake (e.g. a message was consumed by an
+		// intervening TryRecv), drop back into the wait list.
+	}
+	v := m.messages[0]
+	m.messages = m.messages[1:]
+	return v
+}
+
+// TryRecv returns (message, true) if one is queued, without blocking.
+func (m *Mailbox) TryRecv() (any, bool) {
+	if len(m.messages) == 0 {
+		return nil, false
+	}
+	v := m.messages[0]
+	m.messages = m.messages[1:]
+	return v, true
+}
+
+// Trigger is a broadcast condition: processes Wait on it, Fire wakes
+// every current waiter. Later waiters wait for the next Fire.
+type Trigger struct {
+	e       *Engine
+	name    string
+	epoch   uint64
+	waiters []*Process
+}
+
+// NewTrigger creates a trigger.
+func (e *Engine) NewTrigger(name string) *Trigger {
+	return &Trigger{e: e, name: name}
+}
+
+// Wait blocks the process until the next Fire.
+func (t *Trigger) Wait(p *Process) {
+	epoch := t.epoch
+	t.waiters = append(t.waiters, p)
+	for t.epoch == epoch {
+		p.Passivate()
+	}
+}
+
+// Fire wakes every process currently waiting.
+func (t *Trigger) Fire() {
+	t.epoch++
+	ws := t.waiters
+	t.waiters = nil
+	for _, p := range ws {
+		p.Activate()
+	}
+}
+
+// WaitGroup counts outstanding simulated activities; Wait blocks until
+// the count returns to zero. The zero value is unusable — create with
+// NewWaitGroup.
+type WaitGroup struct {
+	e       *Engine
+	count   int
+	waiters []*Process
+}
+
+// NewWaitGroup creates a wait group with count 0.
+func (e *Engine) NewWaitGroup() *WaitGroup { return &WaitGroup{e: e} }
+
+// Add increments (or with negative delta decrements) the counter.
+// It panics if the counter goes negative.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("des: WaitGroup counter went negative")
+	}
+	if wg.count == 0 {
+		ws := wg.waiters
+		wg.waiters = nil
+		for _, p := range ws {
+			p.Activate()
+		}
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Count returns the current counter value.
+func (wg *WaitGroup) Count() int { return wg.count }
+
+// Wait blocks the process until the counter is zero.
+func (wg *WaitGroup) Wait(p *Process) {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.Passivate()
+	}
+}

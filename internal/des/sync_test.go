@@ -1,0 +1,302 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResourceMutex(t *testing.T) {
+	e := NewEngine()
+	res := e.NewResource("cpu", 1)
+	var spans [][2]float64
+	for i := 0; i < 3; i++ {
+		e.Spawn("job", func(p *Process) {
+			res.Acquire(p, 1)
+			start := p.Now()
+			p.Hold(10)
+			res.Release(1)
+			spans = append(spans, [2]float64{start, p.Now()})
+		})
+	}
+	e.Run()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %v", spans)
+	}
+	// Strictly serialized: 0-10, 10-20, 20-30.
+	for i, want := range []float64{0, 10, 20} {
+		if spans[i][0] != want || spans[i][1] != want+10 {
+			t.Fatalf("span %d = %v", i, spans[i])
+		}
+	}
+	if res.InUse() != 0 || res.QueueLen() != 0 {
+		t.Fatal("resource not drained")
+	}
+}
+
+func TestResourceParallelCapacity(t *testing.T) {
+	e := NewEngine()
+	res := e.NewResource("cpu", 2)
+	var ends []float64
+	for i := 0; i < 4; i++ {
+		e.Spawn("job", func(p *Process) {
+			res.Acquire(p, 1)
+			p.Hold(10)
+			res.Release(1)
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run()
+	// Two at a time: finishes at 10,10,20,20.
+	want := []float64{10, 10, 20, 20}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v", ends)
+		}
+	}
+}
+
+func TestResourceFIFONoOvertaking(t *testing.T) {
+	e := NewEngine()
+	res := e.NewResource("r", 2)
+	var order []string
+	// First job takes both units; a big request then a small request
+	// queue up. The small one must NOT overtake the big one.
+	e.Spawn("first", func(p *Process) {
+		res.Acquire(p, 2)
+		p.Hold(10)
+		res.Release(2)
+	})
+	e.SpawnAt("big", 1, func(p *Process) {
+		res.Acquire(p, 2)
+		order = append(order, "big")
+		p.Hold(5)
+		res.Release(2)
+	})
+	e.SpawnAt("small", 2, func(p *Process) {
+		res.Acquire(p, 1)
+		order = append(order, "small")
+		res.Release(1)
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "big" || order[1] != "small" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := NewEngine()
+	res := e.NewResource("r", 1)
+	e.Spawn("p", func(p *Process) {
+		if !res.TryAcquire(1) {
+			t.Error("TryAcquire failed on free resource")
+		}
+		if res.TryAcquire(1) {
+			t.Error("TryAcquire succeeded on busy resource")
+		}
+		res.Release(1)
+		if res.TryAcquire(0) || res.TryAcquire(5) {
+			t.Error("TryAcquire accepted invalid n")
+		}
+	})
+	e.Run()
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	res := e.NewResource("r", 2)
+	e.Spawn("p", func(p *Process) {
+		res.Acquire(p, 1)
+		p.Hold(10) // 1 of 2 busy for 10 of 20 → 25%
+		res.Release(1)
+		p.Hold(10)
+	})
+	e.Run()
+	if u := res.Utilization(); math.Abs(u-0.25) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}
+
+func TestResourcePanics(t *testing.T) {
+	e := NewEngine()
+	res := e.NewResource("r", 2)
+	t.Run("acquire too much", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		e2 := NewEngine()
+		r2 := e2.NewResource("x", 1)
+		e2.Spawn("p", func(p *Process) { r2.Acquire(p, 2) })
+		e2.Run()
+	})
+	t.Run("release unheld", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		res.Release(1)
+	})
+	t.Run("zero capacity", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		e.NewResource("bad", 0)
+	})
+}
+
+func TestMailboxSendRecv(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("jobs")
+	var got []any
+	e.Spawn("consumer", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			got = append(got, mb.Recv(p))
+		}
+	})
+	e.Spawn("producer", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			p.Hold(5)
+			mb.Send(i)
+		}
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("got = %v", got)
+	}
+	if mb.Len() != 0 {
+		t.Fatalf("mailbox len = %d", mb.Len())
+	}
+}
+
+func TestMailboxBuffersWhenNoReceiver(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("m")
+	e.Schedule(1, func() { mb.Send("a"); mb.Send("b") })
+	var got []any
+	e.SpawnAt("late", 10, func(p *Process) {
+		got = append(got, mb.Recv(p), mb.Recv(p))
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestMailboxTryRecv(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("m")
+	if _, ok := mb.TryRecv(); ok {
+		t.Fatal("TryRecv on empty")
+	}
+	mb.Send(42)
+	if v, ok := mb.TryRecv(); !ok || v != 42 {
+		t.Fatalf("TryRecv = %v, %v", v, ok)
+	}
+}
+
+func TestMailboxMultipleReceiversFIFO(t *testing.T) {
+	e := NewEngine()
+	mb := e.NewMailbox("m")
+	var order []string
+	mkConsumer := func(name string, startDelay float64) {
+		e.SpawnAt(name, startDelay, func(p *Process) {
+			mb.Recv(p)
+			order = append(order, name)
+		})
+	}
+	mkConsumer("first", 1)
+	mkConsumer("second", 2)
+	e.Schedule(10, func() { mb.Send("x") })
+	e.Schedule(20, func() { mb.Send("y") })
+	e.Run()
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTriggerBroadcast(t *testing.T) {
+	e := NewEngine()
+	tr := e.NewTrigger("go")
+	woken := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("waiter", func(p *Process) {
+			tr.Wait(p)
+			woken++
+		})
+	}
+	e.Schedule(3, func() { tr.Fire() })
+	e.Run()
+	if woken != 5 {
+		t.Fatalf("woken = %d", woken)
+	}
+}
+
+func TestTriggerLateWaiterWaitsForNextFire(t *testing.T) {
+	e := NewEngine()
+	tr := e.NewTrigger("go")
+	var at float64 = -1
+	e.Schedule(1, func() { tr.Fire() })
+	e.SpawnAt("late", 5, func(p *Process) {
+		tr.Wait(p)
+		at = p.Now()
+	})
+	e.Schedule(9, func() { tr.Fire() })
+	e.Run()
+	if at != 9 {
+		t.Fatalf("late waiter woke at %v, want 9", at)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	wg := e.NewWaitGroup()
+	var doneAt float64 = -1
+	wg.Add(3)
+	for i := 1; i <= 3; i++ {
+		i := i
+		e.Spawn("worker", func(p *Process) {
+			p.Hold(float64(i * 10))
+			wg.Done()
+		})
+	}
+	e.Spawn("waiter", func(p *Process) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	e.Run()
+	if doneAt != 30 {
+		t.Fatalf("doneAt = %v", doneAt)
+	}
+	if wg.Count() != 0 {
+		t.Fatalf("count = %d", wg.Count())
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	e := NewEngine()
+	wg := e.NewWaitGroup()
+	passed := false
+	e.Spawn("w", func(p *Process) {
+		wg.Wait(p) // must not block
+		passed = true
+	})
+	e.Run()
+	if !passed {
+		t.Fatal("Wait on zero wait group blocked")
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	e := NewEngine()
+	wg := e.NewWaitGroup()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	wg.Add(-1)
+}

@@ -1,0 +1,104 @@
+package des
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimeDrivenExecutesAllEvents(t *testing.T) {
+	td := NewTimeDriven(0.5)
+	fired := 0
+	for i := 1; i <= 10; i++ {
+		td.Schedule(float64(i)*0.9, func() { fired++ })
+	}
+	td.RunUntil(20)
+	if fired != 10 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+func TestTimeDrivenQuantizesEventTimes(t *testing.T) {
+	td := NewTimeDriven(1.0)
+	var observed float64
+	td.Schedule(2.3, func() { observed = td.Now() })
+	td.RunUntil(10)
+	// The event is due at 2.3 but the handler observes the enclosing
+	// tick boundary, 3.0 — the accuracy loss of time-driven execution.
+	if observed != 3.0 {
+		t.Fatalf("observed = %v, want 3.0", observed)
+	}
+}
+
+func TestTimeDrivenTicksIncludeEmptyOnes(t *testing.T) {
+	td := NewTimeDriven(1.0)
+	td.Schedule(2, func() {})
+	td.RunUntil(100)
+	if td.Ticks() != 100 {
+		t.Fatalf("ticks = %d, want 100 (must pay for empty ticks)", td.Ticks())
+	}
+	// An event-driven engine pays exactly one step for the same model.
+	e := NewEngine()
+	e.Schedule(2, func() {})
+	e.Run()
+	if e.Stats().Executed != 1 {
+		t.Fatal("event-driven executed != 1")
+	}
+}
+
+func TestTimeDrivenStop(t *testing.T) {
+	td := NewTimeDriven(1.0)
+	fired := 0
+	td.Schedule(1, func() { fired++; td.Stop() })
+	td.Schedule(50, func() { fired++ })
+	td.RunUntil(100)
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+func TestTimeDrivenMatchesEventDrivenWithinTick(t *testing.T) {
+	// With dt much smaller than event spacing, both executors should
+	// agree on the event count and approximately on timing.
+	const dt = 1e-3
+	build := func(schedule func(float64, func())) *int {
+		count := new(int)
+		for i := 1; i <= 50; i++ {
+			schedule(float64(i)*0.37, func() { *count++ })
+		}
+		return count
+	}
+	ed := NewEngine()
+	cED := build(func(d float64, f func()) { ed.Schedule(d, f) })
+	ed.Run()
+	td := NewTimeDriven(dt)
+	cTD := build(func(d float64, f func()) { td.Schedule(d, f) })
+	td.RunUntil(50 * 0.37)
+	if *cED != *cTD {
+		t.Fatalf("event-driven %d vs time-driven %d", *cED, *cTD)
+	}
+}
+
+func TestTimeDrivenBadDT(t *testing.T) {
+	for _, dt := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		dt := dt
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("dt=%v: no panic", dt)
+				}
+			}()
+			NewTimeDriven(dt)
+		}()
+	}
+}
+
+func TestTimeDrivenHorizonClamp(t *testing.T) {
+	td := NewTimeDriven(3.0)
+	end := td.RunUntil(7) // ticks at 3, 6, then clamped 7
+	if end != 7 {
+		t.Fatalf("end = %v", end)
+	}
+	if td.Ticks() != 3 {
+		t.Fatalf("ticks = %d", td.Ticks())
+	}
+}

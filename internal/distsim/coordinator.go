@@ -1,0 +1,157 @@
+package distsim
+
+import (
+	"fmt"
+	"net"
+	"sort"
+)
+
+// Coordinator drives a distributed run: it waits for the expected
+// number of workers, verifies that their LP sets partition [0, nLPs),
+// then executes lookahead windows until the horizon.
+type Coordinator struct {
+	NLPs      int
+	Lookahead float64
+	Horizon   float64
+	Seed      uint64
+
+	// Results, populated by Serve.
+	Windows      uint64
+	EventsRouted uint64
+	WorkerStats  []WorkerStats
+}
+
+// NewCoordinator configures a run over nLPs logical processes.
+func NewCoordinator(nLPs int, lookahead, horizon float64, seed uint64) *Coordinator {
+	if nLPs <= 0 || lookahead <= 0 || horizon <= 0 {
+		panic(fmt.Sprintf("distsim: NewCoordinator(%d, %v, %v)", nLPs, lookahead, horizon))
+	}
+	return &Coordinator{NLPs: nLPs, Lookahead: lookahead, Horizon: horizon, Seed: seed}
+}
+
+// Serve accepts nWorkers connections on the listener and runs the
+// simulation to completion. It returns after all workers acknowledged
+// the stop frame. The caller owns the listener.
+func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
+	if nWorkers <= 0 {
+		return fmt.Errorf("distsim: Serve with %d workers", nWorkers)
+	}
+	peers := make([]*peer, 0, nWorkers)
+	defer func() {
+		for _, p := range peers {
+			p.close()
+		}
+	}()
+
+	// Registration: collect LP ownership, check it partitions the ID
+	// space exactly.
+	owner := make([]int, c.NLPs) // LP -> worker index
+	for i := range owner {
+		owner[i] = -1
+	}
+	for len(peers) < nWorkers {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		p := newPeer(conn)
+		// Track the peer before validation so the deferred close
+		// releases workers blocked on their config read when
+		// registration fails.
+		wi := len(peers)
+		peers = append(peers, p)
+		f, err := p.recv()
+		if err != nil {
+			return err
+		}
+		if f.Kind != frameRegister {
+			return fmt.Errorf("distsim: expected register, got %d", f.Kind)
+		}
+		for _, lp := range f.LPs {
+			if lp < 0 || lp >= c.NLPs {
+				return fmt.Errorf("distsim: worker %d registers unknown LP %d", wi, lp)
+			}
+			if owner[lp] != -1 {
+				return fmt.Errorf("distsim: LP %d registered twice", lp)
+			}
+			owner[lp] = wi
+		}
+	}
+	for lp, w := range owner {
+		if w == -1 {
+			return fmt.Errorf("distsim: LP %d unowned", lp)
+		}
+	}
+
+	// Configuration.
+	for _, p := range peers {
+		if err := p.send(&frame{
+			Kind: frameConfig, Lookahead: c.Lookahead, Horizon: c.Horizon, Seed: c.Seed,
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Window loop.
+	pending := make([][]Event, nWorkers)
+	for windowEnd := c.Lookahead; ; windowEnd += c.Lookahead {
+		if windowEnd > c.Horizon {
+			windowEnd = c.Horizon
+		}
+		c.Windows++
+		for wi, p := range peers {
+			out := pending[wi]
+			pending[wi] = nil
+			if err := p.send(&frame{Kind: frameWindow, End: windowEnd, Events: out}); err != nil {
+				return err
+			}
+		}
+		var produced []Event
+		for _, p := range peers {
+			f, err := p.recv()
+			if err != nil {
+				return err
+			}
+			if f.Kind != frameDone {
+				return fmt.Errorf("distsim: expected done, got %d (%s)", f.Kind, f.Err)
+			}
+			produced = append(produced, f.Events...)
+		}
+		// Deterministic global order: (sending LP, per-sender seq).
+		sort.Slice(produced, func(i, j int) bool {
+			if produced[i].From != produced[j].From {
+				return produced[i].From < produced[j].From
+			}
+			return produced[i].Seq < produced[j].Seq
+		})
+		for _, ev := range produced {
+			if ev.To < 0 || ev.To >= c.NLPs {
+				return fmt.Errorf("distsim: worker produced event for unknown LP %d (run configured with %d LPs)", ev.To, c.NLPs)
+			}
+			pending[owner[ev.To]] = append(pending[owner[ev.To]], ev)
+			c.EventsRouted++
+		}
+		if windowEnd >= c.Horizon {
+			break
+		}
+	}
+
+	// Shutdown + stats.
+	for _, p := range peers {
+		if err := p.send(&frame{Kind: frameStop}); err != nil {
+			return err
+		}
+	}
+	c.WorkerStats = nil
+	for _, p := range peers {
+		f, err := p.recv()
+		if err != nil {
+			return err
+		}
+		if f.Kind != frameStats {
+			return fmt.Errorf("distsim: expected stats, got %d", f.Kind)
+		}
+		c.WorkerStats = append(c.WorkerStats, f.Stats)
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package distsim
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/parsim"
+)
+
+// launch starts a coordinator and workers over loopback TCP and waits
+// for completion, failing the test on any error.
+func launch(t *testing.T, c *Coordinator, workers []*Worker) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	errs := make(chan error, len(workers)+1)
+	for _, w := range workers {
+		w := w
+		go func() { errs <- w.Run(addr) }()
+	}
+	go func() { errs <- c.Serve(ln, len(workers)) }()
+	for i := 0; i < len(workers)+1; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTwoWorkerMessageExchange(t *testing.T) {
+	c := NewCoordinator(2, 1.0, 20, 7)
+	w0 := NewWorker(0)
+	w1 := NewWorker(1)
+
+	var deliveredAt float64 = -1
+	var payload []byte
+	w0.Setup = func(w *Worker) {
+		lp := w.LP(0)
+		lp.OnMessage = func(Event) {}
+		lp.E.Schedule(0.5, func() { lp.Send(1, 2.0, []byte("hi")) })
+	}
+	w1.Setup = func(w *Worker) {
+		lp := w.LP(1)
+		lp.OnMessage = func(ev Event) {
+			deliveredAt = lp.E.Now()
+			payload = ev.Data
+		}
+	}
+	launch(t, c, []*Worker{w0, w1})
+	if deliveredAt != 2.5 {
+		t.Fatalf("delivered at %v, want 2.5", deliveredAt)
+	}
+	if string(payload) != "hi" {
+		t.Fatalf("payload = %q", payload)
+	}
+	if c.EventsRouted != 1 {
+		t.Fatalf("routed = %d", c.EventsRouted)
+	}
+}
+
+func TestDistributedPHOLDMatchesSingleProcess(t *testing.T) {
+	// The flagship property: a PHOLD run distributed over two TCP
+	// workers is bit-identical (per-LP event counts) to the same model
+	// in the single-process parsim federation.
+	const (
+		lps       = 6
+		lookahead = 0.5
+		horizon   = 200.0
+		jobs      = 8
+		remote    = 0.4
+		work      = 5
+		seed      = 1234
+	)
+	// Single-process reference.
+	ref := parsim.NewPHOLD(lps, 1, lookahead, jobs, remote, work, seed)
+	ref.Run(horizon)
+	want := ref.PerLPEvents()
+
+	// Distributed run: LPs 0-2 on worker A, 3-5 on worker B.
+	c := NewCoordinator(lps, lookahead, horizon, seed)
+	wA := NewWorker(0, 1, 2)
+	wB := NewWorker(3, 4, 5)
+	InstallPHOLD(wA, lps, jobs, remote, work)
+	InstallPHOLD(wB, lps, jobs, remote, work)
+	launch(t, c, []*Worker{wA, wB})
+
+	got := make([]uint64, lps)
+	for _, ws := range c.WorkerStats {
+		for lp, n := range ws.PerLPCounts {
+			got[lp] = n
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LP %d: distributed %d vs single-process %d\nwant %v\ngot  %v",
+				i, got[i], want[i], want, got)
+		}
+	}
+}
+
+func TestThreeWorkersUnevenPartition(t *testing.T) {
+	const lps = 7
+	c := NewCoordinator(lps, 1.0, 100, 9)
+	workers := []*Worker{NewWorker(0), NewWorker(1, 2, 3), NewWorker(4, 5, 6)}
+	for _, w := range workers {
+		InstallPHOLD(w, lps, 4, 0.5, 2)
+	}
+	launch(t, c, workers)
+	var total uint64
+	for _, ws := range c.WorkerStats {
+		for _, n := range ws.PerLPCounts {
+			total += n
+		}
+	}
+	if total == 0 {
+		t.Fatal("no events processed")
+	}
+	if c.Windows != 100 {
+		t.Fatalf("windows = %d, want 100", c.Windows)
+	}
+}
+
+func TestCoordinatorRejectsBadRegistration(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c := NewCoordinator(2, 1, 10, 1)
+
+	// Two workers both claiming LP 0.
+	errs := make(chan error, 3)
+	mk := func() {
+		w := NewWorker(0)
+		w.Setup = func(w *Worker) { w.LP(0).OnMessage = func(Event) {} }
+		errs <- w.Run(ln.Addr().String())
+	}
+	go mk()
+	go mk()
+	go func() { errs <- c.Serve(ln, 2) }()
+	sawErr := false
+	for i := 0; i < 3; i++ {
+		if err := <-errs; err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("duplicate LP registration not rejected")
+	}
+}
+
+func TestWorkerValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no lps":  func() { NewWorker() },
+		"dup lps": func() { NewWorker(1, 1) },
+		"bad coordinator": func() {
+			NewCoordinator(0, 1, 1, 0)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWorkerRequiresSetup(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c := NewCoordinator(1, 1, 5, 1)
+	w := NewWorker(0) // no Setup
+	errs := make(chan error, 2)
+	go func() { errs <- w.Run(ln.Addr().String()) }()
+	go func() { errs <- c.Serve(ln, 1) }()
+	sawErr := false
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("missing Setup not reported")
+	}
+}
+
+func TestSubLookaheadSendPanics(t *testing.T) {
+	c := NewCoordinator(2, 1.0, 5, 1)
+	w0 := NewWorker(0)
+	w1 := NewWorker(1)
+	panicked := make(chan bool, 1)
+	w0.Setup = func(w *Worker) {
+		lp := w.LP(0)
+		lp.OnMessage = func(Event) {}
+		lp.E.Schedule(0.1, func() {
+			defer func() { panicked <- recover() != nil }()
+			lp.Send(1, 0.2, nil)
+		})
+	}
+	w1.Setup = func(w *Worker) { w.LP(1).OnMessage = func(Event) {} }
+	launch(t, c, []*Worker{w0, w1})
+	select {
+	case ok := <-panicked:
+		if !ok {
+			t.Fatal("sub-lookahead send did not panic")
+		}
+	default:
+		t.Fatal("send probe never ran")
+	}
+}

@@ -1,0 +1,72 @@
+package distsim
+
+import "math"
+
+// PHOLDModel installs the PHOLD benchmark (see package parsim) on a
+// worker: a fixed job population hopping between LPs. The model logic,
+// random-stream consumption and parameters replicate parsim.PHOLD
+// exactly, which lets tests assert that a TCP-distributed run is
+// bit-identical to a single-process run — the strongest statement a
+// distributed engine can make about its synchronization.
+type PHOLDModel struct {
+	TotalLPs   int
+	JobsPerLP  int
+	RemoteProb float64
+	Work       int
+
+	meanDelay float64
+	events    map[int]uint64
+	sinks     map[int]float64
+}
+
+// InstallPHOLD wires the model into the worker's Setup/CountEvents
+// hooks. Call before Worker.Run.
+func InstallPHOLD(w *Worker, totalLPs, jobsPerLP int, remoteProb float64, work int) *PHOLDModel {
+	m := &PHOLDModel{
+		TotalLPs:   totalLPs,
+		JobsPerLP:  jobsPerLP,
+		RemoteProb: remoteProb,
+		Work:       work,
+		events:     make(map[int]uint64),
+		sinks:      make(map[int]float64),
+	}
+	w.Setup = func(w *Worker) {
+		m.meanDelay = 4 * w.Lookahead()
+		for _, lp := range w.LPs() {
+			lp := lp
+			lp.OnMessage = func(Event) { m.hop(lp) }
+			for j := 0; j < m.JobsPerLP; j++ {
+				lp.E.Schedule(m.drawDelay(lp), func() { m.hop(lp) })
+			}
+		}
+	}
+	w.CountEvents = func() map[int]uint64 { return m.events }
+	return m
+}
+
+func (m *PHOLDModel) drawDelay(lp *LP) float64 {
+	d := lp.E.Rand().Exp(1 / m.meanDelay)
+	if d < lp.w.lookahead {
+		d = lp.w.lookahead
+	}
+	return d
+}
+
+func (m *PHOLDModel) hop(lp *LP) {
+	m.events[lp.ID]++
+	acc := 1.0001
+	for i := 0; i < m.Work; i++ {
+		acc = math.Sqrt(acc*1.7 + float64(i&7))
+	}
+	m.sinks[lp.ID] += acc
+	delay := m.drawDelay(lp)
+	if m.TotalLPs > 1 && lp.E.Rand().Bernoulli(m.RemoteProb) {
+		target := lp.E.Rand().Intn(m.TotalLPs - 1)
+		if target >= lp.ID {
+			target++
+		}
+		lp.Send(target, delay, nil)
+		return
+	}
+	lp.E.Schedule(delay, func() { m.hop(lp) })
+}

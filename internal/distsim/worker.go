@@ -1,0 +1,214 @@
+package distsim
+
+import (
+	"fmt"
+	"net"
+	"sort"
+
+	"repro/internal/des"
+)
+
+// LP is a worker-local logical process.
+type LP struct {
+	ID int
+	E  *des.Engine
+	// OnMessage handles events addressed to this LP; it runs in engine
+	// context at the event's timestamp. Must be set by the model
+	// before Worker.Run.
+	OnMessage func(ev Event)
+
+	w       *Worker
+	sendSeq uint64
+}
+
+// Send routes an event to another LP (local or remote) delay seconds
+// from the LP's local now; delay must be at least the lookahead.
+func (lp *LP) Send(to int, delay float64, data []byte) {
+	if delay < lp.w.lookahead {
+		panic(fmt.Sprintf("distsim: Send with delay %v below lookahead %v", delay, lp.w.lookahead))
+	}
+	lp.sendSeq++
+	ev := Event{
+		Time: lp.E.Now() + delay,
+		From: lp.ID, To: to,
+		Seq:  lp.sendSeq,
+		Data: data,
+	}
+	lp.w.sent++
+	if target, local := lp.w.lps[to]; local {
+		// Local fast path, buffered with the same ordering key so
+		// local and remote delivery are indistinguishable.
+		lp.w.localBuf = append(lp.w.localBuf, localEvent{ev: ev, lp: target})
+		return
+	}
+	lp.w.outbox = append(lp.w.outbox, ev)
+}
+
+type localEvent struct {
+	ev Event
+	lp *LP
+}
+
+// Worker owns a subset of LPs and executes windows on command from the
+// coordinator.
+type Worker struct {
+	lps   map[int]*LP
+	order []*LP // deterministic iteration
+
+	lookahead float64
+	horizon   float64
+	seed      uint64
+
+	outbox   []Event
+	localBuf []localEvent
+	sent     uint64
+	received uint64
+
+	// Setup is called once after the config frame arrives, when
+	// engines exist and seeds are known; the model installs OnMessage
+	// handlers and initial events here.
+	Setup func(w *Worker)
+
+	// CountEvents optionally reports model-level per-LP counters for
+	// the final stats frame.
+	CountEvents func() map[int]uint64
+}
+
+// NewWorker creates a worker owning the given LP IDs.
+func NewWorker(lpIDs ...int) *Worker {
+	if len(lpIDs) == 0 {
+		panic("distsim: NewWorker with no LPs")
+	}
+	w := &Worker{lps: make(map[int]*LP)}
+	for _, id := range lpIDs {
+		if _, dup := w.lps[id]; dup {
+			panic(fmt.Sprintf("distsim: duplicate LP %d", id))
+		}
+		lp := &LP{ID: id, w: w}
+		w.lps[id] = lp
+		w.order = append(w.order, lp)
+	}
+	sort.Slice(w.order, func(i, j int) bool { return w.order[i].ID < w.order[j].ID })
+	return w
+}
+
+// LP returns the worker-local LP by ID (nil when not owned).
+func (w *Worker) LP(id int) *LP { return w.lps[id] }
+
+// LPs returns the owned LPs in ID order.
+func (w *Worker) LPs() []*LP { return w.order }
+
+// Lookahead returns the configured lookahead (valid after config).
+func (w *Worker) Lookahead() float64 { return w.lookahead }
+
+// Run connects to the coordinator and serves windows until stopped.
+func (w *Worker) Run(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return w.serve(newPeer(conn))
+}
+
+// RunConn is Run over an existing connection (tests use in-memory
+// pipes; cmd/lsnode uses Run).
+func (w *Worker) RunConn(conn net.Conn) error {
+	defer conn.Close()
+	return w.serve(newPeer(conn))
+}
+
+func (w *Worker) serve(p *peer) error {
+	ids := make([]int, 0, len(w.order))
+	for _, lp := range w.order {
+		ids = append(ids, lp.ID)
+	}
+	if err := p.send(&frame{Kind: frameRegister, LPs: ids}); err != nil {
+		return err
+	}
+	cfg, err := p.recv()
+	if err != nil {
+		return err
+	}
+	if cfg.Kind != frameConfig {
+		return fmt.Errorf("distsim: expected config, got %d", cfg.Kind)
+	}
+	w.lookahead = cfg.Lookahead
+	w.horizon = cfg.Horizon
+	w.seed = cfg.Seed
+	// Engines are seeded exactly as package parsim seeds its LPs, so a
+	// distributed run reproduces a single-process run bit for bit.
+	for _, lp := range w.order {
+		lp.E = des.NewEngine(des.WithSeed(cfg.Seed + uint64(lp.ID)*0x9e3779b9))
+	}
+	if w.Setup == nil {
+		return fmt.Errorf("distsim: worker has no Setup hook")
+	}
+	w.Setup(w)
+	for _, lp := range w.order {
+		if lp.OnMessage == nil {
+			return fmt.Errorf("distsim: LP %d has no OnMessage handler", lp.ID)
+		}
+	}
+
+	for {
+		f, err := p.recv()
+		if err != nil {
+			return err
+		}
+		switch f.Kind {
+		case frameWindow:
+			// Merge the coordinator's inbound events with the events
+			// buffered locally at the previous barrier, restoring the
+			// single global (From, Seq) order package parsim uses, so
+			// equal-time ties break identically in both engines.
+			w.deliver(f.Events)
+			for _, lp := range w.order {
+				lp.E.RunUntil(f.End)
+			}
+			out := w.outbox
+			w.outbox = nil
+			if err := p.send(&frame{Kind: frameDone, Events: out}); err != nil {
+				return err
+			}
+		case frameStop:
+			stats := WorkerStats{LPs: ids, Sent: w.sent, Received: w.received}
+			for _, lp := range w.order {
+				stats.EventsExecuted += lp.E.Stats().Executed
+			}
+			if w.CountEvents != nil {
+				stats.PerLPCounts = w.CountEvents()
+			}
+			return p.send(&frame{Kind: frameStats, Stats: stats})
+		default:
+			return fmt.Errorf("distsim: unexpected frame %d", f.Kind)
+		}
+	}
+}
+
+// deliver merges the coordinator's inbound events with the local
+// buffer from the previous window and schedules everything in the
+// global (From, Seq) order.
+func (w *Worker) deliver(remote []Event) {
+	all := make([]Event, 0, len(remote)+len(w.localBuf))
+	all = append(all, remote...)
+	for _, le := range w.localBuf {
+		all = append(all, le.ev)
+	}
+	w.localBuf = nil
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].From != all[j].From {
+			return all[i].From < all[j].From
+		}
+		return all[i].Seq < all[j].Seq
+	})
+	for _, ev := range all {
+		lp := w.lps[ev.To]
+		if lp == nil {
+			panic(fmt.Sprintf("distsim: received event for foreign LP %d", ev.To))
+		}
+		ev := ev
+		w.received++
+		lp.E.At(ev.Time, func() { lp.OnMessage(ev) })
+	}
+}

@@ -1,0 +1,77 @@
+package eventq
+
+// Heap is a classic array-backed binary min-heap. Push and Pop are
+// O(log n); Peek is O(1). It is the reference structure: simple,
+// allocation-light, and hard to beat below ~10^4 pending events.
+type Heap struct {
+	items []Item
+}
+
+// NewHeap returns an empty binary heap.
+func NewHeap() *Heap { return &Heap{} }
+
+// Name implements Queue.
+func (h *Heap) Name() string { return string(KindHeap) }
+
+// Len implements Queue.
+func (h *Heap) Len() int { return len(h.items) }
+
+// Push implements Queue.
+func (h *Heap) Push(it Item) {
+	h.items = append(h.items, it)
+	h.up(len(h.items) - 1)
+}
+
+// Peek implements Queue.
+func (h *Heap) Peek() (Item, bool) {
+	if len(h.items) == 0 {
+		return Item{}, false
+	}
+	return h.items[0], true
+}
+
+// Pop implements Queue.
+func (h *Heap) Pop() (Item, bool) {
+	n := len(h.items)
+	if n == 0 {
+		return Item{}, false
+	}
+	min := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items[n-1] = Item{} // release payload reference
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return min, true
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].Before(h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.items[right].Before(h.items[left]) {
+			least = right
+		}
+		if !h.items[least].Before(h.items[i]) {
+			return
+		}
+		h.items[i], h.items[least] = h.items[least], h.items[i]
+		i = least
+	}
+}

@@ -1,0 +1,258 @@
+package eventq
+
+import (
+	"math"
+	"sort"
+)
+
+// Ladder is a ladder queue (Tang, Goh & Thng, TOMACS 2005): a
+// three-tier structure with an unsorted Top list for far-future
+// events, a ladder of progressively finer bucket "rungs" in the
+// middle, and a small sorted Bottom list that serves dequeues. Events
+// are only sorted when they reach Bottom, and each bucket that
+// overflows the threshold is spread across a new, finer rung, so the
+// amortized cost per event is O(1) regardless of the timestamp
+// distribution — the property that made it a successor to the
+// calendar queue in the DES literature.
+type Ladder struct {
+	top      []Item
+	topMin   float64
+	topMax   float64
+	topStart float64 // events at/after this go to Top
+
+	rungs []*ladderRung
+
+	bottom     *listNode
+	bottomLen  int
+	bottomHigh float64 // max time currently in bottom (valid when bottomLen > 0)
+
+	n int
+}
+
+type ladderRung struct {
+	start   float64
+	width   float64
+	buckets [][]Item
+	cur     int // index of the next bucket to materialize
+}
+
+const (
+	ladderThreshold = 50
+	ladderMaxRungs  = 10
+)
+
+// NewLadder returns an empty ladder queue.
+func NewLadder() *Ladder {
+	return &Ladder{topStart: math.Inf(-1), topMin: math.Inf(1), topMax: math.Inf(-1)}
+}
+
+// Name implements Queue.
+func (l *Ladder) Name() string { return string(KindLadder) }
+
+// Len implements Queue.
+func (l *Ladder) Len() int { return l.n }
+
+// Push implements Queue.
+func (l *Ladder) Push(it Item) {
+	l.n++
+	if it.Time >= l.topStart {
+		l.top = append(l.top, it)
+		if it.Time < l.topMin {
+			l.topMin = it.Time
+		}
+		if it.Time > l.topMax {
+			l.topMax = it.Time
+		}
+		return
+	}
+	// Events earlier than Bottom's maximum must merge into Bottom, or
+	// they would be served after later-timed Bottom events.
+	if l.bottomLen > 0 && it.Time < l.bottomHigh {
+		l.pushBottom(it)
+		return
+	}
+	// Try rungs from coarsest to finest; an event can enter a rung only
+	// at or after the rung's current (unmaterialized) position.
+	for _, r := range l.rungs {
+		if it.Time >= r.curStart() {
+			r.put(it)
+			return
+		}
+	}
+	l.pushBottom(it)
+}
+
+// Peek implements Queue.
+func (l *Ladder) Peek() (Item, bool) {
+	if l.n == 0 {
+		return Item{}, false
+	}
+	l.ensureBottom()
+	return l.bottom.it, true
+}
+
+// Pop implements Queue.
+func (l *Ladder) Pop() (Item, bool) {
+	if l.n == 0 {
+		return Item{}, false
+	}
+	l.ensureBottom()
+	node := l.bottom
+	l.bottom = node.next
+	l.bottomLen--
+	l.n--
+	return node.it, true
+}
+
+func (l *Ladder) pushBottom(it Item) {
+	node := &listNode{it: it}
+	if l.bottom == nil || it.Before(l.bottom.it) {
+		node.next = l.bottom
+		l.bottom = node
+	} else {
+		at := l.bottom
+		for at.next != nil && !it.Before(at.next.it) {
+			at = at.next
+		}
+		node.next = at.next
+		at.next = node
+	}
+	l.bottomLen++
+	if it.Time > l.bottomHigh || l.bottomLen == 1 {
+		l.bottomHigh = it.Time
+	}
+}
+
+// ensureBottom refills Bottom from the ladder (and the ladder from
+// Top) until Bottom holds the global minimum. Callers guarantee n > 0.
+func (l *Ladder) ensureBottom() {
+	for l.bottomLen == 0 {
+		if len(l.rungs) == 0 {
+			l.spawnFromTop()
+			continue
+		}
+		r := l.rungs[len(l.rungs)-1]
+		bucket := r.nextBucket()
+		if bucket == nil { // rung exhausted
+			l.rungs = l.rungs[:len(l.rungs)-1]
+			continue
+		}
+		l.materialize(bucket)
+	}
+}
+
+// materialize moves one bucket either into a new finer rung (when it
+// is too big to sort cheaply) or into Bottom.
+func (l *Ladder) materialize(bucket []Item) {
+	if len(bucket) > ladderThreshold && len(l.rungs) < ladderMaxRungs {
+		lo, hi := bucket[0].Time, bucket[0].Time
+		for _, it := range bucket[1:] {
+			if it.Time < lo {
+				lo = it.Time
+			}
+			if it.Time > hi {
+				hi = it.Time
+			}
+		}
+		// All-equal timestamps cannot be spread; sort them directly.
+		if hi > lo {
+			r := newLadderRung(lo, hi, len(bucket))
+			for _, it := range bucket {
+				r.put(it)
+			}
+			l.rungs = append(l.rungs, r)
+			return
+		}
+	}
+	sort.Slice(bucket, func(i, j int) bool { return bucket[i].Before(bucket[j]) })
+	// Append in reverse so each pushBottom hits the head fast path...
+	// bucket items all precede the (empty) bottom, so insert in order.
+	for i := len(bucket) - 1; i >= 0; i-- {
+		l.pushBottom(bucket[i])
+	}
+}
+
+// spawnFromTop converts the Top list into the first rung of a fresh
+// ladder and advances the Top threshold.
+func (l *Ladder) spawnFromTop() {
+	if len(l.top) == 1 {
+		l.pushBottom(l.top[0])
+		l.resetTop()
+		return
+	}
+	lo, hi := l.topMin, l.topMax
+	if hi <= lo { // all events share one timestamp
+		items := l.top
+		sort.Slice(items, func(i, j int) bool { return items[i].Before(items[j]) })
+		for i := len(items) - 1; i >= 0; i-- {
+			l.pushBottom(items[i])
+		}
+		l.resetTop()
+		return
+	}
+	r := newLadderRung(lo, hi, len(l.top))
+	for _, it := range l.top {
+		r.put(it)
+	}
+	l.rungs = append(l.rungs[:0], r)
+	l.topStart = hi
+	l.top = l.top[:0]
+	l.topMin = math.Inf(1)
+	l.topMax = math.Inf(-1)
+}
+
+func (l *Ladder) resetTop() {
+	l.topStart = math.Inf(-1)
+	if l.bottomLen > 0 {
+		l.topStart = l.bottomHigh
+	}
+	l.top = l.top[:0]
+	l.topMin = math.Inf(1)
+	l.topMax = math.Inf(-1)
+}
+
+func newLadderRung(lo, hi float64, count int) *ladderRung {
+	nbuckets := count
+	if nbuckets < 2 {
+		nbuckets = 2
+	}
+	width := (hi - lo) / float64(nbuckets)
+	if width <= 0 {
+		width = math.SmallestNonzeroFloat64
+	}
+	return &ladderRung{
+		start:   lo,
+		width:   width,
+		buckets: make([][]Item, nbuckets),
+	}
+}
+
+// curStart is the earliest timestamp the rung can still accept.
+func (r *ladderRung) curStart() float64 {
+	return r.start + float64(r.cur)*r.width
+}
+
+func (r *ladderRung) put(it Item) {
+	idx := int((it.Time - r.start) / r.width)
+	if idx < r.cur {
+		idx = r.cur
+	}
+	if idx >= len(r.buckets) {
+		idx = len(r.buckets) - 1
+	}
+	r.buckets[idx] = append(r.buckets[idx], it)
+}
+
+// nextBucket returns the next non-empty bucket, or nil when the rung
+// is exhausted.
+func (r *ladderRung) nextBucket() []Item {
+	for r.cur < len(r.buckets) {
+		b := r.buckets[r.cur]
+		r.buckets[r.cur] = nil
+		r.cur++
+		if len(b) > 0 {
+			return b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package eventq
+
+// SkipList is a probabilistic ordered list with expected O(log n)
+// insertion and O(1) pop-min. Its tower heights are drawn from a
+// deterministic internal xorshift generator seeded at construction,
+// so a given insertion sequence always produces the same structure —
+// simulation runs stay reproducible.
+type SkipList struct {
+	head   *skipNode // sentinel, full height
+	levels int       // current highest occupied level + 1
+	n      int
+	rng    uint64
+}
+
+const skipMaxLevels = 28
+
+type skipNode struct {
+	it   Item
+	next []*skipNode
+}
+
+// NewSkipList returns an empty skip list. Seed selects the internal
+// tower-height stream; any value is fine, equal seeds give identical
+// structures for identical insert sequences.
+func NewSkipList(seed uint64) *SkipList {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &SkipList{
+		head:   &skipNode{next: make([]*skipNode, skipMaxLevels)},
+		levels: 1,
+		rng:    seed,
+	}
+}
+
+// Name implements Queue.
+func (s *SkipList) Name() string { return string(KindSkipList) }
+
+// Len implements Queue.
+func (s *SkipList) Len() int { return s.n }
+
+// randLevel draws a tower height with P(level > k) = 2^-k.
+func (s *SkipList) randLevel() int {
+	// xorshift64*
+	x := s.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.rng = x
+	bits := x * 0x2545f4914f6cdd1d
+	level := 1
+	for bits&1 == 1 && level < skipMaxLevels {
+		level++
+		bits >>= 1
+	}
+	return level
+}
+
+// Push implements Queue.
+func (s *SkipList) Push(it Item) {
+	var update [skipMaxLevels]*skipNode
+	node := s.head
+	for lvl := s.levels - 1; lvl >= 0; lvl-- {
+		for node.next[lvl] != nil && node.next[lvl].it.Before(it) {
+			node = node.next[lvl]
+		}
+		update[lvl] = node
+	}
+	height := s.randLevel()
+	if height > s.levels {
+		for lvl := s.levels; lvl < height; lvl++ {
+			update[lvl] = s.head
+		}
+		s.levels = height
+	}
+	fresh := &skipNode{it: it, next: make([]*skipNode, height)}
+	for lvl := 0; lvl < height; lvl++ {
+		fresh.next[lvl] = update[lvl].next[lvl]
+		update[lvl].next[lvl] = fresh
+	}
+	s.n++
+}
+
+// Peek implements Queue.
+func (s *SkipList) Peek() (Item, bool) {
+	first := s.head.next[0]
+	if first == nil {
+		return Item{}, false
+	}
+	return first.it, true
+}
+
+// Pop implements Queue.
+func (s *SkipList) Pop() (Item, bool) {
+	first := s.head.next[0]
+	if first == nil {
+		return Item{}, false
+	}
+	for lvl := 0; lvl < len(first.next); lvl++ {
+		s.head.next[lvl] = first.next[lvl]
+	}
+	for s.levels > 1 && s.head.next[s.levels-1] == nil {
+		s.levels--
+	}
+	s.n--
+	return first.it, true
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/queueing"
+	"repro/internal/rng"
+)
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := Run(id, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				out := tb.String()
+				if len(out) == 0 || len(tb.Rows) == 0 {
+					t.Fatalf("empty table: %q", tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E99", true); err == nil {
+		t.Fatal("no error")
+	}
+}
+
+func TestTitlesCoverIDs(t *testing.T) {
+	titles := Titles()
+	for _, id := range IDs() {
+		if titles[id] == "" {
+			t.Errorf("no title for %s", id)
+		}
+	}
+}
+
+func TestProfilesValidateAndIncludeSurveyedSix(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 7 {
+		t.Fatalf("profiles = %d, want 6 surveyed + self", len(ps))
+	}
+	want := []string{"Bricks", "OptorSim", "SimGrid", "GridSim", "ChicagoSim", "MONARC 2"}
+	for i, name := range want {
+		if ps[i].Name != name {
+			t.Fatalf("profile %d = %q, want %q", i, ps[i].Name, name)
+		}
+		if err := ps[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestE1TableMentionsAllSimulators(t *testing.T) {
+	out := E1Table1().String()
+	for _, name := range []string{"Bricks", "OptorSim", "SimGrid", "GridSim", "ChicagoSim", "MONARC 2"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("Table 1 missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestStationMatchesMM1(t *testing.T) {
+	// The E6 engine-level check with tight tolerance: simulated M/M/1
+	// at rho=0.5 within 5% of theory.
+	lambda, mu := 0.5, 1.0
+	th, _ := queueing.NewMM1(lambda, mu)
+	res := SimulateStation(42, lambda, func(s *rng.Source) float64 { return s.Exp(mu) }, 1, 200000)
+	if relErr(res.W, th.W) > 0.05 {
+		t.Fatalf("W: sim %v vs theory %v", res.W, th.W)
+	}
+	if relErr(res.Wq, th.Wq) > 0.08 {
+		t.Fatalf("Wq: sim %v vs theory %v", res.Wq, th.Wq)
+	}
+	if relErr(res.L, th.L) > 0.08 {
+		t.Fatalf("L: sim %v vs theory %v", res.L, th.L)
+	}
+	if relErr(res.Utilization, 0.5) > 0.05 {
+		t.Fatalf("rho: sim %v vs 0.5", res.Utilization)
+	}
+}
+
+func TestStationMMCWaitBelowMM1(t *testing.T) {
+	// Pooling: M/M/2 at equal total capacity waits less than M/M/1.
+	lambda := 0.8
+	// M/M/2 with mu=0.5 per server has the same total capacity.
+	one := SimulateStation(7, lambda, func(s *rng.Source) float64 { return s.Exp(1.0) }, 1, 50000)
+	two := SimulateStation(7, lambda, func(s *rng.Source) float64 { return s.Exp(0.5) }, 2, 50000)
+	if two.Wq >= one.Wq {
+		t.Fatalf("M/M/2 Wq %v not below M/M/1 Wq %v", two.Wq, one.Wq)
+	}
+}
+
+func TestE6ErrorsSmall(t *testing.T) {
+	tb := E6Validation(150000)
+	for _, row := range tb.Rows {
+		errPct, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatalf("bad err cell %q", row[len(row)-1])
+		}
+		if errPct > 10 {
+			t.Fatalf("validation error %v%% for %v/%v exceeds 10%%", errPct, row[0], row[1])
+		}
+	}
+}
+
+func TestE7StudyShapeMatchesPaper(t *testing.T) {
+	tb := E7TierStudy(40, 900)
+	// Find the 2.5 and 30 Gbps rows and check the sufficiency flip.
+	var low, high string
+	for _, row := range tb.Rows {
+		switch row[0] {
+		case "2.5":
+			low = row[len(row)-1]
+		case "30":
+			high = row[len(row)-1]
+		}
+	}
+	if low != "false" {
+		t.Fatalf("2.5 Gbps sufficient = %q, want false", low)
+	}
+	if high != "true" {
+		t.Fatalf("30 Gbps sufficient = %q, want true", high)
+	}
+}
+
+func relErr(a, b float64) float64 { return math.Abs(a-b) / math.Abs(b) }
+
+func TestWriteSVGReports(t *testing.T) {
+	dir := t.TempDir()
+	files, err := WriteSVGReports(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("files = %v", files)
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "<svg") {
+			t.Fatalf("%s is not SVG", f)
+		}
+	}
+}

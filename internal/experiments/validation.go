@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/queueing"
+	"repro/internal/rng"
+)
+
+// StationResult holds measured steady-state estimates of a simulated
+// queueing station.
+type StationResult struct {
+	Customers   int
+	W, Wq, L    float64
+	Utilization float64
+}
+
+// SimulateStation runs a single queueing station — Poisson(lambda)
+// arrivals, c servers, service times drawn by service — for n
+// customers (after a warmup fraction) and returns measured waits and
+// population. This is the simulation side of the paper's C5 claim
+// that queueing formalisms are the right validation instrument.
+func SimulateStation(seed uint64, lambda float64, service func(*rng.Source) float64, c, n int) StationResult {
+	e := des.NewEngine(des.WithSeed(seed))
+	arr := e.Stream("arrivals")
+	svc := e.Stream("service")
+
+	warmup := n / 10
+	type customer struct{ arrive float64 }
+	var queue []customer
+	busy := 0
+
+	var inSystem metrics.TimeWeighted
+	var wait, sojourn metrics.Summary
+	var busyTW metrics.TimeWeighted
+	served := 0
+	population := 0
+
+	var depart func(start customer, svcStart float64)
+	tryServe := func() {
+		for busy < c && len(queue) > 0 {
+			cust := queue[0]
+			queue = queue[1:]
+			busy++
+			busyTW.Set(e.Now(), float64(busy))
+			depart(cust, e.Now())
+		}
+	}
+	depart = func(cust customer, svcStart float64) {
+		d := service(svc)
+		e.Schedule(d, func() {
+			busy--
+			busyTW.Set(e.Now(), float64(busy))
+			population--
+			inSystem.Set(e.Now(), float64(population))
+			served++
+			if served > warmup {
+				wait.Observe(svcStart - cust.arrive)
+				sojourn.Observe(e.Now() - cust.arrive)
+			}
+			tryServe()
+		})
+	}
+
+	arrived := 0
+	var arrive func()
+	arrive = func() {
+		population++
+		inSystem.Set(e.Now(), float64(population))
+		queue = append(queue, customer{arrive: e.Now()})
+		tryServe()
+		arrived++
+		if arrived < n {
+			e.Schedule(arr.Exp(lambda), arrive)
+		}
+	}
+	e.Schedule(arr.Exp(lambda), arrive)
+	e.Run()
+
+	return StationResult{
+		Customers:   served,
+		W:           sojourn.Mean(),
+		Wq:          wait.Mean(),
+		L:           inSystem.Mean(e.Now()),
+		Utilization: busyTW.Mean(e.Now()) / float64(c),
+	}
+}
+
+// E6Validation reproduces claim C5: the DES kernel is validated
+// against closed-form queueing theory — M/M/1, M/M/c, M/D/1 and
+// M/G/1 stations simulated and compared with the analytic W, Wq and
+// L, reporting relative errors.
+func E6Validation(n int) *metrics.Table {
+	t := metrics.NewTable(
+		"E6. Simulation vs queueing theory (relative error in %)",
+		"system", "measure", "analytic", "simulated", "err %")
+	addRow := func(system, measure string, analytic, simulated float64) {
+		errPct := math.Abs(simulated-analytic) / analytic * 100
+		t.AddRow(system, measure,
+			fmt.Sprintf("%.4f", analytic),
+			fmt.Sprintf("%.4f", simulated),
+			fmt.Sprintf("%.2f", errPct))
+	}
+
+	// M/M/1 at rho = 0.7.
+	lambda, mu := 0.7, 1.0
+	mm1, _ := queueing.NewMM1(lambda, mu)
+	r := SimulateStation(101, lambda, func(s *rng.Source) float64 { return s.Exp(mu) }, 1, n)
+	addRow("M/M/1 rho=0.7", "W", mm1.W, r.W)
+	addRow("M/M/1 rho=0.7", "Wq", mm1.Wq, r.Wq)
+	addRow("M/M/1 rho=0.7", "L", mm1.L, r.L)
+
+	// M/M/3 at rho = 0.8.
+	lambda3, mu3, c := 2.4, 1.0, 3
+	mmc, _ := queueing.NewMMC(lambda3, mu3, c)
+	r3 := SimulateStation(102, lambda3, func(s *rng.Source) float64 { return s.Exp(mu3) }, c, n)
+	addRow("M/M/3 rho=0.8", "W", mmc.W, r3.W)
+	addRow("M/M/3 rho=0.8", "Wq", mmc.Wq, r3.Wq)
+	addRow("M/M/3 rho=0.8", "L", mmc.L, r3.L)
+
+	// M/D/1 at rho = 0.6: deterministic service halves Wq vs M/M/1.
+	lamD := 0.6
+	md1, _ := queueing.NewMD1(lamD, 1.0)
+	rD := SimulateStation(103, lamD, func(*rng.Source) float64 { return 1.0 }, 1, n)
+	addRow("M/D/1 rho=0.6", "W", md1.W, rD.W)
+	addRow("M/D/1 rho=0.6", "Wq", md1.Wq, rD.Wq)
+
+	// M/G/1 with Erlang-4 service (variance = es^2/4) at rho = 0.75.
+	lamG, esG := 0.75, 1.0
+	mg1, _ := queueing.NewMG1(lamG, esG, esG*esG/4)
+	rG := SimulateStation(104, lamG, func(s *rng.Source) float64 { return s.Erlang(4, 4/esG) }, 1, n)
+	addRow("M/G/1 Erlang-4 rho=0.75", "W", mg1.W, rG.W)
+	addRow("M/G/1 Erlang-4 rho=0.75", "Wq", mg1.Wq, rG.Wq)
+
+	return t
+}

@@ -1,0 +1,140 @@
+// Package faults implements failure injection for grid scenarios:
+// clusters crash according to a Weibull time-to-failure process (the
+// standard reliability model for computing hardware), killing their
+// running jobs, and come back after a repair time. A retry harness
+// resubmits killed work.
+//
+// Large scale distributed systems fail routinely — the paper motivates
+// simulation precisely because "analytical validations are prohibited
+// by the scale of the encountered problems" — and failure behavior is
+// part of the host-characteristics axis of the taxonomy. The injector
+// lets every scheduling and replication experiment be re-run under
+// churn.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+	"repro/internal/scheduler"
+)
+
+// Injector crashes and repairs one cluster.
+type Injector struct {
+	// TTFShape/TTFScale parameterize the Weibull time-to-failure
+	// (shape < 1: infant mortality; 1: memoryless; > 1: wear-out).
+	TTFShape float64
+	TTFScale float64
+	// RepairMean is the mean of the lognormal repair time.
+	RepairMean  float64
+	RepairSigma float64
+
+	// Stats.
+	Failures   uint64
+	KilledJobs uint64
+	Downtime   float64
+
+	e       *des.Engine
+	cluster *scheduler.Cluster
+	src     *rng.Source
+	stopped bool
+}
+
+// NewInjector attaches a failure process to the cluster. Streams are
+// derived from the engine seed and the cluster name, so runs remain
+// deterministic.
+func NewInjector(e *des.Engine, cluster *scheduler.Cluster, ttfShape, ttfScale, repairMean float64) *Injector {
+	if ttfShape <= 0 || ttfScale <= 0 || repairMean <= 0 {
+		panic(fmt.Sprintf("faults: NewInjector(shape=%v, scale=%v, repair=%v)", ttfShape, ttfScale, repairMean))
+	}
+	return &Injector{
+		TTFShape: ttfShape, TTFScale: ttfScale,
+		RepairMean: repairMean, RepairSigma: 0.5,
+		e: e, cluster: cluster,
+		src: e.Stream("faults:" + cluster.Name()),
+	}
+}
+
+// Start launches the crash/repair loop until the horizon (0 = forever,
+// which keeps the event queue busy — use only with RunUntil).
+func (inj *Injector) Start(horizon float64) {
+	inj.e.Spawn("faults:"+inj.cluster.Name(), func(p *des.Process) {
+		for !inj.stopped {
+			ttf := inj.src.Weibull(inj.TTFShape, inj.TTFScale)
+			if p.Hold(ttf); inj.stopped {
+				return
+			}
+			if horizon > 0 && p.Now() >= horizon {
+				return
+			}
+			killed := len(inj.cluster.RunningJobs())
+			inj.cluster.Fail()
+			inj.Failures++
+			inj.KilledJobs += uint64(killed)
+			down := inj.src.LogNormal(0, inj.RepairSigma) * inj.RepairMean
+			p.Hold(down)
+			inj.Downtime += down
+			inj.cluster.Recover()
+		}
+	})
+}
+
+// Stop ends the loop after the current sleep.
+func (inj *Injector) Stop() { inj.stopped = true }
+
+// RetryHarness resubmits failed jobs to the cluster until they
+// complete or exhaust MaxRetries.
+type RetryHarness struct {
+	Cluster    *scheduler.Cluster
+	MaxRetries int
+
+	Retries   uint64
+	GaveUp    uint64
+	Completed uint64
+
+	attempts map[*scheduler.Job]int
+	onDone   func(*scheduler.Job)
+}
+
+// NewRetryHarness wraps the cluster with retry-on-failure semantics.
+// onDone fires once per job, when it finally completes or is given up.
+func NewRetryHarness(cluster *scheduler.Cluster, maxRetries int, onDone func(*scheduler.Job)) *RetryHarness {
+	return &RetryHarness{
+		Cluster:    cluster,
+		MaxRetries: maxRetries,
+		attempts:   make(map[*scheduler.Job]int),
+		onDone:     onDone,
+	}
+}
+
+// Submit enters a job into the retry loop.
+func (r *RetryHarness) Submit(job *scheduler.Job) {
+	r.Cluster.Submit(job, r.handle)
+}
+
+func (r *RetryHarness) handle(job *scheduler.Job) {
+	if !job.Failed {
+		r.Completed++
+		delete(r.attempts, job)
+		if r.onDone != nil {
+			r.onDone(job)
+		}
+		return
+	}
+	r.attempts[job]++
+	if r.attempts[job] > r.MaxRetries {
+		r.GaveUp++
+		delete(r.attempts, job)
+		if r.onDone != nil {
+			r.onDone(job)
+		}
+		return
+	}
+	r.Retries++
+	// Clear failure state and resubmit from scratch.
+	job.Failed = false
+	job.Done = false
+	job.FailWhy = ""
+	r.Cluster.Submit(job, r.handle)
+}

@@ -1,0 +1,178 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/scheduler"
+)
+
+func TestClusterFailKillsRunningJobs(t *testing.T) {
+	e := des.NewEngine()
+	c := scheduler.NewCluster(e, "c", 2, 100, scheduler.FCFS)
+	var outcomes []bool
+	for i := 0; i < 2; i++ {
+		c.Submit(&scheduler.Job{ID: i, Name: "j", Ops: 1000}, func(j *scheduler.Job) {
+			outcomes = append(outcomes, j.Failed)
+		})
+	}
+	e.Schedule(5, func() { c.Fail() })
+	e.Run()
+	if len(outcomes) != 2 || !outcomes[0] || !outcomes[1] {
+		t.Fatalf("outcomes = %v", outcomes)
+	}
+	if !c.Offline() {
+		t.Fatal("cluster not offline after Fail")
+	}
+	if c.Running() != 0 || c.FreeCores() != 2 {
+		t.Fatal("cores not reclaimed")
+	}
+}
+
+func TestQueuedJobsSurviveCrashAndRunAfterRecover(t *testing.T) {
+	e := des.NewEngine()
+	c := scheduler.NewCluster(e, "c", 1, 100, scheduler.FCFS)
+	var finished []int
+	for i := 0; i < 3; i++ {
+		c.Submit(&scheduler.Job{ID: i, Name: "j", Ops: 1000}, func(j *scheduler.Job) {
+			if !j.Failed {
+				finished = append(finished, j.ID)
+			}
+		})
+	}
+	e.Schedule(5, func() { c.Fail() })     // kills job 0
+	e.Schedule(50, func() { c.Recover() }) // jobs 1,2 then run
+	e.Run()
+	if len(finished) != 2 || finished[0] != 1 || finished[1] != 2 {
+		t.Fatalf("finished = %v", finished)
+	}
+	// Job 1 starts at recovery time.
+	if e.Now() != 70 {
+		t.Fatalf("end = %v, want 70 (50 + 2×10)", e.Now())
+	}
+}
+
+func TestFailIdempotentAndRecoverIdempotent(t *testing.T) {
+	e := des.NewEngine()
+	c := scheduler.NewCluster(e, "c", 1, 100, scheduler.FCFS)
+	c.Fail()
+	c.Fail()
+	c.Recover()
+	c.Recover()
+	if c.Offline() {
+		t.Fatal("offline after recover")
+	}
+}
+
+func TestInjectorCausesFailures(t *testing.T) {
+	e := des.NewEngine(des.WithSeed(5))
+	c := scheduler.NewCluster(e, "c", 4, 100, scheduler.FCFS)
+	inj := NewInjector(e, c, 1.0, 50, 10)
+	inj.Start(1000)
+	// Keep the cluster busy with a steady stream.
+	done, failed := 0, 0
+	var submit func(i int)
+	submit = func(i int) {
+		if i >= 200 {
+			return
+		}
+		c.Submit(&scheduler.Job{ID: i, Name: "j", Ops: 500}, func(j *scheduler.Job) {
+			if j.Failed {
+				failed++
+			} else {
+				done++
+			}
+		})
+		e.Schedule(5, func() { submit(i + 1) })
+	}
+	e.Schedule(0, func() { submit(0) })
+	e.RunUntil(1500)
+	if inj.Failures == 0 {
+		t.Fatal("no failures injected")
+	}
+	if failed == 0 {
+		t.Fatal("no jobs killed despite failures")
+	}
+	if inj.Downtime <= 0 {
+		t.Fatal("no downtime recorded")
+	}
+	if uint64(failed) != inj.KilledJobs {
+		t.Fatalf("failed %d != killed %d", failed, inj.KilledJobs)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	run := func() (uint64, float64) {
+		e := des.NewEngine(des.WithSeed(5))
+		c := scheduler.NewCluster(e, "c", 2, 100, scheduler.FCFS)
+		inj := NewInjector(e, c, 1.2, 30, 5)
+		inj.Start(500)
+		e.RunUntil(600)
+		return inj.Failures, inj.Downtime
+	}
+	f1, d1 := run()
+	f2, d2 := run()
+	if f1 != f2 || d1 != d2 {
+		t.Fatalf("nondeterministic: %d/%v vs %d/%v", f1, d1, f2, d2)
+	}
+}
+
+func TestRetryHarnessCompletesThroughChurn(t *testing.T) {
+	e := des.NewEngine(des.WithSeed(11))
+	c := scheduler.NewCluster(e, "c", 2, 100, scheduler.FCFS)
+	inj := NewInjector(e, c, 1.0, 40, 5)
+	inj.Start(3000)
+	r := NewRetryHarness(c, 100, nil)
+	finished := 0
+	r.onDone = func(j *scheduler.Job) {
+		if !j.Failed {
+			finished++
+		}
+	}
+	for i := 0; i < 50; i++ {
+		r.Submit(&scheduler.Job{ID: i, Name: "j", Ops: 800})
+	}
+	e.RunUntil(5000)
+	if finished != 50 {
+		t.Fatalf("finished = %d of 50 (retries %d, gave up %d)", finished, r.Retries, r.GaveUp)
+	}
+	if r.Retries == 0 {
+		t.Fatal("no retries despite churn")
+	}
+	if r.GaveUp != 0 {
+		t.Fatalf("gave up %d with generous retry budget", r.GaveUp)
+	}
+}
+
+func TestRetryHarnessGivesUp(t *testing.T) {
+	e := des.NewEngine()
+	c := scheduler.NewCluster(e, "c", 1, 100, scheduler.FCFS)
+	r := NewRetryHarness(c, 2, nil)
+	gaveUpJob := false
+	r.onDone = func(j *scheduler.Job) { gaveUpJob = j.Failed }
+	r.Submit(&scheduler.Job{ID: 0, Name: "doomed", Ops: 1e6})
+	// Crash right before every completion.
+	for i := 1; i <= 4; i++ {
+		i := i
+		e.Schedule(float64(i)*100, func() { c.Fail(); c.Recover() })
+	}
+	e.RunUntil(1e6)
+	e.Run()
+	if r.GaveUp != 1 || !gaveUpJob {
+		t.Fatalf("gaveUp = %d (%v)", r.GaveUp, gaveUpJob)
+	}
+	if r.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", r.Retries)
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	e := des.NewEngine()
+	c := scheduler.NewCluster(e, "c", 1, 1, scheduler.FCFS)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewInjector(e, c, 0, 1, 1)
+}

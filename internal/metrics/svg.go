@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVGPlot renders series as a standalone SVG line chart — the
+// framework's graphical output analyzer. The taxonomy weighs visual
+// output support heavily ("the visual output analyzer is probably the
+// most important graphical tool a simulator could have"); this writer
+// produces self-contained files viewable in any browser, with axes,
+// tick labels, a legend, and one polyline per series.
+type SVGPlot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	// LogY plots the y axis in log10 (values must be positive).
+	LogY bool
+
+	series []*Series
+}
+
+// NewSVGPlot creates a 640×400 plot.
+func NewSVGPlot(title, xlabel, ylabel string) *SVGPlot {
+	return &SVGPlot{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 640, Height: 400}
+}
+
+// Add appends a series to the plot.
+func (sp *SVGPlot) Add(s *Series) { sp.series = append(sp.series, s) }
+
+// svgPalette holds the stroke colors cycled across series.
+var svgPalette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// Render writes the SVG. It returns an error for empty plots or,
+// under LogY, non-positive values.
+func (sp *SVGPlot) Render(w io.Writer) error {
+	total := 0
+	for _, s := range sp.series {
+		total += s.Len()
+	}
+	if total == 0 {
+		return fmt.Errorf("metrics: SVGPlot %q has no data", sp.Title)
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	ty := func(y float64) (float64, error) {
+		if !sp.LogY {
+			return y, nil
+		}
+		if y <= 0 {
+			return 0, fmt.Errorf("metrics: SVGPlot log scale with value %v", y)
+		}
+		return math.Log10(y), nil
+	}
+	for _, s := range sp.series {
+		for i := range s.X {
+			yv, err := ty(s.Y[i])
+			if err != nil {
+				return err
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, yv)
+			maxY = math.Max(maxY, yv)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	const mLeft, mRight, mTop, mBottom = 70, 20, 40, 55
+	pw := float64(sp.Width - mLeft - mRight)
+	ph := float64(sp.Height - mTop - mBottom)
+	px := func(x float64) float64 { return mLeft + (x-minX)/(maxX-minX)*pw }
+	py := func(y float64) float64 { return mTop + ph - (y-minY)/(maxY-minY)*ph }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n",
+		sp.Width, sp.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", sp.Width, sp.Height)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		sp.Width/2, escape(sp.Title))
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%v" x2="%v" y2="%v" stroke="black"/>`+"\n",
+		mLeft, mTop+ph, mLeft+int(pw), mTop+ph)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%v" stroke="black"/>`+"\n",
+		mLeft, mTop, mLeft, mTop+ph)
+	// Ticks: 5 per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		label := fy
+		if sp.LogY {
+			label = math.Pow(10, fy)
+		}
+		fmt.Fprintf(&b, `<line x1="%v" y1="%v" x2="%v" y2="%v" stroke="#ccc"/>`+"\n",
+			px(fx), mTop, px(fx), mTop+ph)
+		fmt.Fprintf(&b, `<text x="%v" y="%v" text-anchor="middle">%s</text>`+"\n",
+			px(fx), mTop+ph+18, fmtNum(fx))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%v" x2="%v" y2="%v" stroke="#eee"/>`+"\n",
+			mLeft, py(fy), mLeft+int(pw), py(fy))
+		fmt.Fprintf(&b, `<text x="%d" y="%v" text-anchor="end">%s</text>`+"\n",
+			mLeft-6, py(fy)+4, fmtNum(label))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		mLeft+int(pw)/2, sp.Height-12, escape(sp.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%v" text-anchor="middle" transform="rotate(-90 16 %v)">%s</text>`+"\n",
+		mTop+ph/2, mTop+ph/2, escape(sp.YLabel))
+	// Series.
+	for si, s := range sp.series {
+		color := svgPalette[si%len(svgPalette)]
+		var pts []string
+		for i := range s.X {
+			yv, _ := ty(s.Y[i])
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(yv)))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for _, pt := range pts {
+			xy := strings.Split(pt, ",")
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="2.5" fill="%s"/>`+"\n", xy[0], xy[1], color)
+		}
+		// Legend entry.
+		ly := mTop + 8 + 16*si
+		fmt.Fprintf(&b, `<rect x="%v" y="%d" width="12" height="3" fill="%s"/>`+"\n",
+			mLeft+int(pw)-110, ly, color)
+		fmt.Fprintf(&b, `<text x="%v" y="%d">%s</text>`+"\n",
+			mLeft+int(pw)-92, ly+6, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func fmtNum(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6 || (av < 1e-3 && av > 0):
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func samplePlot() *SVGPlot {
+	sp := NewSVGPlot("Throughput", "time (s)", "jobs/s")
+	a := &Series{Name: "fcfs"}
+	b := &Series{Name: "sjf"}
+	for i := 0; i < 10; i++ {
+		a.Append(float64(i), float64(i*i))
+		b.Append(float64(i), float64(10+i))
+	}
+	sp.Add(a)
+	sp.Add(b)
+	return sp
+}
+
+func TestSVGPlotRenders(t *testing.T) {
+	var b strings.Builder
+	if err := samplePlot().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "Throughput", "time (s)", "jobs/s",
+		"fcfs", "sjf", "polyline", "circle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "polyline") != 2 {
+		t.Fatal("expected one polyline per series")
+	}
+}
+
+func TestSVGPlotEmptyErrors(t *testing.T) {
+	sp := NewSVGPlot("empty", "x", "y")
+	var b strings.Builder
+	if err := sp.Render(&b); err == nil {
+		t.Fatal("no error for empty plot")
+	}
+}
+
+func TestSVGPlotLogScale(t *testing.T) {
+	sp := NewSVGPlot("log", "n", "ns")
+	s := &Series{Name: "cost"}
+	s.Append(1, 10)
+	s.Append(2, 1000)
+	s.Append(3, 100000)
+	sp.Add(s)
+	sp.LogY = true
+	var b strings.Builder
+	if err := sp.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	// Tick labels must show the de-logged values: the top tick is the
+	// maximum (100000), which never appears as a raw coordinate.
+	if !strings.Contains(b.String(), ">100000<") {
+		t.Fatalf("log plot lacks de-logged tick labels:\n%s", b.String())
+	}
+}
+
+func TestSVGPlotLogRejectsNonPositive(t *testing.T) {
+	sp := NewSVGPlot("log", "n", "ns")
+	s := &Series{Name: "bad"}
+	s.Append(1, 0)
+	sp.Add(s)
+	sp.LogY = true
+	var b strings.Builder
+	if err := sp.Render(&b); err == nil {
+		t.Fatal("no error for zero value on log scale")
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	sp := NewSVGPlot("a<b & c>d", "x", "y")
+	s := &Series{Name: "s<1>"}
+	s.Append(1, 1)
+	sp.Add(s)
+	var b strings.Builder
+	if err := sp.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "a<b") || !strings.Contains(out, "a&lt;b &amp; c&gt;d") {
+		t.Fatal("title not escaped")
+	}
+}

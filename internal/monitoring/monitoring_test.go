@@ -1,0 +1,128 @@
+package monitoring
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Time: 0, Site: "T1.0", Param: "cpu_load", Value: 0.42},
+		{Time: 60.5, Site: "T1.1", Param: "net_in", Value: 1.25e6},
+	}
+	var b strings.Builder
+	if err := Write(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	in := `
+# MonALISA capture
+0.0 siteA cpu 1.5
+
+# another comment
+2.0 siteB mem 7
+`
+	recs, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Site != "siteA" || recs[1].Param != "mem" {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"short line": "1.0 site cpu",
+		"bad time":   "abc site cpu 1",
+		"bad value":  "1.0 site cpu xyz",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("%s: error %v lacks line number", name, err)
+		}
+	}
+}
+
+func TestReplayDrivesSimulation(t *testing.T) {
+	recs := []Record{
+		{Time: 5, Site: "b", Param: "x", Value: 2},
+		{Time: 1, Site: "a", Param: "x", Value: 1}, // out of order on purpose
+	}
+	e := des.NewEngine()
+	var seen []Record
+	var at []float64
+	if err := Replay(e, recs, func(r Record) {
+		seen = append(seen, r)
+		at = append(at, e.Now())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if len(seen) != 2 || seen[0].Site != "a" || seen[1].Site != "b" {
+		t.Fatalf("seen = %+v", seen)
+	}
+	if at[0] != 1 || at[1] != 5 {
+		t.Fatalf("at = %v", at)
+	}
+}
+
+func TestReplayNegativeTime(t *testing.T) {
+	e := des.NewEngine()
+	if err := Replay(e, []Record{{Time: -1}}, func(Record) {}); err == nil {
+		t.Fatal("no error for negative time")
+	}
+}
+
+func TestCollectorSamples(t *testing.T) {
+	e := des.NewEngine()
+	var c Collector
+	val := 0.0
+	e.Schedule(2.5, func() { val = 7 })
+	c.Sample(e, 1.0, 5.0, func() []Record {
+		return []Record{{Time: e.Now(), Site: "s", Param: "v", Value: val}}
+	})
+	e.Run()
+	if len(c.Records) != 5 {
+		t.Fatalf("samples = %d", len(c.Records))
+	}
+	if c.Records[1].Value != 0 || c.Records[3].Value != 7 {
+		t.Fatalf("values = %+v", c.Records)
+	}
+}
+
+func TestCollectorValidation(t *testing.T) {
+	e := des.NewEngine()
+	var c Collector
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.Sample(e, 0, 0, func() []Record { return nil })
+}
+
+func TestRecordString(t *testing.T) {
+	r := Record{Time: 1.5, Site: "s", Param: "p", Value: 2}
+	if r.String() != "1.5 s p 2" {
+		t.Fatalf("String = %q", r.String())
+	}
+}

@@ -1,0 +1,245 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+)
+
+// Network is the flow-level fabric: every active transfer is a fluid
+// flow, and link capacity is divided among competing flows by
+// progressive (max-min) fair sharing, recomputed whenever a flow
+// starts or finishes. A transfer therefore costs O(changes) events
+// rather than O(packets), which is what lets the framework simulate
+// wide-area Data Grid traffic at scale.
+type Network struct {
+	e    *des.Engine
+	topo *Topology
+
+	// Efficiency models TCP's inability to saturate a path (slow
+	// start, ack clocking): achievable flow rate is capacity times
+	// this factor. 1.0 means ideal fluid behavior.
+	Efficiency float64
+
+	flows      []*Flow // active flows, in start order (determinism)
+	lastUpdate float64
+
+	// accounting
+	started   uint64
+	completed uint64
+}
+
+// Flow is one active fluid transfer.
+type Flow struct {
+	Src, Dst  *Node
+	Bytes     float64
+	remaining float64
+	rate      float64
+	route     []*Link
+	startTime float64
+	doneTime  float64
+	done      func()
+	timer     *des.Timer
+	net       *Network
+	finished  bool
+}
+
+// Rate returns the flow's current allocated rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes not yet delivered (as of the last
+// recompute; exact at event boundaries).
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Finished reports completion.
+func (f *Flow) Finished() bool { return f.finished }
+
+// Start returns the simulation time the transfer was initiated.
+func (f *Flow) Start() float64 { return f.startTime }
+
+// End returns the completion time (0 until finished).
+func (f *Flow) End() float64 { return f.doneTime }
+
+// NewNetwork creates a flow-level fabric over the topology, driven by
+// engine e.
+func NewNetwork(e *des.Engine, topo *Topology) *Network {
+	return &Network{e: e, topo: topo, Efficiency: 1.0}
+}
+
+// Topo implements Fabric.
+func (n *Network) Topo() *Topology { return n.topo }
+
+// ActiveFlows returns the number of in-progress transfers.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// Completed returns the cumulative number of finished transfers.
+func (n *Network) Completed() uint64 { return n.completed }
+
+// Transfer implements Fabric. The transfer experiences the route's
+// propagation latency once, then drains at the max-min fair rate.
+// Zero-byte transfers complete after the latency alone.
+func (n *Network) Transfer(src, dst *Node, bytes float64, done func()) {
+	if bytes < 0 || math.IsNaN(bytes) || math.IsInf(bytes, 0) {
+		panic(fmt.Sprintf("netsim: Transfer of %v bytes", bytes))
+	}
+	route := n.topo.Route(src, dst)
+	if route == nil {
+		panic(fmt.Sprintf("netsim: no route %s -> %s", src.Name, dst.Name))
+	}
+	latency := 0.0
+	for _, l := range route {
+		latency += l.Latency
+	}
+	n.started++
+	f := &Flow{
+		Src: src, Dst: dst,
+		Bytes: bytes, remaining: bytes,
+		route: route, startTime: n.e.Now(),
+		done: done, net: n,
+	}
+	if bytes == 0 || len(route) == 0 {
+		n.e.ScheduleNamed("net:zero", latency, func() { n.finish(f) })
+		return
+	}
+	n.e.ScheduleNamed("net:flowstart", latency, func() {
+		n.advance()
+		n.flows = append(n.flows, f)
+		n.rebalance()
+	})
+}
+
+// Send implements Fabric: the blocking form for simulated processes.
+func (n *Network) Send(p *des.Process, src, dst *Node, bytes float64) {
+	doneCh := false
+	n.Transfer(src, dst, bytes, func() {
+		doneCh = true
+		p.Activate()
+	})
+	for !doneCh {
+		p.Passivate()
+	}
+}
+
+// advance charges every active flow for the bytes moved since the last
+// recompute point.
+func (n *Network) advance() {
+	now := n.e.Now()
+	dt := now - n.lastUpdate
+	if dt > 0 {
+		for _, f := range n.flows {
+			moved := f.rate * dt
+			f.remaining -= moved
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+			for _, l := range f.route {
+				l.bytesCarried += moved
+			}
+		}
+	}
+	n.lastUpdate = now
+}
+
+// rebalance recomputes max-min fair rates and reschedules completions.
+// Must be called with byte accounting already advanced to Now.
+func (n *Network) rebalance() {
+	// Progressive filling. Residual capacity per link; flows are
+	// "fixed" once their bottleneck link saturates.
+	residual := make(map[*Link]float64)
+	count := make(map[*Link]int)
+	for _, f := range n.flows {
+		for _, l := range f.route {
+			if _, ok := residual[l]; !ok {
+				residual[l] = l.usable() * n.Efficiency
+			}
+			count[l]++
+		}
+	}
+	unfixed := make(map[*Flow]struct{}, len(n.flows))
+	for _, f := range n.flows {
+		unfixed[f] = struct{}{}
+		f.rate = 0
+	}
+	for len(unfixed) > 0 {
+		// Find the bottleneck link: minimal residual/count over links
+		// with unfixed flows.
+		var bottleneck *Link
+		best := math.Inf(1)
+		for l, c := range count {
+			if c == 0 {
+				continue
+			}
+			share := residual[l] / float64(c)
+			if share < best || (share == best && (bottleneck == nil || l.ID < bottleneck.ID)) {
+				best = share
+				bottleneck = l
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		// Fix every unfixed flow crossing the bottleneck at the share.
+		for f := range unfixed {
+			crosses := false
+			for _, l := range f.route {
+				if l == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rate = best
+			delete(unfixed, f)
+			for _, l := range f.route {
+				residual[l] -= best
+				if residual[l] < 0 {
+					residual[l] = 0
+				}
+				count[l]--
+			}
+		}
+	}
+	// Reschedule completion events in flow-start order, so equal
+	// completion instants resolve deterministically.
+	for _, f := range n.flows {
+		if f.timer != nil {
+			f.timer.Cancel()
+			f.timer = nil
+		}
+		if f.rate <= 0 {
+			continue // stalled: no capacity on some link
+		}
+		f := f
+		eta := f.remaining / f.rate
+		f.timer = n.e.ScheduleNamed("net:flowend", eta, func() {
+			n.advance()
+			f.remaining = 0
+			n.removeFlow(f)
+			n.rebalance()
+			n.finish(f)
+		})
+	}
+}
+
+func (n *Network) removeFlow(f *Flow) {
+	for i, g := range n.flows {
+		if g == f {
+			n.flows = append(n.flows[:i], n.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+func (n *Network) finish(f *Flow) {
+	f.finished = true
+	f.doneTime = n.e.Now()
+	n.completed++
+	if f.done != nil {
+		f.done()
+	}
+}
+
+var _ Fabric = (*Network)(nil)

@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+)
+
+// PacketNet is the packet-level fabric: messages are segmented into
+// MTU-sized packets that traverse the route hop by hop, store-and-
+// forward, serializing on each link. It costs one event per packet
+// per hop — the "time consuming operation that leads to better output
+// results" of the paper's granularity axis — and exists both for
+// fidelity studies and for the E7a flow-vs-packet ablation.
+//
+// Each directed link transmits one packet at a time (FIFO); a packet
+// occupies the link for size/Bps seconds and then propagates for the
+// link latency before contending for the next hop.
+type PacketNet struct {
+	e    *des.Engine
+	topo *Topology
+
+	// MTU is the maximum packet payload in bytes. Messages are split
+	// into ceil(bytes/MTU) packets.
+	MTU float64
+
+	queues map[*Link]*linkQueue
+
+	packetsSent uint64
+	completed   uint64
+}
+
+type linkQueue struct {
+	busy    bool
+	waiting []*packet
+}
+
+type packet struct {
+	size  float64
+	route []*Link
+	hop   int
+	msg   *message
+}
+
+type message struct {
+	packetsLeft int
+	done        func()
+}
+
+// NewPacketNet creates a packet-level fabric with the given MTU.
+func NewPacketNet(e *des.Engine, topo *Topology, mtu float64) *PacketNet {
+	if mtu <= 0 {
+		panic(fmt.Sprintf("netsim: NewPacketNet with MTU %v", mtu))
+	}
+	return &PacketNet{e: e, topo: topo, MTU: mtu, queues: make(map[*Link]*linkQueue)}
+}
+
+// Topo implements Fabric.
+func (pn *PacketNet) Topo() *Topology { return pn.topo }
+
+// PacketsSent returns the cumulative number of packet transmissions
+// (per hop).
+func (pn *PacketNet) PacketsSent() uint64 { return pn.packetsSent }
+
+// Completed returns the number of finished messages.
+func (pn *PacketNet) Completed() uint64 { return pn.completed }
+
+// Transfer implements Fabric.
+func (pn *PacketNet) Transfer(src, dst *Node, bytes float64, done func()) {
+	if bytes < 0 || math.IsNaN(bytes) || math.IsInf(bytes, 0) {
+		panic(fmt.Sprintf("netsim: Transfer of %v bytes", bytes))
+	}
+	route := pn.topo.Route(src, dst)
+	if route == nil {
+		panic(fmt.Sprintf("netsim: no route %s -> %s", src.Name, dst.Name))
+	}
+	if len(route) == 0 || bytes == 0 {
+		lat := 0.0
+		for _, l := range route {
+			lat += l.Latency
+		}
+		pn.e.ScheduleNamed("pnet:local", lat, func() {
+			pn.completed++
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	npkts := int(math.Ceil(bytes / pn.MTU))
+	msg := &message{packetsLeft: npkts, done: done}
+	rest := bytes
+	for i := 0; i < npkts; i++ {
+		size := pn.MTU
+		if size > rest {
+			size = rest
+		}
+		rest -= size
+		pkt := &packet{size: size, route: route, msg: msg}
+		pn.enqueue(pkt)
+	}
+}
+
+// Send implements Fabric.
+func (pn *PacketNet) Send(p *des.Process, src, dst *Node, bytes float64) {
+	finished := false
+	pn.Transfer(src, dst, bytes, func() {
+		finished = true
+		p.Activate()
+	})
+	for !finished {
+		p.Passivate()
+	}
+}
+
+func (pn *PacketNet) queueFor(l *Link) *linkQueue {
+	q, ok := pn.queues[l]
+	if !ok {
+		q = &linkQueue{}
+		pn.queues[l] = q
+	}
+	return q
+}
+
+// enqueue places the packet on its current hop's link queue.
+func (pn *PacketNet) enqueue(pkt *packet) {
+	link := pkt.route[pkt.hop]
+	q := pn.queueFor(link)
+	if q.busy {
+		q.waiting = append(q.waiting, pkt)
+		return
+	}
+	pn.transmit(link, q, pkt)
+}
+
+// transmit occupies the link for the serialization time, then after
+// the propagation delay either forwards the packet or completes it.
+func (pn *PacketNet) transmit(link *Link, q *linkQueue, pkt *packet) {
+	q.busy = true
+	pn.packetsSent++
+	txTime := pkt.size / link.usable()
+	pn.e.ScheduleNamed("pnet:tx", txTime, func() {
+		link.bytesCarried += pkt.size
+		// Link is free for the next queued packet.
+		if len(q.waiting) > 0 {
+			next := q.waiting[0]
+			q.waiting = q.waiting[1:]
+			pn.transmit(link, q, next)
+		} else {
+			q.busy = false
+		}
+		// Meanwhile this packet propagates.
+		pn.e.ScheduleNamed("pnet:prop", link.Latency, func() {
+			pkt.hop++
+			if pkt.hop < len(pkt.route) {
+				pn.enqueue(pkt)
+				return
+			}
+			pkt.msg.packetsLeft--
+			if pkt.msg.packetsLeft == 0 {
+				pn.completed++
+				if pkt.msg.done != nil {
+					pkt.msg.done()
+				}
+			}
+		})
+	})
+}
+
+var _ Fabric = (*PacketNet)(nil)

@@ -1,0 +1,214 @@
+package optsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// countModel is a PHOLD-like pure model: each LP's state is an event
+// counter plus its RNG state (randomness checkpoints with the state,
+// so re-executed events redraw identical values). Every event
+// increments the counter and emits one message — to a random LP with
+// probability remoteProb, else to self — after an exponential delay.
+type countModel struct {
+	n          int
+	remoteProb float64
+	meanDelay  float64
+}
+
+type countState struct {
+	count int64
+	rng   uint64
+}
+
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (m *countModel) draw(s *countState) float64 {
+	s.rng = splitmix(s.rng)
+	u := float64(s.rng>>11) / (1 << 53)
+	if u <= 0 {
+		u = 0.5
+	}
+	return -math.Log(u) * m.meanDelay
+}
+
+func (m *countModel) Init(lp int) (State, []Send) {
+	s := &countState{rng: uint64(lp)*2654435761 + 12345}
+	d := m.draw(s)
+	return s, []Send{{To: lp, Delay: d}}
+}
+
+func (m *countModel) Handle(lp int, raw State, ev Message) (State, []Send) {
+	s := raw.(*countState)
+	next := &countState{count: s.count + 1, rng: s.rng}
+	delay := m.draw(next)
+	to := lp
+	next.rng = splitmix(next.rng)
+	if m.n > 1 && float64(next.rng>>11)/(1<<53) < m.remoteProb {
+		next.rng = splitmix(next.rng)
+		to = int(next.rng % uint64(m.n))
+	}
+	return next, []Send{{To: to, Delay: delay}}
+}
+
+func (m *countModel) Clone(raw State) State {
+	s := raw.(*countState)
+	cp := *s
+	return &cp
+}
+
+func counts(states []State) []int64 {
+	out := make([]int64, len(states))
+	for i, s := range states {
+		out[i] = s.(*countState).count
+	}
+	return out
+}
+
+func TestOptimisticMatchesSequential(t *testing.T) {
+	m := &countModel{n: 6, remoteProb: 0.5, meanDelay: 1.0}
+	f := NewFederation(m, 6, 300)
+	opt := counts(f.Run())
+	seqStates, seqCounts := RunSequential(m, 6, 300)
+	seq := counts(seqStates)
+	for i := range opt {
+		if opt[i] != seq[i] {
+			t.Fatalf("LP %d: optimistic %d vs sequential %d\nopt %v\nseq %v",
+				i, opt[i], seq[i], opt, seq)
+		}
+		if uint64(seq[i]) != seqCounts[i] {
+			t.Fatalf("sequential internal mismatch at %d", i)
+		}
+	}
+	st := f.Stats()
+	if st.NetEvents == 0 {
+		t.Fatal("no events committed")
+	}
+}
+
+func TestSpeculationActuallyHappens(t *testing.T) {
+	// Heterogeneous tempos force stragglers: LP 0 is fast, LP 1 slow,
+	// cross-traffic lands in the fast LP's past.
+	m := &countModel{n: 4, remoteProb: 0.6, meanDelay: 1.0}
+	f := NewFederation(m, 4, 500)
+	f.Run()
+	st := f.Stats()
+	if st.Rollbacks == 0 {
+		t.Fatal("round-robin speculation produced no rollbacks; Time Warp untested")
+	}
+	if st.Retractions == 0 {
+		t.Fatal("no anti-messages sent")
+	}
+	if st.Executions <= st.NetEvents {
+		t.Fatalf("executions %d not above net %d despite rollbacks", st.Executions, st.NetEvents)
+	}
+	eff := st.Efficiency()
+	if eff <= 0 || eff > 1 {
+		t.Fatalf("efficiency = %v", eff)
+	}
+	if st.MaxRollback == 0 {
+		t.Fatal("max rollback depth not recorded")
+	}
+}
+
+func TestQuickEquivalenceRandomModels(t *testing.T) {
+	// Property: for random model parameters, optimistic == sequential.
+	fn := func(seed uint8, probRaw uint8, nRaw uint8) bool {
+		n := int(nRaw%5) + 2
+		m := &countModel{
+			n:          n,
+			remoteProb: float64(probRaw) / 255,
+			meanDelay:  0.5 + float64(seed)/64,
+		}
+		f := NewFederation(m, n, 120)
+		opt := counts(f.Run())
+		seqStates, _ := RunSequential(m, n, 120)
+		seq := counts(seqStates)
+		for i := range opt {
+			if opt[i] != seq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGVTMonotoneAndCommits(t *testing.T) {
+	m := &countModel{n: 3, remoteProb: 0.4, meanDelay: 1.0}
+	f := NewFederation(m, 3, 100)
+	prev := 0.0
+	for {
+		progressed := false
+		for _, lp := range f.lps {
+			if f.step(lp) {
+				progressed = true
+			}
+		}
+		gvt := f.GVT()
+		if gvt < prev {
+			t.Fatalf("GVT went backwards: %v -> %v", prev, gvt)
+		}
+		prev = gvt
+		if !progressed {
+			break
+		}
+	}
+	if !math.IsInf(f.GVT(), 1) {
+		// All events within horizon executed: remaining ones are past
+		// the horizon, so GVT is their min, which is > horizon.
+		if f.GVT() <= 100 {
+			t.Fatalf("GVT %v not past horizon", f.GVT())
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := &countModel{n: 2, remoteProb: 0, meanDelay: 1}
+	for name, fn := range map[string]func(){
+		"bad n":       func() { NewFederation(m, 0, 1) },
+		"bad horizon": func() { NewFederation(m, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// badSendModel emits a non-positive delay to test the guard.
+type badSendModel struct{ countModel }
+
+func (m *badSendModel) Handle(lp int, raw State, ev Message) (State, []Send) {
+	return raw, []Send{{To: 0, Delay: 0}}
+}
+
+func TestZeroDelaySendPanics(t *testing.T) {
+	m := &badSendModel{countModel{n: 2, remoteProb: 0, meanDelay: 1}}
+	f := NewFederation(m, 2, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	f.Run()
+}
+
+func TestStatsEfficiencyEmptyRun(t *testing.T) {
+	var s Stats
+	if s.Efficiency() != 1 {
+		t.Fatal("empty efficiency")
+	}
+}

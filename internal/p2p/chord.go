@@ -1,0 +1,235 @@
+// Package p2p implements the peer-to-peer corner of the taxonomy's
+// scope axis: a Chord-like structured overlay (consistent hashing,
+// finger tables, O(log n) greedy routing) and an epidemic
+// dissemination protocol, both running over the framework's network
+// fabric so every hop pays real simulated latency and bandwidth.
+//
+// The paper groups "P2P networks" with Grids as the systems its
+// simulators must cover; GridSim "can be used for modeling and
+// simulation of application scheduling on ... clusters, Grids, and P2P
+// networks". This package provides the overlay substrate those
+// scenarios need.
+package p2p
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// Peer is one overlay node.
+type Peer struct {
+	ID   uint64 // position on the identifier ring
+	Site *topology.Site
+
+	fingers []*Peer // fingers[k] = successor(ID + 2^k)
+	succ    *Peer
+
+	// DHT storage for keys this peer owns.
+	data map[string][]byte
+
+	// Stats.
+	LookupsServed uint64
+	Forwards      uint64
+}
+
+// Ring is a static Chord-like overlay over grid sites.
+type Ring struct {
+	e      *des.Engine
+	fabric netsim.Fabric
+	peers  []*Peer // sorted by ID
+	bits   uint    // identifier space is 2^bits
+
+	// MsgBytes is the size of one routing message (default 256 B).
+	MsgBytes float64
+
+	// Stats.
+	Lookups   uint64
+	TotalHops uint64
+}
+
+// hash64 is FNV-1a, reduced to the ring's identifier space.
+func (r *Ring) hash64(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	if r.bits >= 64 {
+		return h
+	}
+	return h & ((1 << r.bits) - 1)
+}
+
+// NewRing builds the overlay over the given sites with a 2^bits
+// identifier space. Peer IDs are derived from site names; a collision
+// (astronomically unlikely at sane sizes) panics rather than silently
+// merging peers.
+func NewRing(e *des.Engine, fabric netsim.Fabric, sites []*topology.Site, bits uint) *Ring {
+	if len(sites) < 2 || bits < 3 || bits > 64 {
+		panic(fmt.Sprintf("p2p: NewRing(%d sites, %d bits)", len(sites), bits))
+	}
+	r := &Ring{e: e, fabric: fabric, bits: bits, MsgBytes: 256}
+	seen := map[uint64]bool{}
+	for _, s := range sites {
+		id := r.hash64("peer:" + s.Name)
+		if seen[id] {
+			panic(fmt.Sprintf("p2p: ID collision for %q", s.Name))
+		}
+		seen[id] = true
+		r.peers = append(r.peers, &Peer{ID: id, Site: s, data: make(map[string][]byte)})
+	}
+	sort.Slice(r.peers, func(i, j int) bool { return r.peers[i].ID < r.peers[j].ID })
+	r.rebuild()
+	return r
+}
+
+// rebuild recomputes successors and finger tables from the current
+// peer set (static-topology simplification of Chord's stabilization).
+func (r *Ring) rebuild() {
+	n := len(r.peers)
+	for i, p := range r.peers {
+		p.succ = r.peers[(i+1)%n]
+		p.fingers = p.fingers[:0]
+		for k := uint(0); k < r.bits; k++ {
+			target := (p.ID + (1 << k)) & r.mask()
+			p.fingers = append(p.fingers, r.successor(target))
+		}
+	}
+}
+
+func (r *Ring) mask() uint64 {
+	if r.bits >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << r.bits) - 1
+}
+
+// successor returns the first peer at or after id on the ring.
+func (r *Ring) successor(id uint64) *Peer {
+	i := sort.Search(len(r.peers), func(i int) bool { return r.peers[i].ID >= id })
+	if i == len(r.peers) {
+		i = 0
+	}
+	return r.peers[i]
+}
+
+// Peers returns the peers in ID order.
+func (r *Ring) Peers() []*Peer { return r.peers }
+
+// Owner returns the peer responsible for a key.
+func (r *Ring) Owner(key string) *Peer { return r.successor(r.hash64(key)) }
+
+// distance is the clockwise distance a→b on the ring.
+func (r *Ring) distance(a, b uint64) uint64 { return (b - a) & r.mask() }
+
+// route greedily forwards from `from` toward the key's owner using
+// finger tables, charging the fabric for every hop, and returns the
+// owner plus the hop count. Runs in process context.
+func (r *Ring) route(p *des.Process, from *Peer, key string) (*Peer, int) {
+	target := r.hash64(key)
+	cur := from
+	hops := 0
+	for {
+		if cur == r.successor(target) {
+			return cur, hops
+		}
+		// Largest finger not overshooting the target (classic
+		// closest-preceding-finger rule, on clockwise distance).
+		next := cur.succ
+		bestDist := r.distance(next.ID, target)
+		for _, f := range cur.fingers {
+			if f == cur {
+				continue
+			}
+			// f must lie strictly within (cur, target]:
+			if r.distance(cur.ID, f.ID) <= r.distance(cur.ID, target) {
+				d := r.distance(f.ID, target)
+				if d < bestDist {
+					bestDist = d
+					next = f
+				}
+			}
+		}
+		if next == cur {
+			return cur, hops
+		}
+		r.fabric.Send(p, cur.Site.Net, next.Site.Net, r.MsgBytes)
+		cur.Forwards++
+		cur = next
+		hops++
+		if hops > len(r.peers) {
+			panic("p2p: routing did not converge")
+		}
+	}
+}
+
+// Lookup resolves the peer owning key, starting at from, paying
+// network time per hop. It returns the owner and hops taken.
+func (r *Ring) Lookup(p *des.Process, from *Peer, key string) (*Peer, int) {
+	owner, hops := r.route(p, from, key)
+	owner.LookupsServed++
+	r.Lookups++
+	r.TotalHops += uint64(hops)
+	return owner, hops
+}
+
+// Put stores a value at the key's owner (routing + value transfer).
+func (r *Ring) Put(p *des.Process, from *Peer, key string, value []byte) {
+	owner, _ := r.Lookup(p, from, key)
+	if owner != from {
+		r.fabric.Send(p, from.Site.Net, owner.Site.Net, float64(len(value)))
+	}
+	owner.data[key] = value
+}
+
+// Get retrieves a value, returning nil when absent. The value travels
+// back from the owner to the requester.
+func (r *Ring) Get(p *des.Process, from *Peer, key string) []byte {
+	owner, _ := r.Lookup(p, from, key)
+	v, ok := owner.data[key]
+	if !ok {
+		return nil
+	}
+	if owner != from {
+		r.fabric.Send(p, owner.Site.Net, from.Site.Net, float64(len(v)))
+	}
+	return v
+}
+
+// Leave removes a peer: its keys hand over to its successor and all
+// finger tables rebuild (the static-topology stand-in for Chord's
+// stabilization rounds). Removing below 2 peers panics.
+func (r *Ring) Leave(peer *Peer) {
+	if len(r.peers) <= 2 {
+		panic("p2p: ring cannot shrink below 2 peers")
+	}
+	idx := -1
+	for i, p := range r.peers {
+		if p == peer {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	heir := r.peers[(idx+1)%len(r.peers)]
+	for k, v := range peer.data {
+		heir.data[k] = v
+	}
+	peer.data = nil
+	r.peers = append(r.peers[:idx], r.peers[idx+1:]...)
+	r.rebuild()
+}
+
+// MeanHops returns the average hop count over all lookups so far.
+func (r *Ring) MeanHops() float64 {
+	if r.Lookups == 0 {
+		return 0
+	}
+	return float64(r.TotalHops) / float64(r.Lookups)
+}

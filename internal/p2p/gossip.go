@@ -1,0 +1,94 @@
+package p2p
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// Gossip runs an epidemic push protocol over a peer set: each round,
+// every infected peer pushes the rumor to Fanout uniformly random
+// peers. It is the canonical unstructured-P2P dissemination model and
+// completes the package's coverage of the taxonomy's P2P scope.
+type Gossip struct {
+	Fanout    int
+	RoundTime float64
+	MsgBytes  float64
+
+	ring *Ring
+	src  *rng.Source
+
+	// Results, populated by Run.
+	Rounds   int
+	Messages uint64
+	Coverage metrics.Series // fraction infected vs round
+}
+
+// NewGossip builds a push-gossip protocol over the ring's peers.
+func NewGossip(ring *Ring, src *rng.Source, fanout int, roundTime float64) *Gossip {
+	if fanout <= 0 || roundTime <= 0 {
+		panic(fmt.Sprintf("p2p: NewGossip(fanout=%d, round=%v)", fanout, roundTime))
+	}
+	return &Gossip{
+		Fanout: fanout, RoundTime: roundTime, MsgBytes: 1024,
+		ring: ring, src: src,
+	}
+}
+
+// Run disseminates a rumor from the origin peer until every peer is
+// infected (or maxRounds passes), returning the number of rounds. One
+// process per peer pushes each round; every push pays fabric time.
+func (g *Gossip) Run(origin *Peer, maxRounds int) int {
+	peers := g.ring.Peers()
+	n := len(peers)
+	infected := make(map[*Peer]bool, n)
+	infected[origin] = true
+	covered := 1
+	e := g.ring.e
+	g.Coverage = metrics.Series{Name: "coverage"}
+	g.Coverage.Append(0, 1/float64(n))
+
+	done := false
+	for i := range peers {
+		peer := peers[i]
+		e.Spawn(fmt.Sprintf("gossip:%d", peer.ID), func(p *des.Process) {
+			for round := 1; round <= maxRounds && !done; round++ {
+				p.Hold(g.RoundTime)
+				if !infected[peer] {
+					continue
+				}
+				for f := 0; f < g.Fanout; f++ {
+					target := peers[g.src.Intn(n)]
+					if target == peer {
+						continue
+					}
+					g.Messages++
+					g.ring.fabric.Send(p, peer.Site.Net, target.Site.Net, g.MsgBytes)
+					if !infected[target] {
+						infected[target] = true
+						covered++
+						if covered == n {
+							done = true
+							g.Rounds = round
+							g.Coverage.Append(float64(round), 1)
+						}
+					}
+				}
+			}
+		})
+	}
+	// One observer samples coverage each round for the curve.
+	e.Spawn("gossip:observer", func(p *des.Process) {
+		for round := 1; round <= maxRounds && !done; round++ {
+			p.Hold(g.RoundTime)
+			g.Coverage.Append(float64(round), float64(covered)/float64(n))
+		}
+	})
+	e.Run()
+	if g.Rounds == 0 {
+		g.Rounds = maxRounds
+	}
+	return g.Rounds
+}

@@ -1,0 +1,227 @@
+package p2p
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// overlay builds an n-peer ring over a fully usable P2P topology.
+func overlay(e *des.Engine, n int, bits uint) (*Ring, *netsim.Network) {
+	g := topology.P2PRing(e, n, topology.SiteSpec{}, 10e6, 0.001)
+	net := netsim.NewNetwork(e, g.Topo)
+	r := NewRing(e, net, g.Sites, bits)
+	return r, net
+}
+
+func TestOwnerIsSuccessorOfKeyHash(t *testing.T) {
+	e := des.NewEngine()
+	r, _ := overlay(e, 16, 16)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key%03d", i)
+		owner := r.Owner(key)
+		h := r.hash64(key)
+		// No peer lies strictly between the hash and the owner
+		// (clockwise).
+		for _, p := range r.Peers() {
+			if p == owner {
+				continue
+			}
+			if r.distance(h, p.ID) < r.distance(h, owner.ID) {
+				t.Fatalf("peer %d closer to key than owner %d", p.ID, owner.ID)
+			}
+		}
+	}
+}
+
+func TestLookupFindsOwnerFromEveryPeer(t *testing.T) {
+	e := des.NewEngine()
+	r, _ := overlay(e, 20, 16)
+	key := "the-data"
+	want := r.Owner(key)
+	for _, from := range r.Peers() {
+		from := from
+		e.Spawn("lookup", func(p *des.Process) {
+			got, hops := r.Lookup(p, from, key)
+			if got != want {
+				t.Errorf("from %d: got owner %d, want %d", from.ID, got.ID, want.ID)
+			}
+			if from == want && hops != 0 {
+				t.Errorf("self-lookup took %d hops", hops)
+			}
+		})
+	}
+	e.Run()
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	e := des.NewEngine()
+	const n = 64
+	r, _ := overlay(e, n, 20)
+	e.Spawn("driver", func(p *des.Process) {
+		for i := 0; i < 300; i++ {
+			from := r.Peers()[i%n]
+			r.Lookup(p, from, fmt.Sprintf("k%04d", i))
+		}
+	})
+	e.Run()
+	mean := r.MeanHops()
+	limit := 2 * math.Log2(n)
+	if mean > limit {
+		t.Fatalf("mean hops %v exceeds 2·log2(n) = %v", mean, limit)
+	}
+	if mean == 0 {
+		t.Fatal("no hops recorded at all")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	e := des.NewEngine()
+	r, _ := overlay(e, 12, 16)
+	e.Spawn("client", func(p *des.Process) {
+		from := r.Peers()[3]
+		r.Put(p, from, "alpha", []byte("payload-a"))
+		r.Put(p, from, "beta", []byte("payload-b"))
+		other := r.Peers()[9]
+		if got := string(r.Get(p, other, "alpha")); got != "payload-a" {
+			t.Errorf("Get alpha = %q", got)
+		}
+		if got := r.Get(p, other, "missing"); got != nil {
+			t.Errorf("Get missing = %v", got)
+		}
+	})
+	e.Run()
+	if e.Now() <= 0 {
+		t.Fatal("no network time elapsed — hops were free?")
+	}
+}
+
+func TestLeaveHandsOverKeysAndKeepsLookupsCorrect(t *testing.T) {
+	e := des.NewEngine()
+	r, _ := overlay(e, 10, 16)
+	key := "survivor"
+	var owner *Peer
+	e.Spawn("phase1", func(p *des.Process) {
+		owner, _ = r.Lookup(p, r.Peers()[0], key)
+		r.Put(p, r.Peers()[0], key, []byte("v"))
+	})
+	e.Run()
+	r.Leave(owner)
+	e2ndPhase := false
+	e.Spawn("phase2", func(p *des.Process) {
+		newOwner, _ := r.Lookup(p, r.Peers()[0], key)
+		if newOwner == owner {
+			t.Error("lookup still routes to departed peer")
+		}
+		if got := string(r.Get(p, r.Peers()[0], key)); got != "v" {
+			t.Errorf("key lost on leave: %q", got)
+		}
+		e2ndPhase = true
+	})
+	e.Run()
+	if !e2ndPhase {
+		t.Fatal("phase2 did not run")
+	}
+}
+
+func TestLeaveValidation(t *testing.T) {
+	e := des.NewEngine()
+	r, _ := overlay(e, 2, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic shrinking below 2")
+		}
+	}()
+	r.Leave(r.Peers()[0])
+}
+
+func TestNewRingValidation(t *testing.T) {
+	e := des.NewEngine()
+	g := topology.P2PRing(e, 4, topology.SiteSpec{}, 1e6, 0.001)
+	net := netsim.NewNetwork(e, g.Topo)
+	for name, fn := range map[string]func(){
+		"one site": func() { NewRing(e, net, g.Sites[:1], 16) },
+		"bad bits": func() { NewRing(e, net, g.Sites, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickLookupAlwaysOwner(t *testing.T) {
+	f := func(seed uint64, keyRaw uint16, fromRaw uint8) bool {
+		e := des.NewEngine(des.WithSeed(seed))
+		r, _ := overlay(e, 12, 16)
+		key := fmt.Sprintf("key-%d", keyRaw)
+		from := r.Peers()[int(fromRaw)%12]
+		want := r.Owner(key)
+		ok := true
+		e.Spawn("q", func(p *des.Process) {
+			got, hops := r.Lookup(p, from, key)
+			ok = got == want && hops <= 12
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGossipFullCoverage(t *testing.T) {
+	e := des.NewEngine(des.WithSeed(3))
+	r, _ := overlay(e, 32, 16)
+	g := NewGossip(r, e.Stream("gossip"), 2, 1.0)
+	rounds := g.Run(r.Peers()[0], 100)
+	if rounds >= 100 {
+		t.Fatalf("gossip did not converge: %d rounds", rounds)
+	}
+	// Expected O(log n) rounds; allow generous slack.
+	if rounds > 25 {
+		t.Fatalf("rounds = %d, want O(log 32)", rounds)
+	}
+	if g.Messages == 0 || g.Coverage.Len() < 2 {
+		t.Fatal("no messages or coverage curve")
+	}
+	last := g.Coverage.Y[g.Coverage.Len()-1]
+	if last != 1 {
+		t.Fatalf("final coverage = %v", last)
+	}
+}
+
+func TestGossipDeterministic(t *testing.T) {
+	run := func() (int, uint64) {
+		e := des.NewEngine(des.WithSeed(3))
+		r, _ := overlay(e, 24, 16)
+		g := NewGossip(r, e.Stream("gossip"), 2, 1.0)
+		rounds := g.Run(r.Peers()[0], 100)
+		return rounds, g.Messages
+	}
+	r1, m1 := run()
+	r2, m2 := run()
+	if r1 != r2 || m1 != m2 {
+		t.Fatalf("nondeterministic: %d/%d vs %d/%d", r1, m1, r2, m2)
+	}
+}
+
+func TestGossipValidation(t *testing.T) {
+	e := des.NewEngine()
+	r, _ := overlay(e, 4, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGossip(r, e.Stream("g"), 0, 1)
+}

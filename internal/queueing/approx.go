@@ -1,0 +1,40 @@
+package queueing
+
+import "fmt"
+
+// Approximations for queues outside the Markovian family — the
+// analytic instruments validation falls back to when arrival or
+// service processes are general. They complete the paper's "queuing
+// theory as validation formalism" toolbox for non-exponential traffic
+// (measured traces rarely are exponential).
+
+// GG1Kingman returns Kingman's heavy-traffic approximation of the mean
+// waiting time of a G/G/1 queue: Wq ≈ (ρ/(1−ρ)) · ((ca²+cs²)/2) · E[S],
+// where ca, cs are the coefficients of variation of interarrival and
+// service times. Exact for M/M/1 (ca=cs=1); an upper-bound-flavored
+// estimate elsewhere, tight as ρ→1.
+func GG1Kingman(lambda, es, ca2, cs2 float64) (wq float64, err error) {
+	if lambda <= 0 || es <= 0 || ca2 < 0 || cs2 < 0 {
+		return 0, fmt.Errorf("queueing: GG1Kingman(lambda=%v, es=%v, ca2=%v, cs2=%v)", lambda, es, ca2, cs2)
+	}
+	rho := lambda * es
+	if rho >= 1 {
+		return 0, ErrUnstable
+	}
+	return rho / (1 - rho) * (ca2 + cs2) / 2 * es, nil
+}
+
+// GGCAllenCunneen returns the Allen–Cunneen approximation of the mean
+// waiting time of a G/G/c queue: the M/M/c waiting time scaled by
+// (ca²+cs²)/2. Exact for M/M/c; the standard engineering estimate for
+// multi-server stations with general traffic.
+func GGCAllenCunneen(lambda, es, ca2, cs2 float64, c int) (wq float64, err error) {
+	if lambda <= 0 || es <= 0 || ca2 < 0 || cs2 < 0 || c <= 0 {
+		return 0, fmt.Errorf("queueing: GGCAllenCunneen bad parameters")
+	}
+	mmc, err := NewMMC(lambda, 1/es, c)
+	if err != nil {
+		return 0, err
+	}
+	return mmc.Wq * (ca2 + cs2) / 2, nil
+}

@@ -1,0 +1,94 @@
+package queueing
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestKingmanExactForMM1(t *testing.T) {
+	// M/M/1: ca² = cs² = 1 → Kingman is exact.
+	lambda, mu := 0.7, 1.0
+	mm1, _ := NewMM1(lambda, mu)
+	wq, err := GG1Kingman(lambda, 1/mu, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(wq, mm1.Wq, 1e-12) {
+		t.Fatalf("Kingman %v vs exact %v", wq, mm1.Wq)
+	}
+}
+
+func TestKingmanMatchesMD1(t *testing.T) {
+	// M/D/1: ca²=1, cs²=0 → Kingman reproduces Pollaczek–Khinchine.
+	lambda, d := 0.8, 1.0
+	md1, _ := NewMD1(lambda, d)
+	wq, err := GG1Kingman(lambda, d, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(wq, md1.Wq, 1e-12) {
+		t.Fatalf("Kingman %v vs M/D/1 %v", wq, md1.Wq)
+	}
+}
+
+func TestKingmanVariabilityMonotone(t *testing.T) {
+	base, _ := GG1Kingman(0.6, 1, 1, 1)
+	burstier, _ := GG1Kingman(0.6, 1, 4, 1)
+	if burstier <= base {
+		t.Fatalf("more arrival variability did not raise Wq: %v vs %v", burstier, base)
+	}
+}
+
+func TestKingmanErrors(t *testing.T) {
+	if _, err := GG1Kingman(1, 1, 1, 1); !errors.Is(err, ErrUnstable) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := GG1Kingman(0, 1, 1, 1); err == nil || errors.Is(err, ErrUnstable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAllenCunneenExactForMMC(t *testing.T) {
+	lambda, es, c := 2.4, 1.0, 3
+	mmc, _ := NewMMC(lambda, 1/es, c)
+	wq, err := GGCAllenCunneen(lambda, es, 1, 1, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(wq, mmc.Wq, 1e-12) {
+		t.Fatalf("Allen-Cunneen %v vs exact %v", wq, mmc.Wq)
+	}
+}
+
+func TestAllenCunneenDeterministicServiceHalvesWait(t *testing.T) {
+	markov, _ := GGCAllenCunneen(2.4, 1, 1, 1, 3)
+	deterministic, _ := GGCAllenCunneen(2.4, 1, 1, 0, 3)
+	if !near(deterministic, markov/2, 1e-12) {
+		t.Fatalf("M/D/c approx %v, want half of %v", deterministic, markov)
+	}
+}
+
+func TestAllenCunneenErrors(t *testing.T) {
+	if _, err := GGCAllenCunneen(3, 1, 1, 1, 2); !errors.Is(err, ErrUnstable) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := GGCAllenCunneen(1, 1, 1, 1, 0); err == nil {
+		t.Fatal("bad c accepted")
+	}
+}
+
+func TestKingmanAgainstSimulatedGG1(t *testing.T) {
+	// Cross-check the approximation against our own M/G/1 exact result
+	// with Erlang-2 service (cs² = 1/2): Kingman with ca²=1 reproduces
+	// P-K exactly (it is exact whenever arrivals are Poisson).
+	lambda, es := 0.75, 1.0
+	vs := es * es / 2
+	mg1, _ := NewMG1(lambda, es, vs)
+	wq, err := GG1Kingman(lambda, es, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !near(wq, mg1.Wq, 1e-12) {
+		t.Fatalf("Kingman %v vs M/G/1 %v", wq, mg1.Wq)
+	}
+}

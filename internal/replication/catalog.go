@@ -1,0 +1,100 @@
+// Package replication implements the Data Grid substrate: logical
+// files, a replica catalog, per-site storage elements with eviction
+// policies, and the replication strategies of the surveyed Data Grid
+// simulators —
+//
+//   - OptorSim's "pull" model, where a site fetches (and usually
+//     stores) a replica when a local job first accesses a file, with
+//     LRU/LFU/economic eviction deciding what to drop;
+//   - ChicagoSim's "push" model, where "when a site contains a popular
+//     data file, it will replicate it to remote sites" proactively;
+//   - MONARC's replication agent, which ships newly produced data from
+//     a source centre to subscriber centres (see Agent).
+package replication
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// File is a logical Data Grid file.
+type File struct {
+	Name  string
+	Bytes float64
+}
+
+// Catalog is the replica catalog: it maps each logical file to the
+// sites currently holding a physical replica. Holder lists preserve
+// registration order, keeping lookups deterministic.
+type Catalog struct {
+	files   map[string]*File
+	holders map[string][]*topology.Site
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		files:   make(map[string]*File),
+		holders: make(map[string][]*topology.Site),
+	}
+}
+
+// Define registers a logical file (without placing any replica).
+// Redefining a name with a different size panics.
+func (c *Catalog) Define(f *File) {
+	if f.Bytes < 0 || f.Name == "" {
+		panic(fmt.Sprintf("replication: bad file %+v", f))
+	}
+	if old, ok := c.files[f.Name]; ok && old.Bytes != f.Bytes {
+		panic(fmt.Sprintf("replication: file %q redefined with different size", f.Name))
+	}
+	c.files[f.Name] = f
+}
+
+// File returns the logical file by name, or nil.
+func (c *Catalog) File(name string) *File { return c.files[name] }
+
+// Files returns the number of defined logical files.
+func (c *Catalog) Files() int { return len(c.files) }
+
+// AddReplica records that site holds a replica of the file.
+func (c *Catalog) AddReplica(name string, site *topology.Site) {
+	if _, ok := c.files[name]; !ok {
+		panic(fmt.Sprintf("replication: AddReplica of undefined file %q", name))
+	}
+	for _, s := range c.holders[name] {
+		if s == site {
+			return
+		}
+	}
+	c.holders[name] = append(c.holders[name], site)
+}
+
+// RemoveReplica drops the site's replica record.
+func (c *Catalog) RemoveReplica(name string, site *topology.Site) {
+	hs := c.holders[name]
+	for i, s := range hs {
+		if s == site {
+			c.holders[name] = append(hs[:i], hs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Holders returns the sites holding the file, in registration order.
+// The returned slice must not be mutated.
+func (c *Catalog) Holders(name string) []*topology.Site { return c.holders[name] }
+
+// HasReplica reports whether site holds the file.
+func (c *Catalog) HasReplica(name string, site *topology.Site) bool {
+	for _, s := range c.holders[name] {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// ReplicaCount returns the number of replicas of the file.
+func (c *Catalog) ReplicaCount(name string) int { return len(c.holders[name]) }

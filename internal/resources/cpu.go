@@ -1,0 +1,219 @@
+// Package resources implements the host substrate of the framework:
+// processing nodes (time-shared and space-shared CPUs), disk and mass
+// storage, and database servers.
+//
+// These are the "host characteristics" of the reproduced paper's
+// taxonomy: "such hosts may contain computing, data storage, and other
+// resources, grouped into single or distributed systems", including
+// "how different simulators model the load of the computing nodes, the
+// granularity of jobs being processed, or the types of data storage
+// facilities". GridSim's time-shared versus space-shared machine
+// distinction is reproduced directly by the two CPU modes.
+package resources
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// SharingMode selects how a CPU multiplexes tasks over cores.
+type SharingMode int
+
+const (
+	// SpaceShared machines give each task a dedicated core; tasks
+	// queue FCFS when all cores are busy (cluster/batch semantics).
+	SpaceShared SharingMode = iota
+	// TimeShared machines run all tasks concurrently, dividing
+	// aggregate capacity equally, with no task exceeding one core
+	// (interactive/PC semantics; processor sharing).
+	TimeShared
+)
+
+// String returns the mode name.
+func (m SharingMode) String() string {
+	switch m {
+	case SpaceShared:
+		return "space-shared"
+	case TimeShared:
+		return "time-shared"
+	default:
+		return fmt.Sprintf("SharingMode(%d)", int(m))
+	}
+}
+
+// CPU is a processing element executing compute demands measured in
+// abstract operations (normalized MIPS-seconds): a task of W ops on an
+// otherwise idle core of speed S finishes in W/S seconds.
+type CPU struct {
+	e     *des.Engine
+	name  string
+	cores int
+	speed float64 // ops per second per core
+	mode  SharingMode
+
+	// space-shared state
+	slots *des.Resource
+
+	// time-shared state: processor sharing, rebalanced on task
+	// arrival/finish exactly like network flows.
+	tasks      []*cpuTask
+	lastUpdate float64
+
+	// accounting
+	completed uint64
+	busyArea  float64 // core-seconds of work performed
+}
+
+type cpuTask struct {
+	remaining float64
+	rate      float64
+	timer     *des.Timer
+	done      func()
+}
+
+// NewCPU creates a processing element.
+func NewCPU(e *des.Engine, name string, cores int, opsPerSec float64, mode SharingMode) *CPU {
+	if cores <= 0 || opsPerSec <= 0 {
+		panic(fmt.Sprintf("resources: NewCPU(%q, cores=%d, speed=%v)", name, cores, opsPerSec))
+	}
+	c := &CPU{e: e, name: name, cores: cores, speed: opsPerSec, mode: mode}
+	if mode == SpaceShared {
+		c.slots = e.NewResource(name+":cores", cores)
+	}
+	return c
+}
+
+// Name returns the CPU name.
+func (c *CPU) Name() string { return c.name }
+
+// Cores returns the core count.
+func (c *CPU) Cores() int { return c.cores }
+
+// Speed returns per-core speed in ops/second.
+func (c *CPU) Speed() float64 { return c.speed }
+
+// Mode returns the sharing mode.
+func (c *CPU) Mode() SharingMode { return c.mode }
+
+// Completed returns the number of finished tasks.
+func (c *CPU) Completed() uint64 { return c.completed }
+
+// Load returns the number of tasks currently executing (time-shared)
+// or executing+queued (space-shared).
+func (c *CPU) Load() int {
+	if c.mode == SpaceShared {
+		return c.slots.InUse() + c.slots.QueueLen()
+	}
+	return len(c.tasks)
+}
+
+// Utilization returns the time-averaged fraction of total core
+// capacity spent doing work since time 0.
+func (c *CPU) Utilization() float64 {
+	if c.mode == SpaceShared {
+		return c.slots.Utilization()
+	}
+	now := c.e.Now()
+	if now <= 0 {
+		return 0
+	}
+	// busyArea is charged on every rebalance; charge the tail segment.
+	area := c.busyArea
+	dt := now - c.lastUpdate
+	for _, t := range c.tasks {
+		area += t.rate / c.speed * dt
+	}
+	return area / (float64(c.cores) * now)
+}
+
+// Execute runs a compute demand of ops operations, invoking done on
+// completion. It is the event-style API; Run is the blocking form.
+func (c *CPU) Execute(ops float64, done func()) {
+	if ops < 0 {
+		panic(fmt.Sprintf("resources: Execute(%v ops)", ops))
+	}
+	switch c.mode {
+	case SpaceShared:
+		// Run a hidden process to queue FCFS on the core slots.
+		c.e.Spawn(c.name+":task", func(p *des.Process) {
+			c.slots.Acquire(p, 1)
+			p.Hold(ops / c.speed)
+			c.slots.Release(1)
+			c.completed++
+			if done != nil {
+				done()
+			}
+		})
+	case TimeShared:
+		c.advance()
+		t := &cpuTask{remaining: ops, done: done}
+		c.tasks = append(c.tasks, t)
+		c.rebalance()
+	}
+}
+
+// Run blocks the calling process for the task's duration.
+func (c *CPU) Run(p *des.Process, ops float64) {
+	finished := false
+	c.Execute(ops, func() {
+		finished = true
+		p.Activate()
+	})
+	for !finished {
+		p.Passivate()
+	}
+}
+
+// advance charges running time-shared tasks for elapsed progress.
+func (c *CPU) advance() {
+	now := c.e.Now()
+	dt := now - c.lastUpdate
+	if dt > 0 {
+		for _, t := range c.tasks {
+			t.remaining -= t.rate * dt
+			if t.remaining < 0 {
+				t.remaining = 0
+			}
+			c.busyArea += t.rate / c.speed * dt
+		}
+	}
+	c.lastUpdate = now
+}
+
+// rebalance recomputes processor-sharing rates: total capacity
+// cores*speed divided equally, capped at one core per task.
+func (c *CPU) rebalance() {
+	n := len(c.tasks)
+	if n == 0 {
+		return
+	}
+	rate := float64(c.cores) * c.speed / float64(n)
+	if rate > c.speed {
+		rate = c.speed
+	}
+	for _, t := range c.tasks {
+		if t.timer != nil {
+			t.timer.Cancel()
+			t.timer = nil
+		}
+		t.rate = rate
+		t := t
+		eta := t.remaining / rate
+		t.timer = c.e.ScheduleNamed(c.name+":taskend", eta, func() {
+			c.advance()
+			t.remaining = 0
+			for i, u := range c.tasks {
+				if u == t {
+					c.tasks = append(c.tasks[:i], c.tasks[i+1:]...)
+					break
+				}
+			}
+			c.rebalance()
+			c.completed++
+			if t.done != nil {
+				t.done()
+			}
+		})
+	}
+}

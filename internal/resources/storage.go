@@ -1,0 +1,199 @@
+package resources
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// Disk models a disk subsystem: finite capacity, a fixed number of
+// concurrent I/O channels, per-operation seek latency, and a transfer
+// bandwidth shared one channel per operation. It backs both plain
+// storage elements and the database/mass-storage servers of the
+// MONARC-style regional centre.
+type Disk struct {
+	e        *des.Engine
+	name     string
+	capacity float64 // bytes
+	used     float64
+	bps      float64 // per-channel transfer rate, bytes/second
+	seek     float64 // per-operation latency, seconds
+	channels *des.Resource
+
+	reads, writes uint64
+	bytesRead     float64
+	bytesWritten  float64
+}
+
+// NewDisk creates a disk with the given capacity (bytes), per-channel
+// bandwidth (bytes/second), per-operation seek time (seconds) and
+// number of concurrent channels.
+func NewDisk(e *des.Engine, name string, capacity, bps, seek float64, channels int) *Disk {
+	if capacity < 0 || bps <= 0 || seek < 0 || channels <= 0 {
+		panic(fmt.Sprintf("resources: NewDisk(%q, cap=%v, bps=%v, seek=%v, ch=%d)",
+			name, capacity, bps, seek, channels))
+	}
+	return &Disk{
+		e: e, name: name, capacity: capacity, bps: bps, seek: seek,
+		channels: e.NewResource(name+":chan", channels),
+	}
+}
+
+// Name returns the disk name.
+func (d *Disk) Name() string { return d.name }
+
+// Capacity returns total capacity in bytes.
+func (d *Disk) Capacity() float64 { return d.capacity }
+
+// Used returns allocated bytes.
+func (d *Disk) Used() float64 { return d.used }
+
+// Free returns unallocated bytes.
+func (d *Disk) Free() float64 { return d.capacity - d.used }
+
+// Reads returns the completed read-operation count.
+func (d *Disk) Reads() uint64 { return d.reads }
+
+// Writes returns the completed write-operation count.
+func (d *Disk) Writes() uint64 { return d.writes }
+
+// BytesRead returns cumulative bytes read.
+func (d *Disk) BytesRead() float64 { return d.bytesRead }
+
+// BytesWritten returns cumulative bytes written.
+func (d *Disk) BytesWritten() float64 { return d.bytesWritten }
+
+// Utilization returns the time-averaged fraction of busy channels.
+func (d *Disk) Utilization() float64 { return d.channels.Utilization() }
+
+// Allocate reserves space without timing cost (bookkeeping for replica
+// placement). It reports false when the disk is full.
+func (d *Disk) Allocate(bytes float64) bool {
+	if bytes < 0 {
+		panic("resources: Allocate negative bytes")
+	}
+	if d.used+bytes > d.capacity {
+		return false
+	}
+	d.used += bytes
+	return true
+}
+
+// Release frees previously allocated space.
+func (d *Disk) Release(bytes float64) {
+	if bytes < 0 || bytes > d.used {
+		panic(fmt.Sprintf("resources: Release(%v) with %v used", bytes, d.used))
+	}
+	d.used -= bytes
+}
+
+// Read blocks the process for seek + bytes/bps on one I/O channel.
+func (d *Disk) Read(p *des.Process, bytes float64) {
+	d.io(p, bytes)
+	d.reads++
+	d.bytesRead += bytes
+}
+
+// Write blocks the process for seek + bytes/bps on one I/O channel.
+// Write does not allocate space; pair it with Allocate when modeling
+// placement.
+func (d *Disk) Write(p *des.Process, bytes float64) {
+	d.io(p, bytes)
+	d.writes++
+	d.bytesWritten += bytes
+}
+
+func (d *Disk) io(p *des.Process, bytes float64) {
+	if bytes < 0 {
+		panic("resources: negative I/O size")
+	}
+	d.channels.Acquire(p, 1)
+	p.Hold(d.seek + bytes/d.bps)
+	d.channels.Release(1)
+}
+
+// MassStorage models a tape archive: very large capacity, a small
+// number of drives, a long mount latency and sequential bandwidth. It
+// is the tertiary tier of a MONARC regional centre.
+type MassStorage struct {
+	*Disk
+	mount float64 // tape mount/position latency per operation
+}
+
+// NewMassStorage creates a tape store; mount is the per-operation
+// mount+position latency (seconds), added on top of the Disk seek.
+func NewMassStorage(e *des.Engine, name string, capacity, bps, mount float64, drives int) *MassStorage {
+	return &MassStorage{
+		Disk:  NewDisk(e, name, capacity, bps, 0, drives),
+		mount: mount,
+	}
+}
+
+// Read blocks for mount + bytes/bps on one drive.
+func (m *MassStorage) Read(p *des.Process, bytes float64) {
+	m.channels.Acquire(p, 1)
+	p.Hold(m.mount + bytes/m.bps)
+	m.channels.Release(1)
+	m.reads++
+	m.bytesRead += bytes
+}
+
+// Write blocks for mount + bytes/bps on one drive.
+func (m *MassStorage) Write(p *des.Process, bytes float64) {
+	m.channels.Acquire(p, 1)
+	p.Hold(m.mount + bytes/m.bps)
+	m.channels.Release(1)
+	m.writes++
+	m.bytesWritten += bytes
+}
+
+// Database models a database server in the MONARC sense: clients issue
+// queries that are serviced by a pool of worker channels, each query
+// costing a fixed overhead plus data-volume-proportional time.
+type Database struct {
+	e       *des.Engine
+	name    string
+	disk    *Disk
+	workers *des.Resource
+	queryOH float64 // fixed per-query processing overhead, seconds
+
+	queries uint64
+}
+
+// NewDatabase creates a database server backed by a private disk.
+func NewDatabase(e *des.Engine, name string, capacity, bps, queryOverhead float64, workers int) *Database {
+	if workers <= 0 || queryOverhead < 0 {
+		panic(fmt.Sprintf("resources: NewDatabase(%q, workers=%d, oh=%v)", name, workers, queryOverhead))
+	}
+	return &Database{
+		e: e, name: name,
+		disk:    NewDisk(e, name+":disk", capacity, bps, 0, workers),
+		workers: e.NewResource(name+":worker", workers),
+		queryOH: queryOverhead,
+	}
+}
+
+// Name returns the database name.
+func (db *Database) Name() string { return db.name }
+
+// Disk exposes the backing store (for capacity bookkeeping).
+func (db *Database) Disk() *Disk { return db.disk }
+
+// Queries returns the number of completed queries.
+func (db *Database) Queries() uint64 { return db.queries }
+
+// Utilization returns the time-averaged busy fraction of the workers.
+func (db *Database) Utilization() float64 { return db.workers.Utilization() }
+
+// Query blocks the process while the database serves a request that
+// touches the given number of bytes.
+func (db *Database) Query(p *des.Process, bytes float64) {
+	if bytes < 0 {
+		panic("resources: negative query size")
+	}
+	db.workers.Acquire(p, 1)
+	p.Hold(db.queryOH)
+	db.workers.Release(1)
+	db.disk.Read(p, bytes)
+	db.queries++
+}

@@ -1,0 +1,395 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal draws", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	s := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestDeriveIndependentOfDrawCount(t *testing.T) {
+	a, b := New(9), New(9)
+	for i := 0; i < 57; i++ {
+		a.Uint64() // advance a only
+	}
+	da, db := a.Derive("arrivals"), b.Derive("arrivals")
+	for i := 0; i < 100; i++ {
+		if da.Uint64() != db.Uint64() {
+			t.Fatal("Derive depends on parent draw count")
+		}
+	}
+}
+
+func TestDeriveNamesIndependent(t *testing.T) {
+	s := New(9)
+	x, y := s.Derive("x"), s.Derive("y")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if x.Uint64() == y.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("substreams x and y overlap: %d/100", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(6)
+	const n, buckets = 120000, 12
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("Intn bucket %d count %d deviates from %v", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(8)
+	p := s.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(10)
+	const rate, n = 2.5, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exp(rate)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("Exp mean = %v, want %v", mean, 1/rate)
+	}
+}
+
+func TestErlangMeanVariance(t *testing.T) {
+	s := New(11)
+	const k, rate, n = 4, 2.0, 100000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Erlang(k, rate)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-float64(k)/rate) > 0.02 {
+		t.Fatalf("Erlang mean = %v, want %v", mean, float64(k)/rate)
+	}
+	wantVar := float64(k) / (rate * rate)
+	if math.Abs(variance-wantVar) > 0.05 {
+		t.Fatalf("Erlang var = %v, want %v", variance, wantVar)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(12)
+	const mu, sigma, n = 5.0, 2.0, 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(mu, sigma)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-mu) > 0.03 {
+		t.Fatalf("Normal mean = %v", mean)
+	}
+	if math.Abs(variance-sigma*sigma) > 0.1 {
+		t.Fatalf("Normal var = %v", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 10000; i++ {
+		if v := s.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal returned %v", v)
+		}
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	s := New(14)
+	const xmin, alpha, n = 1.0, 2.0, 200000
+	// P(X > 2) = (xmin/2)^alpha = 0.25
+	over := 0
+	for i := 0; i < n; i++ {
+		v := s.Pareto(xmin, alpha)
+		if v < xmin {
+			t.Fatalf("Pareto below xmin: %v", v)
+		}
+		if v > 2 {
+			over++
+		}
+	}
+	frac := float64(over) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Pareto tail P(X>2) = %v, want 0.25", frac)
+	}
+}
+
+func TestBoundedParetoInRange(t *testing.T) {
+	s := New(15)
+	for i := 0; i < 50000; i++ {
+		v := s.BoundedPareto(1, 100, 1.2)
+		if v < 1 || v > 100 {
+			t.Fatalf("BoundedPareto out of range: %v", v)
+		}
+	}
+}
+
+func TestWeibullShape1IsExponential(t *testing.T) {
+	s := New(16)
+	const scale, n = 3.0, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Weibull(1, scale)
+	}
+	if mean := sum / n; math.Abs(mean-scale) > 0.05 {
+		t.Fatalf("Weibull(1,%v) mean = %v", scale, mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(17)
+	for _, lambda := range []float64{0.5, 4, 30, 800} {
+		const n = 50000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(lambda))
+		}
+		mean := sum / n
+		if math.Abs(mean-lambda) > 0.03*lambda+0.05 {
+			t.Fatalf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(18)
+	const p, n = 0.25, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(s.Geometric(p))
+	}
+	want := (1 - p) / p
+	if mean := sum / n; math.Abs(mean-want) > 0.05 {
+		t.Fatalf("Geometric mean = %v, want %v", mean, want)
+	}
+	if s.Geometric(1) != 0 {
+		t.Fatal("Geometric(1) != 0")
+	}
+}
+
+func TestBernoulliFraction(t *testing.T) {
+	s := New(19)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	if f := float64(hits) / n; math.Abs(f-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) fraction = %v", f)
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	src := New(20)
+	z := NewZipf(src, 100, 1.0)
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+	const n = 300000
+	counts := make([]int, 100)
+	for i := 0; i < n; i++ {
+		r := z.Draw()
+		if r < 0 || r >= 100 {
+			t.Fatalf("Zipf rank out of range: %d", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 should appear ~ 1/H(100) ≈ 0.1928 of the time.
+	f0 := float64(counts[0]) / n
+	if math.Abs(f0-z.Prob(0)) > 0.01 {
+		t.Fatalf("Zipf P(0): measured %v, analytic %v", f0, z.Prob(0))
+	}
+	// Monotone decreasing popularity, allowing sampling noise.
+	if counts[0] <= counts[50] || counts[10] <= counts[90] {
+		t.Fatal("Zipf counts not decreasing in rank")
+	}
+}
+
+func TestZipfZeroExponentUniform(t *testing.T) {
+	src := New(21)
+	z := NewZipf(src, 10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-12 {
+			t.Fatalf("Zipf(s=0) Prob(%d) = %v", i, z.Prob(i))
+		}
+	}
+	if z.Prob(-1) != 0 || z.Prob(10) != 0 {
+		t.Fatal("out-of-range Prob not 0")
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	src := New(22)
+	e := NewEmpirical(src, []float64{1, 2, 3}, []float64{1, 0, 3})
+	const n = 100000
+	counts := map[float64]int{}
+	for i := 0; i < n; i++ {
+		counts[e.Draw()]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight value drawn %d times", counts[2])
+	}
+	if f := float64(counts[3]) / n; math.Abs(f-0.75) > 0.01 {
+		t.Fatalf("Empirical P(3) = %v, want 0.75", f)
+	}
+}
+
+func TestQuickOpenFloat64NeverZero(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			v := s.OpenFloat64()
+			if v <= 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadParameters(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Exp0", func() { New(1).Exp(0) }},
+		{"ParetoNeg", func() { New(1).Pareto(-1, 1) }},
+		{"WeibullNeg", func() { New(1).Weibull(0, 1) }},
+		{"Poisson0", func() { New(1).Poisson(0) }},
+		{"Geometric0", func() { New(1).Geometric(0) }},
+		{"BoundedParetoBad", func() { New(1).BoundedPareto(5, 1, 1) }},
+		{"ZipfBadN", func() { NewZipf(New(1), 0, 1) }},
+		{"ZipfNegS", func() { NewZipf(New(1), 5, -1) }},
+		{"EmpiricalEmpty", func() { NewEmpirical(New(1), nil, nil) }},
+		{"EmpiricalNegWeight", func() { NewEmpirical(New(1), []float64{1}, []float64{-1}) }},
+		{"EmpiricalZeroSum", func() { NewEmpirical(New(1), []float64{1}, []float64{0}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

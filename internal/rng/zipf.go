@@ -1,0 +1,101 @@
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf draws ranks in [0, n) with probability proportional to
+// 1/(rank+1)^s. It is the standard popularity model for Data Grid
+// file-access studies (a few files are hot, most are cold) and drives
+// the pull-vs-push replication experiments.
+//
+// The implementation precomputes the CDF once and samples by binary
+// search, so Draw is O(log n) with no rejection.
+type Zipf struct {
+	src *Source
+	cdf []float64
+}
+
+// NewZipf returns a Zipf sampler over n ranks with exponent s >= 0.
+// s = 0 degenerates to the uniform distribution. It panics if n <= 0
+// or s < 0.
+func NewZipf(src *Source, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	if s < 0 {
+		panic("rng: NewZipf with negative exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{src: src, cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Draw returns the next rank in [0, N()).
+func (z *Zipf) Draw() int {
+	u := z.src.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// Empirical samples from a fixed set of values with the given weights,
+// supporting trace-calibrated job mixes. Weights need not be
+// normalized; negative weights panic.
+type Empirical struct {
+	src    *Source
+	values []float64
+	cdf    []float64
+}
+
+// NewEmpirical builds an empirical sampler. values and weights must
+// have equal nonzero length.
+func NewEmpirical(src *Source, values, weights []float64) *Empirical {
+	if len(values) == 0 || len(values) != len(weights) {
+		panic("rng: NewEmpirical requires equal, nonzero-length values and weights")
+	}
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			panic("rng: NewEmpirical with negative weight")
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum <= 0 {
+		panic("rng: NewEmpirical requires positive total weight")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	vals := make([]float64, len(values))
+	copy(vals, values)
+	return &Empirical{src: src, values: vals, cdf: cdf}
+}
+
+// Draw returns the next sampled value.
+func (e *Empirical) Draw() float64 {
+	u := e.src.Float64()
+	return e.values[sort.SearchFloat64s(e.cdf, u)]
+}

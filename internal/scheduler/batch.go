@@ -1,0 +1,99 @@
+package scheduler
+
+import "math"
+
+// Batch heuristics: static (compile-time, in SimGrid's vocabulary)
+// assignment of an independent-job batch onto machines. The paper
+// contrasts SimGrid's "compile time" scheduling — "all scheduling
+// decisions are taken before the execution" — with runtime brokering;
+// MinMin and MaxMin are the canonical heuristics for that mode.
+//
+// Both heuristics model each cluster as ready-time + runtime (width is
+// taken as 1 core in the static model): MinMin repeatedly assigns the
+// job with the smallest minimum completion time (finishing easy work
+// first), MaxMin the job with the largest (starting long work early).
+
+// Assignment maps each job (by batch index) to a cluster index.
+type Assignment []int
+
+// MinMin computes the min-min static schedule of jobs over clusters.
+// It returns the per-job cluster assignment and the predicted makespan.
+func MinMin(jobs []*Job, clusters []*Cluster) (Assignment, float64) {
+	return batchAssign(jobs, clusters, true)
+}
+
+// MaxMin computes the max-min static schedule of jobs over clusters.
+func MaxMin(jobs []*Job, clusters []*Cluster) (Assignment, float64) {
+	return batchAssign(jobs, clusters, false)
+}
+
+func batchAssign(jobs []*Job, clusters []*Cluster, minFirst bool) (Assignment, float64) {
+	if len(clusters) == 0 {
+		panic("scheduler: batch assignment with no clusters")
+	}
+	n := len(jobs)
+	assign := make(Assignment, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	ready := make([]float64, len(clusters))
+	remaining := n
+	for remaining > 0 {
+		// For each unassigned job, find its minimum completion time
+		// over clusters; then pick the extreme job.
+		bestJob, bestCluster := -1, -1
+		bestMCT := math.Inf(1)
+		if !minFirst {
+			bestMCT = math.Inf(-1)
+		}
+		for ji, job := range jobs {
+			if assign[ji] >= 0 {
+				continue
+			}
+			jMCT := math.Inf(1)
+			jCl := -1
+			for ci, c := range clusters {
+				// Effective per-job throughput: a cluster's cores work
+				// in parallel across jobs, so approximate capacity by
+				// cores*speed for ready-time accumulation.
+				ect := ready[ci] + job.Ops/c.speed
+				if ect < jMCT {
+					jMCT = ect
+					jCl = ci
+				}
+			}
+			better := jMCT < bestMCT
+			if !minFirst {
+				better = jMCT > bestMCT
+			}
+			if better {
+				bestMCT = jMCT
+				bestJob, bestCluster = ji, jCl
+			}
+		}
+		assign[bestJob] = bestCluster
+		// The chosen cluster's ready time advances by runtime divided
+		// by core count (cores drain the local queue in parallel).
+		c := clusters[bestCluster]
+		ready[bestCluster] += jobs[bestJob].Ops / c.speed / float64(c.cores)
+		remaining--
+	}
+	makespan := 0.0
+	for _, r := range ready {
+		if r > makespan {
+			makespan = r
+		}
+	}
+	return assign, makespan
+}
+
+// ApplyAssignment submits each job to its assigned cluster, invoking
+// onDone per completion. Jobs keep their batch order within a cluster.
+func ApplyAssignment(jobs []*Job, clusters []*Cluster, assign Assignment, onDone func(*Job)) {
+	if len(assign) != len(jobs) {
+		panic("scheduler: assignment length mismatch")
+	}
+	for i, job := range jobs {
+		clusters[assign[i]].Submit(job, onDone)
+	}
+}

@@ -1,0 +1,339 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// testGrid builds a 3-site grid (one submit-only origin plus two
+// compute sites of different speeds) with clusters and a flow network.
+func testGrid(e *des.Engine) (*topology.Grid, *netsim.Network, *Context, *topology.Site) {
+	g := topology.NewGrid(e)
+	origin := g.AddSite("origin", topology.SiteSpec{})
+	fast := g.AddSite("fast", topology.SiteSpec{Cores: 2, CoreSpeed: 200})
+	slow := g.AddSite("slow", topology.SiteSpec{Cores: 2, CoreSpeed: 100})
+	g.Link(origin, fast, 1e6, 0.01)
+	g.Link(origin, slow, 1e6, 0.01)
+	g.Link(fast, slow, 1e6, 0.01)
+	g.Topo.ComputeRoutes()
+	net := netsim.NewNetwork(e, g.Topo)
+	ctx := &Context{
+		Sites: []*topology.Site{fast, slow},
+		Clusters: map[*topology.Site]*Cluster{
+			fast: NewCluster(e, "fast", 2, 200, FCFS),
+			slow: NewCluster(e, "slow", 2, 100, FCFS),
+		},
+	}
+	return g, net, ctx, origin
+}
+
+func TestBrokerLifecycle(t *testing.T) {
+	e := des.NewEngine()
+	_, net, ctx, origin := testGrid(e)
+	b := NewBroker("b", e, net, ctx, MCTPolicy{})
+	job := mkJob(0, 1000)
+	job.Origin = origin
+	job.InputBytes = 1e4
+	job.OutputBytes = 1e4
+	var finished *Job
+	b.OnDone(func(j *Job) { finished = j })
+	b.Submit(job)
+	e.Run()
+	if finished == nil || !finished.Done || finished.Failed {
+		t.Fatalf("job = %+v", finished)
+	}
+	if job.Site == nil || job.Site.Name != "fast" {
+		t.Fatalf("MCT picked %v", job.Site)
+	}
+	// input: 0.01 + 1e4/1e6 = 0.02; run: 1000/200 = 5; output 0.02.
+	if math.Abs(job.Finished-5.04) > 1e-6 {
+		t.Fatalf("finished at %v, want ~5.04", job.Finished)
+	}
+	if b.Completed != 1 || b.Submitted != 1 || b.Rejected != 0 {
+		t.Fatalf("broker stats %d/%d/%d", b.Submitted, b.Completed, b.Rejected)
+	}
+	if b.Response.N() != 1 || b.Response.Mean() <= 5 {
+		t.Fatalf("response = %v", b.Response.Mean())
+	}
+}
+
+func TestBrokerNoOriginPanics(t *testing.T) {
+	e := des.NewEngine()
+	_, net, ctx, _ := testGrid(e)
+	b := NewBroker("b", e, net, ctx, MCTPolicy{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	b.Submit(mkJob(0, 1))
+}
+
+func TestMCTLoadBalances(t *testing.T) {
+	e := des.NewEngine()
+	_, net, ctx, origin := testGrid(e)
+	b := NewBroker("b", e, net, ctx, MCTPolicy{})
+	counts := map[string]int{}
+	b.OnDone(func(j *Job) { counts[j.Site.Name]++ })
+	for i := 0; i < 30; i++ {
+		j := mkJob(i, 1000)
+		j.Origin = origin
+		b.Submit(j)
+	}
+	e.Run()
+	// fast (200 ops/s) should get roughly 2x the jobs of slow.
+	if counts["fast"] <= counts["slow"] {
+		t.Fatalf("counts = %v", counts)
+	}
+	if counts["fast"]+counts["slow"] != 30 {
+		t.Fatalf("lost jobs: %v", counts)
+	}
+}
+
+func TestRoundRobinAndRandomPolicies(t *testing.T) {
+	e := des.NewEngine()
+	_, _, ctx, _ := testGrid(e)
+	rr := &RoundRobinPolicy{}
+	first := rr.Select(mkJob(0, 1), ctx)
+	second := rr.Select(mkJob(1, 1), ctx)
+	third := rr.Select(mkJob(2, 1), ctx)
+	if first == second || first != third {
+		t.Fatal("round robin not cycling")
+	}
+	rp := &RandomPolicy{Src: rng.New(1)}
+	seen := map[*topology.Site]bool{}
+	for i := 0; i < 50; i++ {
+		seen[rp.Select(mkJob(i, 1), ctx)] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("random policy visited %d sites", len(seen))
+	}
+	if rr.Name() != "round-robin" || rp.Name() != "random" {
+		t.Fatal("names")
+	}
+}
+
+func TestLeastLoadedPolicy(t *testing.T) {
+	e := des.NewEngine()
+	_, _, ctx, _ := testGrid(e)
+	p := LeastLoadedPolicy{}
+	fast := ctx.Sites[0]
+	slow := ctx.Sites[1]
+	// Load up the fast site.
+	ctx.Clusters[fast].Submit(mkJob(0, 1e6), nil)
+	ctx.Clusters[fast].Submit(mkJob(1, 1e6), nil)
+	if got := p.Select(mkJob(2, 1), ctx); got != slow {
+		t.Fatalf("picked %v", got.Name)
+	}
+}
+
+func TestFixedSitePolicy(t *testing.T) {
+	e := des.NewEngine()
+	_, _, ctx, _ := testGrid(e)
+	p := &FixedSitePolicy{Site: ctx.Sites[1]}
+	for i := 0; i < 5; i++ {
+		if p.Select(mkJob(i, 1), ctx) != ctx.Sites[1] {
+			t.Fatal("fixed site policy strayed")
+		}
+	}
+}
+
+func TestDataAwarePolicy(t *testing.T) {
+	e := des.NewEngine()
+	_, _, ctx, _ := testGrid(e)
+	slow := ctx.Sites[1]
+	ctx.Locate = func(file string) []*topology.Site {
+		if file == "data.root" {
+			return []*topology.Site{slow}
+		}
+		return nil
+	}
+	p := DataAwarePolicy{}
+	withData := mkJob(0, 1000)
+	withData.InputFiles = []string{"data.root"}
+	if got := p.Select(withData, ctx); got != slow {
+		t.Fatalf("data-aware picked %v, want slow (holds data)", got.Name)
+	}
+	// Without data, falls back to MCT → fast.
+	plain := mkJob(1, 1000)
+	if got := p.Select(plain, ctx); got.Name != "fast" {
+		t.Fatalf("fallback picked %v", got.Name)
+	}
+	// Unknown file: fall back to MCT too.
+	missing := mkJob(2, 1000)
+	missing.InputFiles = []string{"nowhere.dat"}
+	if got := p.Select(missing, ctx); got.Name != "fast" {
+		t.Fatalf("missing-file pick %v", got.Name)
+	}
+}
+
+func TestEconomyTimeVsCost(t *testing.T) {
+	e := des.NewEngine()
+	_, _, ctx, _ := testGrid(e)
+	fast, slow := ctx.Sites[0], ctx.Sites[1]
+	ctx.CostPerCoreSec = map[*topology.Site]float64{fast: 10, slow: 1}
+	job := mkJob(0, 1000) // 5s/$50 on fast, 10s/$10 on slow
+	job.Deadline = 100
+	job.Budget = 1000
+	timeOpt := &EconomyPolicy{Goal: TimeOptimize}
+	costOpt := &EconomyPolicy{Goal: CostOptimize}
+	if got := timeOpt.Select(job, ctx); got != fast {
+		t.Fatalf("time-opt picked %v", got.Name)
+	}
+	if got := costOpt.Select(job, ctx); got != slow {
+		t.Fatalf("cost-opt picked %v", got.Name)
+	}
+	if timeOpt.Name() != "economy-time" || costOpt.Name() != "economy-cost" {
+		t.Fatal("names")
+	}
+}
+
+func TestEconomyBudgetConstraint(t *testing.T) {
+	e := des.NewEngine()
+	_, _, ctx, _ := testGrid(e)
+	fast, slow := ctx.Sites[0], ctx.Sites[1]
+	ctx.CostPerCoreSec = map[*topology.Site]float64{fast: 10, slow: 1}
+	job := mkJob(0, 1000)
+	job.Budget = 20 // only slow ($10) is affordable
+	p := &EconomyPolicy{Goal: TimeOptimize}
+	if got := p.Select(job, ctx); got != slow {
+		t.Fatalf("picked %v despite budget", got.Name)
+	}
+}
+
+func TestEconomyInfeasibleJobRejected(t *testing.T) {
+	e := des.NewEngine()
+	_, net, ctx, origin := testGrid(e)
+	fast, slow := ctx.Sites[0], ctx.Sites[1]
+	ctx.CostPerCoreSec = map[*topology.Site]float64{fast: 10, slow: 1}
+	b := NewBroker("b", e, net, ctx, &EconomyPolicy{Goal: TimeOptimize})
+	job := mkJob(0, 1000)
+	job.Origin = origin
+	job.Budget = 1 // nothing affordable
+	var done *Job
+	b.OnDone(func(j *Job) { done = j })
+	b.Submit(job)
+	e.Run()
+	if done == nil || !done.Failed || done.FailWhy == "" {
+		t.Fatalf("job = %+v", done)
+	}
+	if b.Rejected != 1 {
+		t.Fatalf("rejected = %d", b.Rejected)
+	}
+}
+
+func TestEconomyDeadlineConstraint(t *testing.T) {
+	e := des.NewEngine()
+	_, _, ctx, _ := testGrid(e)
+	fast, slow := ctx.Sites[0], ctx.Sites[1]
+	ctx.CostPerCoreSec = map[*topology.Site]float64{fast: 10, slow: 1}
+	ctx.Now = e.Now
+	job := mkJob(0, 1000)
+	job.Deadline = 7 // only fast (5 s) meets it
+	p := &EconomyPolicy{Goal: CostOptimize}
+	if got := p.Select(job, ctx); got != fast {
+		t.Fatalf("picked %v despite deadline", got.Name)
+	}
+}
+
+func TestBrokerChargesCost(t *testing.T) {
+	e := des.NewEngine()
+	_, net, ctx, origin := testGrid(e)
+	fast := ctx.Sites[0]
+	ctx.CostPerCoreSec = map[*topology.Site]float64{fast: 2, ctx.Sites[1]: 2}
+	b := NewBroker("b", e, net, ctx, MCTPolicy{})
+	job := mkJob(0, 1000) // 5 s on fast → $10
+	job.Origin = origin
+	b.Submit(job)
+	e.Run()
+	if math.Abs(job.Cost-10) > 1e-9 {
+		t.Fatalf("cost = %v", job.Cost)
+	}
+	if math.Abs(b.Spend-10) > 1e-9 {
+		t.Fatalf("spend = %v", b.Spend)
+	}
+}
+
+func TestMinMinAndMaxMin(t *testing.T) {
+	e := des.NewEngine()
+	c1 := NewCluster(e, "c1", 1, 100, FCFS)
+	c2 := NewCluster(e, "c2", 1, 50, FCFS)
+	jobs := []*Job{mkJob(0, 1000), mkJob(1, 100), mkJob(2, 500), mkJob(3, 2000)}
+	assignMin, makeMin := MinMin(jobs, []*Cluster{c1, c2})
+	assignMax, makeMax := MaxMin(jobs, []*Cluster{c1, c2})
+	if len(assignMin) != 4 || len(assignMax) != 4 {
+		t.Fatal("assignment sizes")
+	}
+	for _, a := range assignMin {
+		if a < 0 || a > 1 {
+			t.Fatalf("bad assignment %v", assignMin)
+		}
+	}
+	if makeMin <= 0 || makeMax <= 0 {
+		t.Fatal("makespans not positive")
+	}
+	// Execute the min-min assignment and verify predicted makespan is
+	// within 2x of the realized one (heuristic estimate).
+	done := 0
+	ApplyAssignment(jobs, []*Cluster{c1, c2}, assignMin, func(j *Job) { done++ })
+	end := e.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	if end > 2*makeMin+1 || end < makeMin/2 {
+		t.Fatalf("realized %v vs predicted %v", end, makeMin)
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty clusters")
+		}
+	}()
+	MinMin([]*Job{mkJob(0, 1)}, nil)
+}
+
+func TestApplyAssignmentMismatch(t *testing.T) {
+	e := des.NewEngine()
+	c := NewCluster(e, "c", 1, 1, FCFS)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ApplyAssignment([]*Job{mkJob(0, 1)}, []*Cluster{c}, Assignment{}, nil)
+}
+
+func TestMultipleBrokersShareClusters(t *testing.T) {
+	// GridSim/SimGrid interference scenario: two brokers submitting
+	// into the same clusters observe each other's load through MCT.
+	e := des.NewEngine()
+	_, net, ctx, origin := testGrid(e)
+	b1 := NewBroker("b1", e, net, ctx, MCTPolicy{})
+	b2 := NewBroker("b2", e, net, ctx, MCTPolicy{})
+	total := 0
+	count := func(j *Job) { total++ }
+	b1.OnDone(count)
+	b2.OnDone(count)
+	for i := 0; i < 10; i++ {
+		j1 := mkJob(i, 500)
+		j1.Origin = origin
+		b1.Submit(j1)
+		j2 := mkJob(100+i, 500)
+		j2.Origin = origin
+		b2.Submit(j2)
+	}
+	e.Run()
+	if total != 20 {
+		t.Fatalf("total = %d", total)
+	}
+	if b1.Completed != 10 || b2.Completed != 10 {
+		t.Fatalf("completed %d/%d", b1.Completed, b2.Completed)
+	}
+}

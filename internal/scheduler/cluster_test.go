@@ -1,0 +1,279 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func mkJob(id int, ops float64) *Job {
+	return &Job{ID: id, Name: "j", Ops: ops}
+}
+
+func TestClusterFCFSOrder(t *testing.T) {
+	e := des.NewEngine()
+	c := NewCluster(e, "c", 1, 100, FCFS)
+	var order []int
+	for i, ops := range []float64{1000, 100, 10} {
+		c.Submit(mkJob(i, ops), func(j *Job) { order = append(order, j.ID) })
+	}
+	e.Run()
+	// FCFS: despite the last job being shortest, order is 0,1,2.
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestClusterSJFOrder(t *testing.T) {
+	e := des.NewEngine()
+	c := NewCluster(e, "c", 1, 100, SJF)
+	var order []int
+	// Job 0 starts immediately (cluster idle); 1 and 2 queue, and the
+	// shorter (2) must run before the longer (1).
+	for i, ops := range []float64{1000, 500, 10} {
+		c.Submit(mkJob(i, ops), func(j *Job) { order = append(order, j.ID) })
+	}
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestClusterEDFOrder(t *testing.T) {
+	e := des.NewEngine()
+	c := NewCluster(e, "c", 1, 100, EDF)
+	var order []int
+	j0 := mkJob(0, 1000)
+	j1 := mkJob(1, 100)
+	j1.Deadline = 100 // later deadline
+	j2 := mkJob(2, 100)
+	j2.Deadline = 20    // urgent
+	j3 := mkJob(3, 100) // no deadline → last
+	for _, j := range []*Job{j0, j1, j2, j3} {
+		c.Submit(j, func(j *Job) { order = append(order, j.ID) })
+	}
+	e.Run()
+	want := []int{0, 2, 1, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestClusterParallelCores(t *testing.T) {
+	e := des.NewEngine()
+	c := NewCluster(e, "c", 4, 100, FCFS)
+	var ends []float64
+	for i := 0; i < 8; i++ {
+		c.Submit(mkJob(i, 1000), func(j *Job) { ends = append(ends, j.Finished) })
+	}
+	e.Run()
+	for i, want := range []float64{10, 10, 10, 10, 20, 20, 20, 20} {
+		if math.Abs(ends[i]-want) > 1e-9 {
+			t.Fatalf("ends = %v", ends)
+		}
+	}
+	if c.Completed() != 8 {
+		t.Fatalf("completed = %d", c.Completed())
+	}
+}
+
+func TestClusterWideJob(t *testing.T) {
+	e := des.NewEngine()
+	c := NewCluster(e, "c", 4, 100, FCFS)
+	wide := mkJob(0, 1000)
+	wide.Cores = 4
+	var wideEnd, nextStart float64
+	c.Submit(wide, func(j *Job) { wideEnd = j.Finished })
+	narrow := mkJob(1, 100)
+	c.Submit(narrow, func(j *Job) { nextStart = j.Started })
+	e.Run()
+	if math.Abs(wideEnd-10) > 1e-9 {
+		t.Fatalf("wideEnd = %v", wideEnd)
+	}
+	if math.Abs(nextStart-10) > 1e-9 {
+		t.Fatalf("narrow started at %v, want 10 (cores all taken)", nextStart)
+	}
+}
+
+func TestClusterBackfillShortJobJumpsQueue(t *testing.T) {
+	e := des.NewEngine()
+	c := NewCluster(e, "c", 2, 100, EASYBackfill)
+	// t=0: J0 takes both cores for 10 s.
+	j0 := mkJob(0, 1000)
+	j0.Cores = 2
+	c.Submit(j0, nil)
+	// J1 needs both cores → blocked until t=10; reservation at 10.
+	j1 := mkJob(1, 1000)
+	j1.Cores = 2
+	var j1Start float64 = -1
+	c.Submit(j1, func(j *Job) { j1Start = j.Started })
+	// J2 is narrow and short — but nothing is free until t=10, so it
+	// cannot backfill now; once J0 ends the head J1 starts first.
+	// Instead test the classic case: free cores exist but the head
+	// needs more.
+	e.Run()
+	if math.Abs(j1Start-10) > 1e-9 {
+		t.Fatalf("j1 started at %v", j1Start)
+	}
+
+	// Classic backfill scenario.
+	e2 := des.NewEngine()
+	c2 := NewCluster(e2, "c2", 2, 100, EASYBackfill)
+	a := mkJob(0, 1000) // 1 core, 10 s → ends t=10
+	c2.Submit(a, nil)
+	b := mkJob(1, 1000) // needs 2 cores → blocked, reservation at t=10
+	b.Cores = 2
+	var bStart float64
+	c2.Submit(b, func(j *Job) { bStart = j.Started })
+	short := mkJob(2, 500) // 1 core, 5 s ≤ shadow(10) → backfills at t=0
+	var shortStart float64 = -1
+	c2.Submit(short, func(j *Job) { shortStart = j.Started })
+	long := mkJob(3, 2000) // 1 core, 20 s > shadow → must NOT backfill
+	var longStart float64 = -1
+	c2.Submit(long, func(j *Job) { longStart = j.Started })
+	e2.Run()
+	if shortStart != 0 {
+		t.Fatalf("short job did not backfill: started %v", shortStart)
+	}
+	if math.Abs(bStart-10) > 1e-9 {
+		t.Fatalf("reserved head delayed by backfill: started %v", bStart)
+	}
+	if longStart < 10 {
+		t.Fatalf("long job illegally backfilled at %v", longStart)
+	}
+}
+
+func TestClusterFCFSvsBackfillUtilization(t *testing.T) {
+	// Backfilling should never lengthen the schedule of this workload
+	// and should finish the short narrow job earlier.
+	build := func(d Discipline) (shortEnd, makespan float64) {
+		e := des.NewEngine()
+		c := NewCluster(e, "c", 2, 100, d)
+		a := mkJob(0, 1000)
+		c.Submit(a, nil)
+		b := mkJob(1, 1000)
+		b.Cores = 2
+		c.Submit(b, func(j *Job) {
+			if j.Finished > makespan {
+				makespan = j.Finished
+			}
+		})
+		s := mkJob(2, 500)
+		c.Submit(s, func(j *Job) {
+			shortEnd = j.Finished
+			if j.Finished > makespan {
+				makespan = j.Finished
+			}
+		})
+		e.Run()
+		return
+	}
+	shortF, makeF := build(FCFS)
+	shortB, makeB := build(EASYBackfill)
+	if shortB >= shortF {
+		t.Fatalf("backfill did not speed up short job: %v vs %v", shortB, shortF)
+	}
+	if makeB > makeF+1e-9 {
+		t.Fatalf("backfill lengthened makespan: %v vs %v", makeB, makeF)
+	}
+}
+
+func TestClusterUtilizationAndBacklog(t *testing.T) {
+	e := des.NewEngine()
+	c := NewCluster(e, "c", 2, 100, FCFS)
+	c.Submit(mkJob(0, 1000), nil)
+	e.Schedule(5, func() {
+		if c.FreeCores() != 1 {
+			t.Errorf("free = %d", c.FreeCores())
+		}
+		if c.Running() != 1 {
+			t.Errorf("running = %d", c.Running())
+		}
+	})
+	e.Run()
+	e2 := des.NewEngine()
+	c2 := NewCluster(e2, "c2", 1, 100, FCFS)
+	c2.Submit(mkJob(0, 1000), nil)
+	c2.Submit(mkJob(1, 500), nil)
+	if bl := c2.Backlog(); math.Abs(bl-5) > 1e-9 {
+		t.Fatalf("backlog = %v, want 5 (500 ops at 100/s)", bl)
+	}
+	ect := c2.EstimateCompletion(100, 1)
+	// running 10 + queued 5 + own 1 = 16.
+	if math.Abs(ect-16) > 1e-9 {
+		t.Fatalf("ECT = %v, want 16", ect)
+	}
+	e2.Run()
+	if u := c2.Utilization(); math.Abs(u-1.0) > 1e-9 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestClusterJobTimestamps(t *testing.T) {
+	e := des.NewEngine()
+	c := NewCluster(e, "c", 1, 100, FCFS)
+	j1 := mkJob(0, 1000)
+	j2 := mkJob(1, 1000)
+	c.Submit(j1, nil)
+	c.Submit(j2, nil)
+	e.Run()
+	if j2.Submitted != 0 || j2.Started != 10 || j2.Finished != 20 {
+		t.Fatalf("j2 stamps: %v %v %v", j2.Submitted, j2.Started, j2.Finished)
+	}
+	if j2.WaitTime() != 10 || j2.ResponseTime() != 20 || j2.RunTime() != 10 {
+		t.Fatal("derived times wrong")
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	e := des.NewEngine()
+	t.Run("bad cores", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		NewCluster(e, "x", 0, 1, FCFS)
+	})
+	t.Run("too wide", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic")
+			}
+		}()
+		c := NewCluster(e, "x", 2, 1, FCFS)
+		w := mkJob(0, 1)
+		w.Cores = 3
+		c.Submit(w, nil)
+	})
+	if FCFS.String() != "fcfs" || EASYBackfill.String() != "easy-backfill" ||
+		SJF.String() != "sjf" || EDF.String() != "edf" || Discipline(42).String() == "" {
+		t.Fatal("discipline strings")
+	}
+}
+
+func TestJobAccessors(t *testing.T) {
+	j := mkJob(3, 100)
+	if j.Width() != 1 {
+		t.Fatal("default width")
+	}
+	j.Cores = 4
+	if j.Width() != 4 {
+		t.Fatal("width")
+	}
+	if j.String() == "" {
+		t.Fatal("string")
+	}
+	j.Done = true
+	j.Finished = 10
+	if !j.MetDeadline() {
+		t.Fatal("no-deadline job should meet deadline")
+	}
+	j.Deadline = 5
+	if j.MetDeadline() {
+		t.Fatal("late job met deadline")
+	}
+}

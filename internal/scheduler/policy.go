@@ -1,0 +1,236 @@
+package scheduler
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// Context is the information a brokering policy may consult when
+// placing a job: the provisioned sites and their clusters, the network
+// (through latency estimates), an optional replica locator for
+// data-aware placement, and per-site prices for economy scheduling.
+type Context struct {
+	Sites    []*topology.Site
+	Clusters map[*topology.Site]*Cluster
+	// Locate returns the sites currently holding a logical file.
+	// nil disables data-aware placement.
+	Locate func(file string) []*topology.Site
+	// CostPerCoreSec prices each site's compute (economy brokering).
+	CostPerCoreSec map[*topology.Site]float64
+	// Now returns the current simulation time.
+	Now func() float64
+}
+
+// Policy selects an execution site for a job. Implementations must be
+// deterministic given equal Context state (randomized policies draw
+// from an owned deterministic stream).
+type Policy interface {
+	Name() string
+	Select(job *Job, ctx *Context) *topology.Site
+}
+
+// RandomPolicy places each job on a uniformly random site.
+type RandomPolicy struct{ Src *rng.Source }
+
+// Name implements Policy.
+func (p *RandomPolicy) Name() string { return "random" }
+
+// Select implements Policy.
+func (p *RandomPolicy) Select(job *Job, ctx *Context) *topology.Site {
+	return ctx.Sites[p.Src.Intn(len(ctx.Sites))]
+}
+
+// RoundRobinPolicy cycles through sites in order.
+type RoundRobinPolicy struct{ next int }
+
+// Name implements Policy.
+func (p *RoundRobinPolicy) Name() string { return "round-robin" }
+
+// Select implements Policy.
+func (p *RoundRobinPolicy) Select(job *Job, ctx *Context) *topology.Site {
+	s := ctx.Sites[p.next%len(ctx.Sites)]
+	p.next++
+	return s
+}
+
+// LeastLoadedPolicy picks the site with the fewest queued+running
+// jobs, breaking ties by site order.
+type LeastLoadedPolicy struct{}
+
+// Name implements Policy.
+func (LeastLoadedPolicy) Name() string { return "least-loaded" }
+
+// Select implements Policy.
+func (LeastLoadedPolicy) Select(job *Job, ctx *Context) *topology.Site {
+	var best *topology.Site
+	bestLoad := math.MaxInt
+	for _, s := range ctx.Sites {
+		c := ctx.Clusters[s]
+		if c == nil {
+			continue
+		}
+		load := c.QueueLen() + c.Running()
+		if load < bestLoad {
+			bestLoad = load
+			best = s
+		}
+	}
+	return best
+}
+
+// MCTPolicy (minimum completion time) estimates each site's completion
+// time for the job — queue backlog plus the job's own runtime — and
+// picks the minimum. This is the canonical online greedy heuristic the
+// batch min-min/max-min heuristics are built from.
+type MCTPolicy struct{}
+
+// Name implements Policy.
+func (MCTPolicy) Name() string { return "mct" }
+
+// Select implements Policy.
+func (MCTPolicy) Select(job *Job, ctx *Context) *topology.Site {
+	var best *topology.Site
+	bestECT := math.Inf(1)
+	for _, s := range ctx.Sites {
+		c := ctx.Clusters[s]
+		if c == nil {
+			continue
+		}
+		ect := c.EstimateCompletion(job.Ops, job.Width())
+		if ect < bestECT {
+			bestECT = ect
+			best = s
+		}
+	}
+	return best
+}
+
+// DataAwarePolicy is ChicagoSim's placement idea: run the job where
+// its data is. Sites holding all the job's input files are preferred
+// (among them, minimum completion time); otherwise placement falls
+// back to plain MCT and the data will be fetched remotely.
+type DataAwarePolicy struct{}
+
+// Name implements Policy.
+func (DataAwarePolicy) Name() string { return "data-aware" }
+
+// Select implements Policy.
+func (DataAwarePolicy) Select(job *Job, ctx *Context) *topology.Site {
+	if ctx.Locate != nil && len(job.InputFiles) > 0 {
+		// Count how many of the job's inputs each site holds.
+		holding := make(map[*topology.Site]int)
+		for _, f := range job.InputFiles {
+			for _, s := range ctx.Locate(f) {
+				holding[s]++
+			}
+		}
+		var best *topology.Site
+		bestECT := math.Inf(1)
+		for _, s := range ctx.Sites {
+			if holding[s] != len(job.InputFiles) || ctx.Clusters[s] == nil {
+				continue
+			}
+			ect := ctx.Clusters[s].EstimateCompletion(job.Ops, job.Width())
+			if ect < bestECT {
+				bestECT = ect
+				best = s
+			}
+		}
+		if best != nil {
+			return best
+		}
+	}
+	return MCTPolicy{}.Select(job, ctx)
+}
+
+// FixedSitePolicy always selects one site — the Bricks central model,
+// where "all the jobs are processed at a single site".
+type FixedSitePolicy struct{ Site *topology.Site }
+
+// Name implements Policy.
+func (p *FixedSitePolicy) Name() string { return "central" }
+
+// Select implements Policy.
+func (p *FixedSitePolicy) Select(job *Job, ctx *Context) *topology.Site { return p.Site }
+
+// EconomyGoal selects the optimization axis of the economy policy.
+type EconomyGoal int
+
+const (
+	// TimeOptimize finishes as early as possible within budget.
+	TimeOptimize EconomyGoal = iota
+	// CostOptimize spends as little as possible within the deadline.
+	CostOptimize
+)
+
+// EconomyPolicy is the GridSim computational-economy broker: resources
+// have prices, jobs have deadlines and budgets, and the broker
+// optimizes for time or for cost subject to the other constraint.
+// When no site satisfies the constraints Select returns nil and the
+// broker fails the job.
+type EconomyPolicy struct {
+	Goal EconomyGoal
+}
+
+// Name implements Policy.
+func (p *EconomyPolicy) Name() string {
+	if p.Goal == CostOptimize {
+		return "economy-cost"
+	}
+	return "economy-time"
+}
+
+// jobCost estimates the price of running job on site s.
+func jobCost(job *Job, s *topology.Site, ctx *Context) float64 {
+	rate := ctx.CostPerCoreSec[s]
+	c := ctx.Clusters[s]
+	if c == nil {
+		return math.Inf(1)
+	}
+	runtime := job.Ops / c.speed
+	return rate * runtime * float64(job.Width())
+}
+
+// Select implements Policy.
+func (p *EconomyPolicy) Select(job *Job, ctx *Context) *topology.Site {
+	type cand struct {
+		site *topology.Site
+		ect  float64
+		cost float64
+	}
+	var feasible []cand
+	for _, s := range ctx.Sites {
+		c := ctx.Clusters[s]
+		if c == nil {
+			continue
+		}
+		ect := c.EstimateCompletion(job.Ops, job.Width())
+		cost := jobCost(job, s, ctx)
+		if job.Budget > 0 && cost > job.Budget {
+			continue
+		}
+		if job.Deadline > 0 && ect > job.Deadline {
+			continue
+		}
+		feasible = append(feasible, cand{s, ect, cost})
+	}
+	if len(feasible) == 0 {
+		return nil
+	}
+	best := feasible[0]
+	for _, c := range feasible[1:] {
+		switch p.Goal {
+		case TimeOptimize:
+			if c.ect < best.ect || (c.ect == best.ect && c.cost < best.cost) {
+				best = c
+			}
+		case CostOptimize:
+			if c.cost < best.cost || (c.cost == best.cost && c.ect < best.ect) {
+				best = c
+			}
+		}
+	}
+	return best.site
+}

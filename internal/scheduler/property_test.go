@@ -1,0 +1,146 @@
+package scheduler
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// TestQuickClusterInvariants submits random job batches under every
+// discipline and checks the safety properties no schedule may violate:
+// cores are never oversubscribed, every job runs exactly once, wait
+// times are non-negative, and completion conserves the job count.
+func TestQuickClusterInvariants(t *testing.T) {
+	disciplines := []Discipline{FCFS, SJF, EDF, EASYBackfill}
+	f := func(seed uint64, nRaw uint8, dRaw uint8) bool {
+		src := rng.New(seed)
+		n := int(nRaw%40) + 1
+		d := disciplines[int(dRaw)%len(disciplines)]
+		e := des.NewEngine()
+		const cores = 4
+		c := NewCluster(e, "c", cores, 100, d)
+
+		// Track concurrent core usage via start/finish bookkeeping.
+		inUse := 0
+		over := false
+		done := 0
+		for i := 0; i < n; i++ {
+			j := &Job{ID: i, Name: "q", Ops: src.Float64()*2000 + 1}
+			if src.Bernoulli(0.3) {
+				j.Cores = src.Intn(cores) + 1
+			}
+			if src.Bernoulli(0.5) {
+				j.Deadline = src.Float64() * 100
+			}
+			width := j.Width()
+			c.Submit(j, func(j *Job) {
+				inUse -= width
+				done++
+				if j.WaitTime() < -1e-9 || j.RunTime() < 0 {
+					over = true
+				}
+			})
+			// Observe starts by polling free cores at each event: the
+			// cluster's own accounting is authoritative; check bounds.
+			if c.FreeCores() < 0 || c.FreeCores() > cores {
+				over = true
+			}
+			_ = inUse
+		}
+		e.Run()
+		if c.FreeCores() != cores || c.Running() != 0 || c.QueueLen() != 0 {
+			return false
+		}
+		return !over && done == n && int(c.Completed()) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBackfillNeverDelaysReservation is the EASY-backfill safety
+// guarantee: with exact runtime estimates, jobs submitted *after* the
+// blocked head job can only backfill into holes — they must never
+// delay the head's reserved start. The head's start time with random
+// fillers present must equal its start time without them.
+func TestQuickBackfillNeverDelaysReservation(t *testing.T) {
+	f := func(seed uint64, nFillersRaw uint8) bool {
+		nFillers := int(nFillersRaw % 16)
+		build := func(withFillers bool) float64 {
+			src := rng.New(seed)
+			e := des.NewEngine()
+			c := NewCluster(e, "c", 4, 100, EASYBackfill)
+			// Random blockers that always start immediately (combined
+			// width <= cores), so the head below is queue[0] — the only
+			// job EASY's reservation protects.
+			for i := 0; i < 2; i++ {
+				j := &Job{ID: i, Name: "blk", Ops: src.Float64()*3000 + 100}
+				j.Cores = src.Intn(2) + 1
+				c.Submit(j, nil)
+			}
+			// The head job needs the whole machine: it must queue.
+			head := &Job{ID: 100, Name: "head", Ops: 1000, Cores: 4}
+			var headStart float64 = -1
+			c.Submit(head, func(j *Job) { headStart = j.Started })
+			// Fillers arrive after the head.
+			if withFillers {
+				for i := 0; i < nFillers; i++ {
+					j := &Job{ID: 200 + i, Name: "fill", Ops: src.Float64()*5000 + 1}
+					j.Cores = src.Intn(4) + 1
+					c.Submit(j, nil)
+				}
+			} else {
+				// Consume the same random draws so the blockers and
+				// head are identical in both worlds.
+				for i := 0; i < nFillers; i++ {
+					src.Float64()
+					src.Intn(4)
+				}
+			}
+			e.Run()
+			return headStart
+		}
+		return build(true) == build(false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEconomyNeverViolatesConstraints: the economy policy never
+// selects a site whose estimated cost exceeds the budget or whose
+// estimated completion exceeds the deadline; returning nil
+// (infeasible) is the only other legal outcome.
+func TestQuickEconomyNeverViolatesConstraints(t *testing.T) {
+	g := func(opsRaw uint16, budRaw uint8, dlRaw uint8) bool {
+		e := des.NewEngine()
+		_, _, ctx, _ := testGrid(e)
+		fast, slow := ctx.Sites[0], ctx.Sites[1]
+		ctx.CostPerCoreSec = map[*topology.Site]float64{fast: 10, slow: 1}
+		job := &Job{ID: 0, Name: "x", Ops: float64(opsRaw) + 1}
+		job.Budget = float64(budRaw)
+		job.Deadline = float64(dlRaw)
+		for _, goal := range []EconomyGoal{TimeOptimize, CostOptimize} {
+			p := &EconomyPolicy{Goal: goal}
+			site := p.Select(job, ctx)
+			if site == nil {
+				continue // infeasible is a legal outcome
+			}
+			cost := jobCost(job, site, ctx)
+			ect := ctx.Clusters[site].EstimateCompletion(job.Ops, job.Width())
+			if job.Budget > 0 && cost > job.Budget {
+				return false
+			}
+			if job.Deadline > 0 && ect > job.Deadline {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

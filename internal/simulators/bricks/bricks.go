@@ -1,0 +1,168 @@
+// Package bricks reproduces the design of the Bricks simulator: "among
+// the first simulation projects developed to investigate different
+// resource scheduling issues", built on the central model, "in this
+// simulation model it is assumed that all the jobs are processed at a
+// single site". Client sites submit jobs over WAN links to one central
+// server whose scheduler queues and executes them.
+//
+// The personality wires the shared substrates — star topology, flow
+// network, one cluster, FIFO-family local scheduling — and exposes the
+// central-vs-tier comparison hooks experiment E8 uses.
+package bricks
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/scheduler"
+	"repro/internal/taxonomy"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a Bricks run.
+type Config struct {
+	Seed          uint64
+	Clients       int
+	JobsPerClient int
+	ArrivalRate   float64 // jobs/second per client
+	MeanOps       float64 // exponential job demand
+	InputBytes    float64
+	OutputBytes   float64
+
+	ServerCores int
+	ServerSpeed float64
+	Discipline  scheduler.Discipline
+
+	LinkBps float64
+	LinkLat float64
+}
+
+// DefaultConfig returns a moderate central-model scenario.
+func DefaultConfig() Config {
+	return Config{
+		Seed:          1,
+		Clients:       8,
+		JobsPerClient: 50,
+		ArrivalRate:   0.02,
+		MeanOps:       4e9,
+		InputBytes:    5e6,
+		OutputBytes:   1e6,
+		ServerCores:   16,
+		ServerSpeed:   1e9,
+		Discipline:    scheduler.FCFS,
+		LinkBps:       10e6,
+		LinkLat:       0.05,
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	Jobs           int
+	Makespan       float64
+	MeanResponse   float64
+	MeanWait       float64
+	Utilization    float64
+	WANBytesMoved  float64
+	ServerQueueMax int
+}
+
+// Run executes the scenario and returns its metrics.
+func Run(cfg Config) Result {
+	if cfg.Clients <= 0 || cfg.JobsPerClient <= 0 {
+		panic(fmt.Sprintf("bricks: bad config %+v", cfg))
+	}
+	e := des.NewEngine(des.WithSeed(cfg.Seed))
+	serverSpec := topology.SiteSpec{Cores: cfg.ServerCores, CoreSpeed: cfg.ServerSpeed}
+	grid := topology.CentralModel(e, cfg.Clients, serverSpec, topology.SiteSpec{}, cfg.LinkBps, cfg.LinkLat)
+	net := netsim.NewNetwork(e, grid.Topo)
+	central := grid.Site("central")
+	cluster := scheduler.NewCluster(e, "central", cfg.ServerCores, cfg.ServerSpeed, cfg.Discipline)
+	ctx := &scheduler.Context{
+		Sites:    []*topology.Site{central},
+		Clusters: map[*topology.Site]*scheduler.Cluster{central: cluster},
+	}
+	broker := scheduler.NewBroker("bricks", e, net, ctx, &scheduler.FixedSitePolicy{Site: central})
+
+	var response, wait metrics.Summary
+	makespan := 0.0
+	queueMax := 0
+	broker.OnDone(func(j *scheduler.Job) {
+		response.Observe(j.ResponseTime())
+		wait.Observe(j.WaitTime())
+		if j.Finished > makespan {
+			makespan = j.Finished
+		}
+		if q := cluster.QueueLen(); q > queueMax {
+			queueMax = q
+		}
+	})
+
+	nextID := 0
+	for c := 0; c < cfg.Clients; c++ {
+		client := grid.Site(fmt.Sprintf("client%02d", c))
+		src := e.Stream(fmt.Sprintf("client%02d", c))
+		act := &workload.Activity{
+			Name:         client.Name,
+			Interarrival: workload.Poisson(src, cfg.ArrivalRate),
+			MaxJobs:      cfg.JobsPerClient,
+			Emit: func(int) {
+				j := &scheduler.Job{
+					ID:          nextID,
+					Name:        "bricks-job",
+					Ops:         src.Exp(1 / cfg.MeanOps),
+					InputBytes:  cfg.InputBytes,
+					OutputBytes: cfg.OutputBytes,
+					Origin:      client,
+				}
+				nextID++
+				broker.Submit(j)
+			},
+		}
+		act.Start(e)
+	}
+	e.Run()
+	totalJobs := cfg.Clients * cfg.JobsPerClient
+	var wan float64
+	for _, l := range grid.Topo.Links() {
+		wan += l.BytesCarried()
+	}
+	return Result{
+		Jobs:           totalJobs,
+		Makespan:       makespan,
+		MeanResponse:   response.Mean(),
+		MeanWait:       wait.Mean(),
+		Utilization:    cluster.Utilization(),
+		WANBytesMoved:  wan,
+		ServerQueueMax: queueMax,
+	}
+}
+
+// Profile places Bricks in the taxonomy, as the paper's Section 4
+// analysis describes it.
+func Profile() *taxonomy.Profile {
+	return &taxonomy.Profile{
+		Name:       "Bricks",
+		Motivation: "resource scheduling in global computing systems (central model)",
+		Scope:      []taxonomy.Scope{taxonomy.ScopeScheduling, taxonomy.ScopeReplication},
+		Components: []taxonomy.Component{
+			taxonomy.CompHosts, taxonomy.CompNetwork, taxonomy.CompMiddleware,
+		},
+		// The paper singles Bricks out as an exception to runtime
+		// user-defined components.
+		DynamicComponents: false,
+		Behavior:          taxonomy.Probabilistic,
+		Mechanics:         taxonomy.MechDES,
+		DESKinds:          []taxonomy.DESKind{taxonomy.DESEventDriven},
+		Execution:         taxonomy.ExecCentralized,
+		MultiThreaded:     false,
+		Queue:             taxonomy.QueueOLogN,
+		JobMapping:        "single event loop",
+		Spec:              []taxonomy.SpecStyle{taxonomy.SpecLibrary},
+		Inputs:            []taxonomy.InputKind{taxonomy.InputGenerator},
+		Outputs:           []taxonomy.OutputKind{taxonomy.OutTextual},
+		Validation:        taxonomy.ValidationTestbed,
+	}
+}

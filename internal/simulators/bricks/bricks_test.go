@@ -1,0 +1,100 @@
+package bricks
+
+import (
+	"testing"
+
+	"repro/internal/scheduler"
+)
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clients = 4
+	cfg.JobsPerClient = 10
+	res := Run(cfg)
+	if res.Jobs != 40 {
+		t.Fatalf("jobs = %d", res.Jobs)
+	}
+	if res.MeanResponse <= 0 || res.Makespan <= 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization = %v", res.Utilization)
+	}
+	if res.WANBytesMoved <= 0 {
+		t.Fatal("no WAN traffic despite staged inputs")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clients = 3
+	cfg.JobsPerClient = 8
+	a, b := Run(cfg), Run(cfg)
+	if a != b {
+		t.Fatalf("nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clients = 3
+	cfg.JobsPerClient = 8
+	a := Run(cfg)
+	cfg.Seed = 99
+	b := Run(cfg)
+	if a.MeanResponse == b.MeanResponse {
+		t.Fatal("different seeds gave identical response times")
+	}
+}
+
+func TestSJFImprovesMeanWaitUnderLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Clients = 4
+	cfg.JobsPerClient = 30
+	cfg.ArrivalRate = 0.5 // slam the central server
+	cfg.ServerCores = 2
+	fcfs := Run(cfg)
+	cfg.Discipline = scheduler.SJF
+	sjf := Run(cfg)
+	if sjf.MeanResponse >= fcfs.MeanResponse {
+		t.Fatalf("SJF response %v not below FCFS %v under load", sjf.MeanResponse, fcfs.MeanResponse)
+	}
+}
+
+func TestCentralServerSaturates(t *testing.T) {
+	// The central model's known weakness: all load lands on one site,
+	// so doubling clients at a fixed service capacity grows the queue.
+	cfg := DefaultConfig()
+	cfg.ServerCores = 2
+	cfg.JobsPerClient = 20
+	cfg.ArrivalRate = 0.2
+	cfg.Clients = 2
+	light := Run(cfg)
+	cfg.Clients = 8
+	heavy := Run(cfg)
+	if heavy.MeanWait <= light.MeanWait {
+		t.Fatalf("wait did not grow with client count: %v vs %v", heavy.MeanWait, light.MeanWait)
+	}
+	if heavy.Utilization < light.Utilization {
+		t.Fatalf("utilization fell with load: %v vs %v", heavy.Utilization, light.Utilization)
+	}
+}
+
+func TestProfileValid(t *testing.T) {
+	p := Profile()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.DynamicComponents {
+		t.Fatal("paper singles out Bricks as lacking dynamic components")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Run(Config{})
+}

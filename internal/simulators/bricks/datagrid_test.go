@@ -1,0 +1,68 @@
+package bricks
+
+import "testing"
+
+func TestRunDataGridCompletes(t *testing.T) {
+	cfg := DefaultDataConfig()
+	cfg.Clients = 4
+	cfg.JobsPerClient = 15
+	res := RunDataGrid(cfg)
+	if res.Jobs != 60 {
+		t.Fatalf("jobs = %d", res.Jobs)
+	}
+	if res.Pulls == 0 {
+		t.Fatal("no replica pulls: the Data Grid extension is inert")
+	}
+	if res.WANBytes <= 0 || res.MeanResponse <= 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDataGridCachingReducesWAN(t *testing.T) {
+	cfg := DefaultDataConfig()
+	cfg.Clients = 3
+	cfg.JobsPerClient = 30
+	cfg.ZipfS = 1.3
+	small := cfg
+	small.ClientCacheFraction = 0.01
+	big := cfg
+	big.ClientCacheFraction = 0.5
+	rSmall := RunDataGrid(small)
+	rBig := RunDataGrid(big)
+	if rBig.LocalHitRatio <= rSmall.LocalHitRatio {
+		t.Fatalf("bigger cache hit ratio %v not above smaller %v",
+			rBig.LocalHitRatio, rSmall.LocalHitRatio)
+	}
+	if rBig.WANBytes >= rSmall.WANBytes {
+		t.Fatalf("bigger cache WAN %v not below smaller %v", rBig.WANBytes, rSmall.WANBytes)
+	}
+}
+
+func TestDataGridTinyCacheEvicts(t *testing.T) {
+	cfg := DefaultDataConfig()
+	cfg.Clients = 2
+	cfg.JobsPerClient = 40
+	cfg.ClientCacheFraction = 0.03
+	res := RunDataGrid(cfg)
+	if res.Evictions == 0 {
+		t.Fatalf("no evictions under a tiny cache: %+v", res)
+	}
+}
+
+func TestDataGridDeterministic(t *testing.T) {
+	cfg := DefaultDataConfig()
+	cfg.Clients = 2
+	cfg.JobsPerClient = 10
+	if a, b := RunDataGrid(cfg), RunDataGrid(cfg); a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDataGridBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RunDataGrid(DataConfig{})
+}

@@ -1,0 +1,109 @@
+package chicsim
+
+import "testing"
+
+func small() Config {
+	cfg := DefaultConfig()
+	cfg.Sites = 4
+	cfg.Files = 60
+	cfg.Jobs = 120
+	return cfg
+}
+
+func TestRunCompletes(t *testing.T) {
+	cfg := small()
+	res := Run(cfg)
+	if res.Jobs != cfg.Jobs {
+		t.Fatalf("jobs = %d", res.Jobs)
+	}
+	if res.MeanResponse <= 0 || res.Makespan <= 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := small()
+	if a, b := Run(cfg), Run(cfg); a != b {
+		t.Fatalf("nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestDataAwareBeatsComputeAware(t *testing.T) {
+	// ChicSim's central finding: for data-intensive loads, scheduling
+	// jobs to the data slashes WAN traffic and improves hit ratio.
+	cfg := small()
+	cfg.Push = false
+	cfg.Placement = ComputeAware
+	compute := Run(cfg)
+	cfg.Placement = DataAware
+	data := Run(cfg)
+	if data.LocalHitRatio <= compute.LocalHitRatio {
+		t.Fatalf("data-aware hit ratio %v not above compute-aware %v",
+			data.LocalHitRatio, compute.LocalHitRatio)
+	}
+	if data.WANBytes >= compute.WANBytes {
+		t.Fatalf("data-aware WAN %v not below compute-aware %v",
+			data.WANBytes, compute.WANBytes)
+	}
+}
+
+func TestPushCreatesReplicas(t *testing.T) {
+	cfg := small()
+	cfg.Placement = DataAware
+	cfg.Push = true
+	cfg.PushThresh = 2
+	cfg.PushFanout = 2
+	res := Run(cfg)
+	if res.Pushes == 0 {
+		t.Fatalf("no pushes despite popular files: %+v", res)
+	}
+}
+
+func TestPushSpreadsLoadForComputeAware(t *testing.T) {
+	// With compute-aware placement, pushed replicas let remote sites
+	// serve locally: hit ratio should improve when push is on.
+	cfg := small()
+	cfg.Placement = ComputeAware
+	cfg.ZipfS = 1.3
+	cfg.Push = false
+	off := Run(cfg)
+	cfg.Push = true
+	cfg.PushThresh = 2
+	cfg.PushFanout = 2
+	on := Run(cfg)
+	if on.LocalHitRatio <= off.LocalHitRatio {
+		t.Fatalf("push did not raise hit ratio: %v vs %v", on.LocalHitRatio, off.LocalHitRatio)
+	}
+}
+
+func TestPlacementStrings(t *testing.T) {
+	if ComputeAware.String() != "compute-aware" || DataAware.String() != "data-aware" {
+		t.Fatal("placement strings")
+	}
+}
+
+func TestProfileValid(t *testing.T) {
+	p := Profile()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Parsec is a simulation language: the taxonomy's language axis.
+	found := false
+	for _, s := range p.Spec {
+		if s == "language" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ChicagoSim profile should be language-based (Parsec)")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Run(Config{Sites: 1, Jobs: 1, Schedulers: 1})
+}

@@ -1,0 +1,183 @@
+// Package gridsim reproduces the design of GridSim, the Gridbus
+// project's simulator for "effective resource allocation techniques
+// based on computational economy": producers own priced resources
+// (time- or space-shared, "from individual PCs to clusters"),
+// consumers submit task-farming applications under "deadline and
+// budget constraints", and brokers optimize for cost or time.
+package gridsim
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/scheduler"
+	"repro/internal/taxonomy"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// ResourceSpec describes one priced grid resource.
+type ResourceSpec struct {
+	Name   string
+	Cores  int
+	Speed  float64
+	Price  float64 // cost per core-second
+	Shared scheduler.Discipline
+}
+
+// Config parameterizes a GridSim economy run.
+type Config struct {
+	Seed      uint64
+	Resources []ResourceSpec
+	Jobs      int
+	MeanOps   float64
+	// DeadlineFactor scales each job's deadline relative to its ideal
+	// runtime on the fastest machine (tightness knob).
+	DeadlineFactor float64
+	// BudgetFactor scales each job's budget relative to the cost of
+	// running on the most expensive machine.
+	BudgetFactor float64
+	Goal         scheduler.EconomyGoal
+	ArrivalRate  float64
+	LinkBps      float64
+	LinkLat      float64
+}
+
+// DefaultConfig returns the canonical cheap-slow vs fast-expensive
+// resource market.
+func DefaultConfig() Config {
+	return Config{
+		Seed: 1,
+		Resources: []ResourceSpec{
+			{Name: "cheap", Cores: 8, Speed: 5e8, Price: 1},
+			{Name: "mid", Cores: 8, Speed: 1e9, Price: 3},
+			{Name: "fast", Cores: 8, Speed: 4e9, Price: 10},
+		},
+		Jobs: 200, MeanOps: 2e9,
+		DeadlineFactor: 30, BudgetFactor: 0.8,
+		Goal:        scheduler.TimeOptimize,
+		ArrivalRate: 1.0,
+		LinkBps:     100e6, LinkLat: 0.01,
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	Jobs            int
+	Completed       uint64
+	Rejected        uint64
+	DeadlineMisses  int
+	TotalSpend      float64
+	MeanResponse    float64
+	Makespan        float64
+	PerResourceJobs map[string]int
+}
+
+// Run executes the scenario.
+func Run(cfg Config) Result {
+	if len(cfg.Resources) == 0 || cfg.Jobs <= 0 {
+		panic(fmt.Sprintf("gridsim: bad config %+v", cfg))
+	}
+	e := des.NewEngine(des.WithSeed(cfg.Seed))
+	grid := topology.NewGrid(e)
+	user := grid.AddSite("user", topology.SiteSpec{})
+	var sites []*topology.Site
+	clusters := map[*topology.Site]*scheduler.Cluster{}
+	prices := map[*topology.Site]float64{}
+	fastest, dearest := 0.0, 0.0
+	for _, rs := range cfg.Resources {
+		s := grid.AddSite(rs.Name, topology.SiteSpec{Cores: rs.Cores, CoreSpeed: rs.Speed})
+		grid.Link(user, s, cfg.LinkBps, cfg.LinkLat)
+		clusters[s] = scheduler.NewCluster(e, rs.Name, rs.Cores, rs.Speed, rs.Shared)
+		prices[s] = rs.Price
+		sites = append(sites, s)
+		if rs.Speed > fastest {
+			fastest = rs.Speed
+		}
+		if rs.Price > dearest {
+			dearest = rs.Price
+		}
+	}
+	grid.Topo.ComputeRoutes()
+	net := netsim.NewNetwork(e, grid.Topo)
+	ctx := &scheduler.Context{Sites: sites, Clusters: clusters, CostPerCoreSec: prices}
+	broker := scheduler.NewBroker("economy", e, net, ctx, &scheduler.EconomyPolicy{Goal: cfg.Goal})
+
+	var response metrics.Summary
+	makespan := 0.0
+	misses := 0
+	perResource := map[string]int{}
+	broker.OnDone(func(j *scheduler.Job) {
+		if j.Failed {
+			return
+		}
+		response.Observe(j.ResponseTime())
+		if j.Finished > makespan {
+			makespan = j.Finished
+		}
+		if !j.MetDeadline() {
+			misses++
+		}
+		perResource[j.Site.Name]++
+	})
+
+	src := e.Stream("econ")
+	act := &workload.Activity{
+		Name:         "consumers",
+		Interarrival: workload.Poisson(src, cfg.ArrivalRate),
+		MaxJobs:      cfg.Jobs,
+		Emit: func(i int) {
+			ops := src.Exp(1 / cfg.MeanOps)
+			idealRun := ops / fastest
+			worstCost := ops / 5e8 * dearest // cost ceiling reference
+			j := &scheduler.Job{
+				ID: i, Name: "gridlet", Ops: ops, Origin: user,
+				Deadline: e.Now() + idealRun*cfg.DeadlineFactor,
+				Budget:   worstCost * cfg.BudgetFactor,
+			}
+			broker.Submit(j)
+		},
+	}
+	act.Start(e)
+	e.Run()
+	return Result{
+		Jobs:            cfg.Jobs,
+		Completed:       broker.Completed,
+		Rejected:        broker.Rejected,
+		DeadlineMisses:  misses,
+		TotalSpend:      broker.Spend,
+		MeanResponse:    response.Mean(),
+		Makespan:        makespan,
+		PerResourceJobs: perResource,
+	}
+}
+
+// Profile places GridSim in the taxonomy: a higher-level simulator
+// than SimGrid focused on Grid economy, supporting "heterogeneous
+// resources (both time and space shared)" and providing a visual
+// design interface.
+func Profile() *taxonomy.Profile {
+	return &taxonomy.Profile{
+		Name:       "GridSim",
+		Motivation: "computational economy: cost-time optimization under deadline and budget",
+		Scope:      []taxonomy.Scope{taxonomy.ScopeScheduling, taxonomy.ScopeEconomy},
+		Components: []taxonomy.Component{
+			taxonomy.CompHosts, taxonomy.CompNetwork, taxonomy.CompMiddleware, taxonomy.CompApps,
+		},
+		DynamicComponents: true,
+		Behavior:          taxonomy.Probabilistic,
+		Mechanics:         taxonomy.MechDES,
+		DESKinds:          []taxonomy.DESKind{taxonomy.DESEventDriven},
+		Execution:         taxonomy.ExecCentralized,
+		MultiThreaded:     true,
+		Queue:             taxonomy.QueueOLogN,
+		JobMapping:        "thread per entity (SimJava)",
+		Spec:              []taxonomy.SpecStyle{taxonomy.SpecLibrary, taxonomy.SpecVisual},
+		Inputs:            []taxonomy.InputKind{taxonomy.InputGenerator},
+		Outputs:           []taxonomy.OutputKind{taxonomy.OutTextual, taxonomy.OutGraphical},
+		VisualDesign:      true,
+		Validation:        taxonomy.ValidationNone,
+	}
+}

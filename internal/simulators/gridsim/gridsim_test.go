@@ -1,0 +1,106 @@
+package gridsim
+
+import (
+	"testing"
+
+	"repro/internal/scheduler"
+)
+
+func small() Config {
+	cfg := DefaultConfig()
+	cfg.Jobs = 80
+	return cfg
+}
+
+func TestRunCompletes(t *testing.T) {
+	cfg := small()
+	res := Run(cfg)
+	if res.Completed+res.Rejected != uint64(cfg.Jobs) {
+		t.Fatalf("completed %d + rejected %d != %d", res.Completed, res.Rejected, cfg.Jobs)
+	}
+	if res.TotalSpend <= 0 {
+		t.Fatal("no spend recorded")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := small()
+	a, b := Run(cfg), Run(cfg)
+	if a.TotalSpend != b.TotalSpend || a.Makespan != b.Makespan {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestTimeOptFasterButDearer(t *testing.T) {
+	// The economy headline: time-optimization buys speed with money,
+	// cost-optimization saves money at the price of time.
+	cfg := small()
+	cfg.Goal = scheduler.TimeOptimize
+	timeOpt := Run(cfg)
+	cfg.Goal = scheduler.CostOptimize
+	costOpt := Run(cfg)
+	if timeOpt.MeanResponse >= costOpt.MeanResponse {
+		t.Fatalf("time-opt response %v not below cost-opt %v",
+			timeOpt.MeanResponse, costOpt.MeanResponse)
+	}
+	if timeOpt.TotalSpend <= costOpt.TotalSpend {
+		t.Fatalf("time-opt spend %v not above cost-opt %v",
+			timeOpt.TotalSpend, costOpt.TotalSpend)
+	}
+}
+
+func TestCostOptPrefersCheapResource(t *testing.T) {
+	cfg := small()
+	cfg.Goal = scheduler.CostOptimize
+	res := Run(cfg)
+	if res.PerResourceJobs["cheap"] <= res.PerResourceJobs["fast"] {
+		t.Fatalf("cost-opt placement: %v", res.PerResourceJobs)
+	}
+}
+
+func TestTimeOptPrefersFastResource(t *testing.T) {
+	cfg := small()
+	cfg.Goal = scheduler.TimeOptimize
+	res := Run(cfg)
+	if res.PerResourceJobs["fast"] <= res.PerResourceJobs["cheap"] {
+		t.Fatalf("time-opt placement: %v", res.PerResourceJobs)
+	}
+}
+
+func TestTightBudgetCausesRejections(t *testing.T) {
+	cfg := small()
+	cfg.BudgetFactor = 0.0001
+	res := Run(cfg)
+	if res.Rejected == 0 {
+		t.Fatalf("no rejections under impossible budget: %+v", res)
+	}
+}
+
+func TestTightDeadlinesRejectOrMiss(t *testing.T) {
+	cfg := small()
+	cfg.DeadlineFactor = 1.01 // essentially no queueing slack
+	cfg.ArrivalRate = 5
+	res := Run(cfg)
+	if res.Rejected == 0 && res.DeadlineMisses == 0 {
+		t.Fatalf("tight deadlines had no effect: %+v", res)
+	}
+}
+
+func TestProfileValid(t *testing.T) {
+	p := Profile()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.VisualDesign {
+		t.Fatal("paper lists GridSim among visual-design simulators")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Run(Config{Jobs: 1})
+}

@@ -1,0 +1,225 @@
+// Package optorsim reproduces the design of OptorSim, the European
+// DataGrid WP2 simulator whose "objective ... is to investigate the
+// stability and transient behavior of replication optimization
+// methods". A flat grid of sites runs data-intensive jobs; each file
+// access consults the replica optimizer, which in OptorSim's "pull"
+// model fetches and locally stores replicas on demand, with an
+// eviction policy (LRU or the economic model) deciding what to drop.
+package optorsim
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/replication"
+	"repro/internal/rng"
+	"repro/internal/taxonomy"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Optimizer selects the replication optimization strategy under test.
+type Optimizer int
+
+const (
+	// NoReplication always reads remotely.
+	NoReplication Optimizer = iota
+	// AlwaysLRU replicates on access, evicting least-recently-used.
+	AlwaysLRU
+	// AlwaysLFU replicates on access, evicting least-frequently-used.
+	AlwaysLFU
+	// Economic replicates only when the predicted value of the new
+	// replica exceeds that of the files it would evict.
+	Economic
+)
+
+// String names the optimizer.
+func (o Optimizer) String() string {
+	switch o {
+	case NoReplication:
+		return "none"
+	case AlwaysLRU:
+		return "always-lru"
+	case AlwaysLFU:
+		return "always-lfu"
+	case Economic:
+		return "economic"
+	default:
+		return fmt.Sprintf("Optimizer(%d)", int(o))
+	}
+}
+
+// Config parameterizes an OptorSim run.
+type Config struct {
+	Seed      uint64
+	Sites     int
+	Files     int
+	FileBytes float64
+	// CacheFraction sizes each site's replica store as a fraction of
+	// the total dataset (OptorSim's key stress knob).
+	CacheFraction float64
+	Jobs          int
+	FilesPerJob   int
+	ZipfS         float64 // file-popularity skew
+	JobOps        float64
+	ArrivalRate   float64
+	Optimizer     Optimizer
+
+	Cores   int
+	Speed   float64
+	LinkBps float64
+	LinkLat float64
+}
+
+// DefaultConfig returns a moderate Data Grid scenario.
+func DefaultConfig() Config {
+	return Config{
+		Seed: 1, Sites: 6, Files: 200, FileBytes: 1e9,
+		CacheFraction: 0.15, Jobs: 300, FilesPerJob: 3,
+		ZipfS: 1.0, JobOps: 1e9, ArrivalRate: 0.5,
+		Cores: 8, Speed: 1e9, LinkBps: 50e6, LinkLat: 0.02,
+		Optimizer: AlwaysLRU,
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	Jobs          int
+	MeanJobTime   float64
+	LocalHitRatio float64
+	RemoteReads   uint64
+	Pulls         uint64
+	Evictions     uint64
+	WANBytes      float64
+	Makespan      float64
+}
+
+// Run executes the scenario.
+func Run(cfg Config) Result {
+	if cfg.Sites < 2 || cfg.Files <= 0 || cfg.Jobs <= 0 {
+		panic(fmt.Sprintf("optorsim: bad config %+v", cfg))
+	}
+	e := des.NewEngine(des.WithSeed(cfg.Seed))
+	datasetBytes := float64(cfg.Files) * cfg.FileBytes
+	cache := datasetBytes * cfg.CacheFraction
+	spec := topology.SiteSpec{
+		Cores: cfg.Cores, CoreSpeed: cfg.Speed,
+		DiskBytes: cache, DiskBps: 200e6, DiskChans: 4,
+	}
+	grid := topology.SiteGrid(e, cfg.Sites, spec, cfg.LinkBps, cfg.LinkLat, 2)
+	net := netsim.NewNetwork(e, grid.Topo)
+	sys := replication.NewSystem(e, net)
+
+	var policy replication.EvictPolicy
+	mode := replication.ModePull
+	switch cfg.Optimizer {
+	case NoReplication:
+		mode = replication.ModeNone
+		policy = replication.EvictLRU
+	case AlwaysLRU:
+		policy = replication.EvictLRU
+	case AlwaysLFU:
+		policy = replication.EvictLFU
+	case Economic:
+		policy = replication.EvictEconomic
+	}
+	for _, s := range grid.Sites {
+		sys.AddStore(s, policy, mode)
+	}
+	// Master copies live on a dedicated storage site with room for
+	// the full dataset (the "CERN" of the EU DataGrid testbed).
+	master := grid.AddSite("master", topology.SiteSpec{
+		DiskBytes: 2 * datasetBytes, DiskBps: 400e6, DiskChans: 8,
+	})
+	grid.Link(master, grid.Sites[0], cfg.LinkBps, cfg.LinkLat)
+	grid.Link(master, grid.Sites[cfg.Sites/2], cfg.LinkBps, cfg.LinkLat)
+	grid.Topo.ComputeRoutes()
+	sys.AddStore(master, replication.EvictLRU, replication.ModeNone)
+	files := make([]*replication.File, cfg.Files)
+	for i := range files {
+		files[i] = &replication.File{Name: fmt.Sprintf("lfn%04d", i), Bytes: cfg.FileBytes}
+		sys.Place(files[i], master)
+	}
+
+	src := e.Stream("workload")
+	zipf := rng.NewZipf(e.Stream("popularity"), cfg.Files, cfg.ZipfS)
+	var jobTime metrics.Summary
+	makespan := 0.0
+	done := 0
+	sites := grid.Sites[:cfg.Sites] // compute sites only
+
+	act := &workload.Activity{
+		Name:         "optor-jobs",
+		Interarrival: workload.Poisson(src, cfg.ArrivalRate),
+		MaxJobs:      cfg.Jobs,
+		Emit: func(i int) {
+			site := sites[src.Intn(len(sites))]
+			needs := make([]string, cfg.FilesPerJob)
+			for k := range needs {
+				needs[k] = files[zipf.Draw()].Name
+			}
+			start := e.Now()
+			e.Spawn(fmt.Sprintf("job%04d", i), func(p *des.Process) {
+				for _, name := range needs {
+					if err := sys.Access(p, site, name); err != nil {
+						panic(err)
+					}
+				}
+				site.CPU.Run(p, cfg.JobOps)
+				jobTime.Observe(p.Now() - start)
+				if p.Now() > makespan {
+					makespan = p.Now()
+				}
+				done++
+			})
+		},
+	}
+	act.Start(e)
+	e.Run()
+
+	totalAccesses := sys.LocalHits + sys.RemoteReads
+	hitRatio := 0.0
+	if totalAccesses > 0 {
+		hitRatio = float64(sys.LocalHits) / float64(totalAccesses)
+	}
+	var evictions uint64
+	for _, s := range sites {
+		evictions += sys.Store(s).Evictions
+	}
+	return Result{
+		Jobs:          done,
+		MeanJobTime:   jobTime.Mean(),
+		LocalHitRatio: hitRatio,
+		RemoteReads:   sys.RemoteReads,
+		Pulls:         sys.Pulls,
+		Evictions:     evictions,
+		WANBytes:      sys.WANBytes,
+		Makespan:      makespan,
+	}
+}
+
+// Profile places OptorSim in the taxonomy.
+func Profile() *taxonomy.Profile {
+	return &taxonomy.Profile{
+		Name:       "OptorSim",
+		Motivation: "EU DataGrid WP2: stability and transient behavior of replication optimizers",
+		Scope:      []taxonomy.Scope{taxonomy.ScopeReplication, taxonomy.ScopeTransport},
+		Components: []taxonomy.Component{
+			taxonomy.CompHosts, taxonomy.CompNetwork, taxonomy.CompMiddleware, taxonomy.CompApps,
+		},
+		DynamicComponents: true,
+		Behavior:          taxonomy.Probabilistic,
+		Mechanics:         taxonomy.MechDES,
+		DESKinds:          []taxonomy.DESKind{taxonomy.DESEventDriven},
+		Execution:         taxonomy.ExecCentralized,
+		MultiThreaded:     true,
+		Queue:             taxonomy.QueueOLogN,
+		JobMapping:        "thread per active entity",
+		Spec:              []taxonomy.SpecStyle{taxonomy.SpecLibrary},
+		Inputs:            []taxonomy.InputKind{taxonomy.InputGenerator},
+		Outputs:           []taxonomy.OutputKind{taxonomy.OutTextual, taxonomy.OutGraphical},
+		Validation:        taxonomy.ValidationNone,
+	}
+}

@@ -1,0 +1,126 @@
+package optorsim
+
+import "testing"
+
+// small returns a fast test configuration.
+func small() Config {
+	cfg := DefaultConfig()
+	cfg.Sites = 4
+	cfg.Files = 60
+	cfg.Jobs = 120
+	cfg.FilesPerJob = 2
+	return cfg
+}
+
+func TestRunCompletes(t *testing.T) {
+	cfg := small()
+	res := Run(cfg)
+	if res.Jobs != cfg.Jobs {
+		t.Fatalf("jobs = %d, want %d", res.Jobs, cfg.Jobs)
+	}
+	if res.MeanJobTime <= 0 || res.Makespan <= 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := small()
+	if a, b := Run(cfg), Run(cfg); a != b {
+		t.Fatalf("nondeterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestReplicationBeatsNoReplication(t *testing.T) {
+	// OptorSim's raison d'être: replication optimizers should cut job
+	// times and WAN traffic versus always-remote access when files
+	// are re-used (Zipf popularity).
+	cfg := small()
+	cfg.Optimizer = NoReplication
+	none := Run(cfg)
+	cfg.Optimizer = AlwaysLRU
+	lru := Run(cfg)
+	if none.LocalHitRatio != 0 {
+		t.Fatalf("no-replication hit ratio = %v", none.LocalHitRatio)
+	}
+	if lru.LocalHitRatio <= 0.1 {
+		t.Fatalf("LRU hit ratio = %v, want substantial reuse", lru.LocalHitRatio)
+	}
+	if lru.WANBytes >= none.WANBytes {
+		t.Fatalf("LRU WAN %v not below no-replication WAN %v", lru.WANBytes, none.WANBytes)
+	}
+	if lru.MeanJobTime >= none.MeanJobTime {
+		t.Fatalf("LRU job time %v not below no-replication %v", lru.MeanJobTime, none.MeanJobTime)
+	}
+}
+
+func TestSkewIncreasesHitRatio(t *testing.T) {
+	// Hotter popularity (larger Zipf s) → replicas serve more
+	// accesses → higher hit ratio.
+	cfg := small()
+	cfg.Optimizer = AlwaysLRU
+	cfg.ZipfS = 0.0
+	uniform := Run(cfg)
+	cfg.ZipfS = 1.4
+	skewed := Run(cfg)
+	if skewed.LocalHitRatio <= uniform.LocalHitRatio {
+		t.Fatalf("hit ratio with skew %v not above uniform %v",
+			skewed.LocalHitRatio, uniform.LocalHitRatio)
+	}
+}
+
+func TestTinyCacheForcesEvictions(t *testing.T) {
+	cfg := small()
+	cfg.Optimizer = AlwaysLRU
+	cfg.CacheFraction = 0.04
+	res := Run(cfg)
+	if res.Evictions == 0 {
+		t.Fatalf("no evictions with a tiny cache: %+v", res)
+	}
+}
+
+func TestEconomicRefusesSomePulls(t *testing.T) {
+	cfg := small()
+	cfg.CacheFraction = 0.05
+	cfg.Optimizer = AlwaysLRU
+	lru := Run(cfg)
+	cfg.Optimizer = Economic
+	econ := Run(cfg)
+	// The economic optimizer declines low-value admissions, so it
+	// must pull no more (and typically fewer) replicas than
+	// always-replicate under the same pressure.
+	if econ.Pulls > lru.Pulls {
+		t.Fatalf("economic pulled %d > LRU %d", econ.Pulls, lru.Pulls)
+	}
+}
+
+func TestAllOptimizersRun(t *testing.T) {
+	cfg := small()
+	cfg.Jobs = 40
+	for _, opt := range []Optimizer{NoReplication, AlwaysLRU, AlwaysLFU, Economic} {
+		cfg.Optimizer = opt
+		res := Run(cfg)
+		if res.Jobs != 40 {
+			t.Fatalf("%v: jobs = %d", opt, res.Jobs)
+		}
+	}
+	if NoReplication.String() != "none" || Economic.String() != "economic" ||
+		AlwaysLRU.String() != "always-lru" || AlwaysLFU.String() != "always-lfu" ||
+		Optimizer(9).String() == "" {
+		t.Fatal("optimizer strings")
+	}
+}
+
+func TestProfileValid(t *testing.T) {
+	if err := Profile().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Run(Config{Sites: 1})
+}

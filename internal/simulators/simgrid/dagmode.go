@@ -1,0 +1,114 @@
+package simgrid
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/des"
+)
+
+// DAGConfig parameterizes SimGrid's workflow-scheduling mode: the
+// task-graph application class the toolkit was originally built for
+// ("simulation of application scheduling", Casanova 2001).
+type DAGConfig struct {
+	Seed uint64
+	// Shape selects the benchmark graph.
+	Shape DAGShape
+	// Width is the fan-out (FanInOut) or length (Chain).
+	Width     int
+	TaskOps   float64
+	EdgeBytes float64
+	// Machines of the heterogeneous platform.
+	Machines []dag.Machine
+}
+
+// DAGShape selects the workflow topology.
+type DAGShape int
+
+const (
+	// ShapeFanInOut is the diamond: source → width tasks → sink.
+	ShapeFanInOut DAGShape = iota
+	// ShapeChain is a linear pipeline.
+	ShapeChain
+)
+
+// String names the shape.
+func (s DAGShape) String() string {
+	if s == ShapeChain {
+		return "chain"
+	}
+	return "fan-in-out"
+}
+
+// DefaultDAGConfig returns a 12-wide diamond on a 4-machine platform.
+func DefaultDAGConfig() DAGConfig {
+	return DAGConfig{
+		Seed: 1, Shape: ShapeFanInOut, Width: 12,
+		TaskOps: 4e9, EdgeBytes: 50e6,
+		Machines: []dag.Machine{
+			{Name: "m0", Speed: 5e8, Bps: 50e6},
+			{Name: "m1", Speed: 1e9, Bps: 50e6},
+			{Name: "m2", Speed: 2e9, Bps: 100e6},
+			{Name: "m3", Speed: 4e9, Bps: 100e6},
+		},
+	}
+}
+
+// DAGResult summarizes a workflow run.
+type DAGResult struct {
+	Tasks             int
+	PlannedMakespan   float64
+	RealizedMakespan  float64
+	CriticalPathBound float64
+	MachinesUsed      int
+}
+
+// RunDAG builds the graph, computes a HEFT plan (compile-time
+// scheduling in SimGrid's vocabulary), simulates it, and reports plan
+// vs realization vs the critical-path lower bound.
+func RunDAG(cfg DAGConfig) (DAGResult, error) {
+	if cfg.Width <= 0 || len(cfg.Machines) == 0 {
+		return DAGResult{}, fmt.Errorf("simgrid: bad DAG config %+v", cfg)
+	}
+	var g *dag.Graph
+	switch cfg.Shape {
+	case ShapeChain:
+		g = dag.Chain(cfg.Width, cfg.TaskOps, cfg.EdgeBytes)
+	default:
+		g = dag.FanInOut(cfg.Width, cfg.TaskOps/4, cfg.TaskOps, cfg.TaskOps/4, cfg.EdgeBytes)
+	}
+	plan, err := dag.HEFT(g, cfg.Machines)
+	if err != nil {
+		return DAGResult{}, err
+	}
+	e := des.NewEngine(des.WithSeed(cfg.Seed))
+	real, err := dag.Execute(e, g, cfg.Machines, plan)
+	if err != nil {
+		return DAGResult{}, err
+	}
+	// Lower bound at the fastest machine's speed and bandwidth.
+	fastest, widest := 0.0, 0.0
+	for _, m := range cfg.Machines {
+		if m.Speed > fastest {
+			fastest = m.Speed
+		}
+		if m.Bps > widest {
+			widest = m.Bps
+		}
+	}
+	bound, _, err := g.CriticalPath(fastest, widest)
+	if err != nil {
+		return DAGResult{}, err
+	}
+	used := map[int]bool{}
+	for _, m := range plan.Machine {
+		used[m] = true
+	}
+	return DAGResult{
+		Tasks:             g.Len(),
+		PlannedMakespan:   plan.Makespan,
+		RealizedMakespan:  real.Makespan,
+		CriticalPathBound: bound,
+		MachinesUsed:      len(used),
+	}, nil
+}

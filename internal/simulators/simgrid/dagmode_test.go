@@ -1,0 +1,68 @@
+package simgrid
+
+import "testing"
+
+func TestRunDAGCompletes(t *testing.T) {
+	cfg := DefaultDAGConfig()
+	res, err := RunDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != cfg.Width+2 {
+		t.Fatalf("tasks = %d", res.Tasks)
+	}
+	if res.RealizedMakespan <= 0 || res.PlannedMakespan <= 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	// The realization may not beat the critical-path lower bound.
+	if res.RealizedMakespan < res.CriticalPathBound-1e-9 {
+		t.Fatalf("makespan %v below lower bound %v", res.RealizedMakespan, res.CriticalPathBound)
+	}
+	// Plan and realization implement the same model: within 25%.
+	ratio := res.RealizedMakespan / res.PlannedMakespan
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Fatalf("plan %v vs real %v", res.PlannedMakespan, res.RealizedMakespan)
+	}
+	if res.MachinesUsed < 2 {
+		t.Fatalf("HEFT used %d machines on a 12-wide fan-out", res.MachinesUsed)
+	}
+}
+
+func TestRunDAGChain(t *testing.T) {
+	cfg := DefaultDAGConfig()
+	cfg.Shape = ShapeChain
+	cfg.Width = 6
+	res, err := RunDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != 6 {
+		t.Fatalf("tasks = %d", res.Tasks)
+	}
+	if ShapeChain.String() != "chain" || ShapeFanInOut.String() != "fan-in-out" {
+		t.Fatal("shape strings")
+	}
+}
+
+func TestRunDAGWiderPlatformNotSlower(t *testing.T) {
+	cfg := DefaultDAGConfig()
+	cfg.Machines = cfg.Machines[:1]
+	one, err := RunDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = DefaultDAGConfig()
+	four, err := RunDAG(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.RealizedMakespan > one.RealizedMakespan+1e-9 {
+		t.Fatalf("4 machines slower than 1: %v vs %v", four.RealizedMakespan, one.RealizedMakespan)
+	}
+}
+
+func TestRunDAGBadConfig(t *testing.T) {
+	if _, err := RunDAG(DAGConfig{}); err == nil {
+		t.Fatal("no error")
+	}
+}

@@ -1,0 +1,208 @@
+// Package simgrid reproduces the design of SimGrid: "a simulation
+// toolkit that provides core functionalities for the evaluation of
+// scheduling algorithms in distributed applications in a
+// heterogeneous, computational distributed environment", describing
+// "scheduling algorithms in terms of agent entities that make
+// scheduling decisions". SimGrid distinguishes compile-time
+// scheduling, where "all scheduling decisions are taken before the
+// execution", from runtime scheduling, where decisions react to the
+// execution — both are reproduced here (MinMin/MaxMin static schedules
+// versus online MCT agents), including multiple interfering agents,
+// the interaction SimGrid was "basically designed to investigate".
+package simgrid
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/scheduler"
+	"repro/internal/taxonomy"
+	"repro/internal/topology"
+)
+
+// Strategy selects the scheduling mode under study.
+type Strategy int
+
+const (
+	// CompileTimeMinMin statically assigns the batch with min-min.
+	CompileTimeMinMin Strategy = iota
+	// CompileTimeMaxMin statically assigns the batch with max-min.
+	CompileTimeMaxMin
+	// RuntimeGreedy places each task online at its minimum estimated
+	// completion time when it becomes ready.
+	RuntimeGreedy
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case CompileTimeMinMin:
+		return "compile-min-min"
+	case CompileTimeMaxMin:
+		return "compile-max-min"
+	case RuntimeGreedy:
+		return "runtime-greedy"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config parameterizes a SimGrid run: a bag of heterogeneous tasks
+// scheduled by one or more agents over heterogeneous machines.
+type Config struct {
+	Seed     uint64
+	Tasks    int
+	MeanOps  float64
+	OpsCV    bool // heavy task-size variability (lognormal) when true
+	Agents   int  // concurrent scheduling agents sharing the platform
+	Strategy Strategy
+
+	// Heterogeneous platform: one cluster per speed entry.
+	MachineSpeeds []float64
+	MachineCores  int
+	InputBytes    float64
+	LinkBps       float64
+	LinkLat       float64
+}
+
+// DefaultConfig returns a heterogeneous bag-of-tasks scenario.
+func DefaultConfig() Config {
+	return Config{
+		Seed: 1, Tasks: 120, MeanOps: 2e9, Agents: 1,
+		Strategy:      RuntimeGreedy,
+		MachineSpeeds: []float64{5e8, 1e9, 2e9, 4e9},
+		MachineCores:  4,
+		InputBytes:    1e6,
+		LinkBps:       100e6, LinkLat: 0.01,
+	}
+}
+
+// Result summarizes a run.
+type Result struct {
+	Tasks        int
+	Makespan     float64
+	MeanResponse float64
+	// PredictedMakespan is the static heuristic's forecast (0 for
+	// runtime strategies) — SimGrid's "correct and accurate results"
+	// claim is checked by comparing it with the realized makespan.
+	PredictedMakespan float64
+	PerMachineJobs    []int
+}
+
+// Run executes the scenario.
+func Run(cfg Config) Result {
+	if cfg.Tasks <= 0 || len(cfg.MachineSpeeds) == 0 {
+		panic(fmt.Sprintf("simgrid: bad config %+v", cfg))
+	}
+	e := des.NewEngine(des.WithSeed(cfg.Seed))
+	grid := topology.NewGrid(e)
+	origin := grid.AddSite("master", topology.SiteSpec{})
+	var sites []*topology.Site
+	clusters := map[*topology.Site]*scheduler.Cluster{}
+	var clusterList []*scheduler.Cluster
+	for i, speed := range cfg.MachineSpeeds {
+		s := grid.AddSite(fmt.Sprintf("m%02d", i), topology.SiteSpec{Cores: cfg.MachineCores, CoreSpeed: speed})
+		grid.Link(origin, s, cfg.LinkBps, cfg.LinkLat)
+		c := scheduler.NewCluster(e, s.Name, cfg.MachineCores, speed, scheduler.FCFS)
+		sites = append(sites, s)
+		clusters[s] = c
+		clusterList = append(clusterList, c)
+	}
+	grid.Topo.ComputeRoutes()
+	net := netsim.NewNetwork(e, grid.Topo)
+
+	src := e.Stream("tasks")
+	jobs := make([]*scheduler.Job, cfg.Tasks)
+	for i := range jobs {
+		ops := src.Exp(1 / cfg.MeanOps)
+		if cfg.OpsCV {
+			ops = src.LogNormal(0, 1.2) * cfg.MeanOps
+		}
+		jobs[i] = &scheduler.Job{
+			ID: i, Name: "task", Ops: ops,
+			InputBytes: cfg.InputBytes, Origin: origin,
+		}
+	}
+
+	var response metrics.Summary
+	makespan := 0.0
+	perMachine := make([]int, len(sites))
+	record := func(j *scheduler.Job) {
+		response.Observe(j.ResponseTime())
+		if j.Finished > makespan {
+			makespan = j.Finished
+		}
+		for i, s := range sites {
+			if j.Site == s {
+				perMachine[i]++
+			}
+		}
+	}
+
+	predicted := 0.0
+	switch cfg.Strategy {
+	case CompileTimeMinMin, CompileTimeMaxMin:
+		var assign scheduler.Assignment
+		if cfg.Strategy == CompileTimeMinMin {
+			assign, predicted = scheduler.MinMin(jobs, clusterList)
+		} else {
+			assign, predicted = scheduler.MaxMin(jobs, clusterList)
+		}
+		for i, j := range jobs {
+			j.Site = sites[assign[i]]
+		}
+		scheduler.ApplyAssignment(jobs, clusterList, assign, record)
+	case RuntimeGreedy:
+		ctx := &scheduler.Context{Sites: sites, Clusters: clusters}
+		agents := make([]*scheduler.Broker, cfg.Agents)
+		if cfg.Agents <= 0 {
+			cfg.Agents = 1
+			agents = make([]*scheduler.Broker, 1)
+		}
+		for a := range agents {
+			agents[a] = scheduler.NewBroker(fmt.Sprintf("agent%d", a), e, net, ctx, scheduler.MCTPolicy{})
+			agents[a].OnDone(record)
+		}
+		for i, j := range jobs {
+			agents[i%len(agents)].Submit(j)
+		}
+	}
+	e.Run()
+	return Result{
+		Tasks:             cfg.Tasks,
+		Makespan:          makespan,
+		MeanResponse:      response.Mean(),
+		PredictedMakespan: predicted,
+		PerMachineJobs:    perMachine,
+	}
+}
+
+// Profile places SimGrid in the taxonomy. Per the paper, "SimGrid does
+// not provide any of the system support facilities as discussed in the
+// taxonomy" (no middleware components beyond the agents themselves)
+// and its validation compared simulation "with the ones obtained
+// analytically on a mathematically tractable scheduling problem".
+func Profile() *taxonomy.Profile {
+	return &taxonomy.Profile{
+		Name:       "SimGrid",
+		Motivation: "evaluation of scheduling algorithms on heterogeneous platforms",
+		Scope:      []taxonomy.Scope{taxonomy.ScopeScheduling},
+		Components: []taxonomy.Component{
+			taxonomy.CompHosts, taxonomy.CompNetwork, taxonomy.CompApps,
+		},
+		DynamicComponents: true,
+		Behavior:          taxonomy.Probabilistic,
+		Mechanics:         taxonomy.MechDES,
+		DESKinds:          []taxonomy.DESKind{taxonomy.DESEventDriven, taxonomy.DESTraceDriven},
+		Execution:         taxonomy.ExecCentralized,
+		MultiThreaded:     false,
+		Queue:             taxonomy.QueueOLogN,
+		JobMapping:        "agents multiplexed on one context",
+		Spec:              []taxonomy.SpecStyle{taxonomy.SpecLibrary},
+		Inputs:            []taxonomy.InputKind{taxonomy.InputGenerator},
+		Outputs:           []taxonomy.OutputKind{taxonomy.OutTextual},
+		Validation:        taxonomy.ValidationMath,
+	}
+}

@@ -1,0 +1,135 @@
+package simgrid
+
+import "testing"
+
+func small() Config {
+	cfg := DefaultConfig()
+	cfg.Tasks = 60
+	return cfg
+}
+
+func TestAllStrategiesComplete(t *testing.T) {
+	for _, s := range []Strategy{CompileTimeMinMin, CompileTimeMaxMin, RuntimeGreedy} {
+		cfg := small()
+		cfg.Strategy = s
+		res := Run(cfg)
+		total := 0
+		for _, n := range res.PerMachineJobs {
+			total += n
+		}
+		if total != cfg.Tasks {
+			t.Fatalf("%v: placed %d of %d tasks", s, total, cfg.Tasks)
+		}
+		if res.Makespan <= 0 || res.MeanResponse <= 0 {
+			t.Fatalf("%v: res = %+v", s, res)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := small()
+	a, b := Run(cfg), Run(cfg)
+	if a.Makespan != b.Makespan || a.MeanResponse != b.MeanResponse {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestFasterMachinesGetMoreWork(t *testing.T) {
+	cfg := small()
+	cfg.Strategy = RuntimeGreedy
+	res := Run(cfg)
+	// MachineSpeeds ascend; the fastest machine must receive at least
+	// as many tasks as the slowest.
+	slowest := res.PerMachineJobs[0]
+	fastest := res.PerMachineJobs[len(res.PerMachineJobs)-1]
+	if fastest <= slowest {
+		t.Fatalf("fastest got %d <= slowest %d: %v", fastest, slowest, res.PerMachineJobs)
+	}
+}
+
+func TestStaticPredictionTracksReality(t *testing.T) {
+	// SimGrid's validation claim in miniature: the compile-time
+	// schedule's predicted makespan should be in the ballpark of the
+	// realized one (same model, no contention surprises).
+	cfg := small()
+	cfg.InputBytes = 0 // prediction ignores staging
+	cfg.Strategy = CompileTimeMinMin
+	res := Run(cfg)
+	if res.PredictedMakespan <= 0 {
+		t.Fatal("no prediction")
+	}
+	ratio := res.Makespan / res.PredictedMakespan
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("prediction off by %vx (predicted %v, real %v)",
+			ratio, res.PredictedMakespan, res.Makespan)
+	}
+}
+
+func TestMaxMinHandlesHeavyTailsBetter(t *testing.T) {
+	// Classic result: with highly variable task sizes, max-min
+	// (longest tasks first) avoids the straggler that min-min leaves
+	// for the end, so its makespan should not be worse.
+	cfg := small()
+	cfg.OpsCV = true
+	cfg.Tasks = 100
+	cfg.InputBytes = 0
+	cfg.Strategy = CompileTimeMinMin
+	minmin := Run(cfg)
+	cfg.Strategy = CompileTimeMaxMin
+	maxmin := Run(cfg)
+	if maxmin.Makespan > minmin.Makespan*1.05 {
+		t.Fatalf("max-min %v much worse than min-min %v on heavy tail",
+			maxmin.Makespan, minmin.Makespan)
+	}
+}
+
+func TestMultipleAgentsInterfere(t *testing.T) {
+	// SimGrid studies "interactions and interferences between
+	// scheduling decisions taken by distributed brokers": with more
+	// agents the work still completes and the makespan stays sane.
+	cfg := small()
+	cfg.Strategy = RuntimeGreedy
+	cfg.Agents = 1
+	one := Run(cfg)
+	cfg.Agents = 4
+	four := Run(cfg)
+	if four.Makespan <= 0 {
+		t.Fatal("multi-agent run failed")
+	}
+	// Same policy, same tasks: agents only change submission order.
+	ratio := four.Makespan / one.Makespan
+	if ratio > 1.5 || ratio < 0.5 {
+		t.Fatalf("agent count changed makespan by %vx", ratio)
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if CompileTimeMinMin.String() != "compile-min-min" ||
+		CompileTimeMaxMin.String() != "compile-max-min" ||
+		RuntimeGreedy.String() != "runtime-greedy" ||
+		Strategy(9).String() == "" {
+		t.Fatal("strategy strings")
+	}
+}
+
+func TestProfileValid(t *testing.T) {
+	p := Profile()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper: SimGrid lacks middleware support facilities.
+	for _, c := range p.Components {
+		if c == "middleware" {
+			t.Fatal("SimGrid profile should not claim middleware")
+		}
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Run(Config{Tasks: 0})
+}

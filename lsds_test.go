@@ -1,0 +1,81 @@
+package lsds
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scheduler"
+)
+
+// TestFacadeEndToEnd drives a small scenario purely through the
+// re-exported public API, the path the README's quickstart shows.
+func TestFacadeEndToEnd(t *testing.T) {
+	sim := New(DefaultConfig())
+	origin := sim.Grid.AddSite("users", SiteSpec{})
+	site := sim.Grid.AddSite("cluster", SiteSpec{Cores: 4, CoreSpeed: 1e9})
+	sim.Grid.Link(origin, site, 1e8, 0.01)
+	sim.Grid.Topo.ComputeRoutes()
+	sim.AddCluster(site, scheduler.FCFS)
+	broker := sim.NewBroker("main", scheduler.MCTPolicy{})
+	done := 0
+	broker.OnDone(func(j *Job) { done++ })
+	for i := 0; i < 5; i++ {
+		broker.Submit(&Job{ID: i, Name: "job", Ops: 1e9, Origin: origin})
+	}
+	end := sim.Run()
+	if done != 5 {
+		t.Fatalf("done = %d", done)
+	}
+	if end <= 0 {
+		t.Fatalf("end = %v", end)
+	}
+	var report strings.Builder
+	if err := sim.Report(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "main") {
+		t.Fatal("report missing broker")
+	}
+}
+
+// TestFacadeProcessAPI exercises the kernel aliases.
+func TestFacadeProcessAPI(t *testing.T) {
+	sim := New(Config{Seed: 4})
+	res := sim.Engine.NewResource("r", 1)
+	order := []string{}
+	for _, name := range []string{"a", "b"} {
+		name := name
+		sim.Engine.Spawn(name, func(p *Process) {
+			res.Acquire(p, 1)
+			p.Hold(2)
+			res.Release(1)
+			order = append(order, name)
+		})
+	}
+	sim.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+// TestFacadeSelfProfile checks the framework's own taxonomy row is
+// exported and valid.
+func TestFacadeSelfProfile(t *testing.T) {
+	p := SelfProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeQueueKinds verifies the QueueKind alias reaches the engine.
+func TestFacadeQueueKinds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Queue = QueueKind("ladder")
+	sim := New(cfg)
+	fired := false
+	sim.Engine.Schedule(1, func() { fired = true })
+	sim.Run()
+	if !fired {
+		t.Fatal("ladder-queue engine did not run")
+	}
+}
