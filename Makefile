@@ -1,0 +1,35 @@
+# lsds build/verify entry points. `make tier1` is the gate CI runs.
+
+GO ?= go
+
+.PHONY: all build test tier1 vet race bench benchjson clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the packages with real concurrency: the parallel
+# federation and the engine it drives.
+race:
+	$(GO) test -race ./internal/parsim/... ./internal/des/...
+
+# tier1 is the acceptance gate: build + full tests, plus vet and the
+# race detector over the concurrent packages.
+tier1: build test vet race
+
+bench:
+	$(GO) test -bench 'E3|PHOLD|Federation|ScheduleExecute' -benchmem -run '^$$' ./...
+
+# Machine-readable hot-path allocation report.
+benchjson:
+	$(GO) run ./cmd/experiments -benchjson BENCH_1.json
+
+clean:
+	$(GO) clean ./...

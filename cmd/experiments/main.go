@@ -23,7 +23,22 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced problem sizes")
 	list := flag.Bool("list", false, "list experiments and exit")
 	svgDir := flag.String("svg", "", "also write SVG charts for the sweep experiments into this directory")
+	benchJSON := flag.String("benchjson", "", "run the hot-path micro-benchmarks and write JSON results to this file, then exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		results, err := experiments.RunBenchJSON(*benchJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Printf("%-40s %12.1f ns/op %8d B/op %6d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		fmt.Println("wrote", *benchJSON)
+		return
+	}
 
 	titles := experiments.Titles()
 	if *list {

@@ -71,13 +71,13 @@ func BenchmarkResourceAcquireRelease(b *testing.B) {
 // BenchmarkCancel measures tombstone-based cancellation.
 func BenchmarkCancel(b *testing.B) {
 	e := NewEngine()
-	timers := make([]*Timer, b.N)
+	timers := make([]Timer, b.N)
 	for i := range timers {
 		timers[i] = e.Schedule(float64(i)+1, func() {})
 	}
 	b.ResetTimer()
-	for _, tm := range timers {
-		tm.Cancel()
+	for i := range timers {
+		timers[i].Cancel()
 	}
 	e.Run()
 }

@@ -39,6 +39,16 @@ type Engine struct {
 	seq   uint64
 	rng   *rng.Source
 
+	// construction parameters, resolved in NewEngine so option order
+	// does not matter (the queue seed must see the engine seed).
+	queueKind eventq.Kind
+	seed      uint64
+
+	// freeEv is the head of the event free list. Fired and discarded
+	// event records are recycled through it, so the steady-state
+	// schedule→dequeue→execute cycle performs no heap allocation.
+	freeEv *eventq.Event
+
 	stopped bool
 	running bool
 
@@ -62,24 +72,26 @@ type Option func(*Engine)
 // WithQueue selects the future-event-list implementation.
 // The default is the binary heap.
 func WithQueue(k eventq.Kind) Option {
-	return func(e *Engine) { e.queue = eventq.New(k) }
+	return func(e *Engine) { e.queueKind = k }
 }
 
-// WithSeed sets the root seed for the engine's random streams.
-// The default seed is 1.
+// WithSeed sets the root seed for the engine's random streams (and for
+// any internal randomness of the event queue). The default seed is 1.
 func WithSeed(seed uint64) Option {
-	return func(e *Engine) { e.rng = rng.New(seed) }
+	return func(e *Engine) { e.seed = seed }
 }
 
 // NewEngine returns an engine at simulation time 0.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
-		queue: eventq.NewHeap(),
-		rng:   rng.New(1),
+		queueKind: eventq.KindHeap,
+		seed:      1,
 	}
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.rng = rng.New(e.seed)
+	e.queue = eventq.NewSeeded(e.queueKind, e.seed)
 	return e
 }
 
@@ -94,39 +106,55 @@ func (e *Engine) Rand() *rng.Source { return e.rng }
 func (e *Engine) Stream(name string) *rng.Source { return e.rng.Derive(name) }
 
 // Timer is a handle to a scheduled event; it supports cancellation.
+//
+// Timer is a small value, not a pointer: the underlying event record
+// is engine-owned and recycled through a free list the moment it fires
+// or its tombstone is discarded, so the record a handle points at may
+// since have been reused for an unrelated event. The handle therefore
+// carries the generation it was issued under; Cancel and Canceled
+// compare it against the record's current generation, making stale
+// calls (cancel-after-fire, cancel-after-recycle) safe no-ops. The
+// zero Timer is a valid no-op handle.
 type Timer struct {
+	ev       *eventq.Event
+	gen      uint64
 	time     float64
 	canceled bool
-	fired    bool
-	fn       func()
-	label    string
 }
 
 // Time returns the simulation time the event is (or was) due.
-func (t *Timer) Time() float64 { return t.time }
+func (t Timer) Time() float64 { return t.time }
 
 // Cancel prevents a pending event from firing. Canceling an event that
-// already fired (or was already canceled) is a no-op. Cancellation is
-// lazy: the tombstoned entry is discarded when it reaches the head of
-// the queue, which keeps every queue structure free of random removal.
+// already fired (or was already canceled) is a no-op, as is canceling
+// the zero Timer. Cancellation is lazy: the tombstoned entry is
+// discarded when it reaches the head of the queue, which keeps every
+// queue structure free of random removal.
 func (t *Timer) Cancel() {
-	if !t.fired {
-		t.canceled = true
+	if t.ev == nil || t.ev.Gen != t.gen {
+		return // already fired (and recycled), or zero handle
 	}
+	t.ev.Canceled = true
+	t.canceled = true
 }
 
 // Canceled reports whether Cancel was called before the event fired.
-func (t *Timer) Canceled() bool { return t.canceled }
+func (t Timer) Canceled() bool {
+	if t.canceled {
+		return true
+	}
+	return t.ev != nil && t.ev.Gen == t.gen && t.ev.Canceled
+}
 
 // Schedule runs fn after delay units of simulation time.
 // It panics on negative delay or non-finite delay: scheduling into the
 // past is always a model bug.
-func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+func (e *Engine) Schedule(delay float64, fn func()) Timer {
 	return e.ScheduleNamed("", delay, fn)
 }
 
 // ScheduleNamed is Schedule with a trace label.
-func (e *Engine) ScheduleNamed(label string, delay float64, fn func()) *Timer {
+func (e *Engine) ScheduleNamed(label string, delay float64, fn func()) Timer {
 	if delay < 0 || math.IsNaN(delay) || math.IsInf(delay, 0) {
 		panic(fmt.Sprintf("des: Schedule with invalid delay %v at t=%v", delay, e.now))
 	}
@@ -135,22 +163,41 @@ func (e *Engine) ScheduleNamed(label string, delay float64, fn func()) *Timer {
 
 // At runs fn at absolute simulation time t, which must not precede the
 // current time.
-func (e *Engine) At(t float64, fn func()) *Timer {
+func (e *Engine) At(t float64, fn func()) Timer {
 	if t < e.now || math.IsNaN(t) || math.IsInf(t, 0) {
 		panic(fmt.Sprintf("des: At with invalid time %v (now %v)", t, e.now))
 	}
 	return e.at(t, "", fn)
 }
 
-func (e *Engine) at(t float64, label string, fn func()) *Timer {
+func (e *Engine) at(t float64, label string, fn func()) Timer {
 	e.seq++
 	e.scheduled++
-	timer := &Timer{time: t, fn: fn, label: label}
-	e.queue.Push(eventq.Item{Time: t, Seq: e.seq, Value: timer})
+	ev := e.freeEv
+	if ev != nil {
+		e.freeEv = ev.Next
+		ev.Next = nil
+		ev.Canceled = false
+	} else {
+		ev = new(eventq.Event)
+	}
+	ev.Fn, ev.Label = fn, label
+	e.queue.Push(eventq.Item{Time: t, Seq: e.seq, Event: ev})
 	if n := e.queue.Len(); n > e.maxQueue {
 		e.maxQueue = n
 	}
-	return timer
+	return Timer{ev: ev, gen: ev.Gen, time: t}
+}
+
+// recycle returns a fired or discarded event record to the free list.
+// Bumping the generation invalidates every outstanding handle to the
+// record; clearing Fn releases the closure.
+func (e *Engine) recycle(ev *eventq.Event) {
+	ev.Gen++
+	ev.Fn = nil
+	ev.Label = ""
+	ev.Next = e.freeEv
+	e.freeEv = ev
 }
 
 // OnEvent installs a trace hook invoked before each event executes.
@@ -185,21 +232,25 @@ func (e *Engine) RunUntil(horizon float64) float64 {
 			break
 		}
 		e.queue.Pop()
-		timer := it.Value.(*Timer)
-		if timer.canceled {
+		ev := it.Event
+		if ev.Canceled {
 			e.canceled++
+			e.recycle(ev)
 			continue
 		}
 		if it.Time < e.now {
 			panic(fmt.Sprintf("des: event queue returned time %v before now %v", it.Time, e.now))
 		}
 		e.now = it.Time
-		timer.fired = true
+		fn, label := ev.Fn, ev.Label
+		// Recycle before running fn: the record is out of the queue, so
+		// events scheduled inside fn can reuse it immediately.
+		e.recycle(ev)
 		e.executed++
 		if e.onEvent != nil {
-			e.onEvent(e.now, timer.label)
+			e.onEvent(e.now, label)
 		}
-		timer.fn()
+		fn()
 	}
 	return e.now
 }
@@ -213,18 +264,20 @@ func (e *Engine) Step() bool {
 			return false
 		}
 		e.queue.Pop()
-		timer := it.Value.(*Timer)
-		if timer.canceled {
+		ev := it.Event
+		if ev.Canceled {
 			e.canceled++
+			e.recycle(ev)
 			continue
 		}
 		e.now = it.Time
-		timer.fired = true
+		fn, label := ev.Fn, ev.Label
+		e.recycle(ev)
 		e.executed++
 		if e.onEvent != nil {
-			e.onEvent(e.now, timer.label)
+			e.onEvent(e.now, label)
 		}
-		timer.fn()
+		fn()
 		return true
 	}
 }
@@ -237,9 +290,10 @@ func (e *Engine) PeekTime() float64 {
 		if !ok {
 			return math.Inf(1)
 		}
-		if timer := it.Value.(*Timer); timer.canceled {
+		if it.Event.Canceled {
 			e.queue.Pop()
 			e.canceled++
+			e.recycle(it.Event)
 			continue
 		}
 		return it.Time

@@ -114,8 +114,7 @@ func TestCancel(t *testing.T) {
 
 func TestCancelAfterFireIsNoop(t *testing.T) {
 	e := NewEngine()
-	var timer *Timer
-	timer = e.Schedule(1, func() {})
+	timer := e.Schedule(1, func() {})
 	e.Run()
 	timer.Cancel()
 	if timer.Canceled() {

@@ -20,6 +20,13 @@ type Process struct {
 	e    *Engine
 	name string
 
+	// Precomputed trace labels: Hold/Activate/Interrupt are hot in
+	// process-heavy models, and rebuilding name+":wake" on every call
+	// would put a string concatenation on the steady-state path.
+	wakeLabel      string
+	activateLabel  string
+	interruptLabel string
+
 	resume chan struct{}
 	yield  chan struct{}
 
@@ -53,26 +60,20 @@ type procPanic struct{ value any }
 // current simulation time. The body runs as straight-line code using
 // the blocking primitives (Hold, Passivate, Resource.Acquire, ...).
 func (e *Engine) Spawn(name string, body func(*Process)) *Process {
-	p := &Process{
-		e:      e,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-		body:   body,
-	}
-	e.liveProcs++
-	e.ScheduleNamed(name+":start", 0, func() { p.resumeNow() })
-	return p
+	return e.SpawnAt(name, 0, body)
 }
 
 // SpawnAt is Spawn with a start delay.
 func (e *Engine) SpawnAt(name string, delay float64, body func(*Process)) *Process {
 	p := &Process{
-		e:      e,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-		body:   body,
+		e:              e,
+		name:           name,
+		wakeLabel:      name + ":wake",
+		activateLabel:  name + ":activate",
+		interruptLabel: name + ":interrupt",
+		resume:         make(chan struct{}),
+		yield:          make(chan struct{}),
+		body:           body,
 	}
 	e.liveProcs++
 	e.ScheduleNamed(name+":start", delay, func() { p.resumeNow() })
@@ -156,7 +157,7 @@ func (p *Process) Hold(d float64) (interrupted bool) {
 	p.blockToken++
 	tok := p.blockToken
 	p.interrupt = false
-	p.e.ScheduleNamed(p.name+":wake", d, func() { p.wake(tok) })
+	p.e.ScheduleNamed(p.wakeLabel, d, func() { p.wake(tok) })
 	p.suspend()
 	return p.interrupt
 }
@@ -184,7 +185,7 @@ func (p *Process) wake(tok uint64) {
 // harmless no-op, which makes signal/timeout races safe by default.
 func (p *Process) Activate() {
 	tok := p.blockToken
-	p.e.ScheduleNamed(p.name+":activate", 0, func() { p.wake(tok) })
+	p.e.ScheduleNamed(p.activateLabel, 0, func() { p.wake(tok) })
 }
 
 // Interrupt breaks the process out of its current Hold or Passivate at
@@ -196,7 +197,7 @@ func (p *Process) Interrupt() {
 		return
 	}
 	tok := p.blockToken
-	p.e.ScheduleNamed(p.name+":interrupt", 0, func() {
+	p.e.ScheduleNamed(p.interruptLabel, 0, func() {
 		if p.state != procBlocked || tok != p.blockToken {
 			return
 		}

@@ -61,17 +61,19 @@ func (td *TimeDriven) RunUntil(horizon float64) float64 {
 				break
 			}
 			e.queue.Pop()
-			timer := it.Value.(*Timer)
-			if timer.canceled {
+			ev := it.Event
+			if ev.Canceled {
 				e.canceled++
+				e.recycle(ev)
 				continue
 			}
-			timer.fired = true
+			fn, label := ev.Fn, ev.Label
+			e.recycle(ev)
 			e.executed++
 			if e.onEvent != nil {
-				e.onEvent(e.now, timer.label)
+				e.onEvent(e.now, label)
 			}
-			timer.fn()
+			fn()
 			if e.stopped {
 				break
 			}

@@ -11,16 +11,22 @@ import "math"
 // estimated from a sample of inter-event gaps near the head, which is
 // what makes the amortized cost O(1) and is exactly the mechanism the
 // paper's taxonomy credits with beating O(log n) structures at scale.
+// Popped nodes are recycled through a free list and resizes relink the
+// existing nodes into a spare bucket array kept from the previous
+// resize (ping-pong), so in steady state neither the hold pattern nor
+// a rebuild allocates.
 type Calendar struct {
 	buckets   []calBucket
-	width     float64 // duration of one bucket (one "day")
-	yearStart float64 // start time of the current year
-	year      float64 // width * len(buckets)
-	day       int     // bucket index the cursor is on
+	spare     []calBucket // previous bucket array, reused on resize
+	width     float64     // duration of one bucket (one "day")
+	yearStart float64     // start time of the current year
+	year      float64     // width * len(buckets)
+	day       int         // bucket index the cursor is on
 	n         int
 	topThresh int // resize up when n exceeds this
 	botThresh int // resize down when n falls below this
 	resizable bool
+	free      *listNode // recycled nodes
 }
 
 type calBucket struct {
@@ -52,7 +58,17 @@ func (c *Calendar) Len() int { return c.n }
 func (c *Calendar) SetResizable(v bool) { c.resizable = v }
 
 func (c *Calendar) init(nbuckets int, width, start float64) {
-	c.buckets = make([]calBucket, nbuckets)
+	if cap(c.spare) >= nbuckets {
+		next := c.spare[:nbuckets]
+		for i := range next {
+			next[i] = calBucket{}
+		}
+		c.spare = c.buckets
+		c.buckets = next
+	} else {
+		c.spare = c.buckets
+		c.buckets = make([]calBucket, nbuckets)
+	}
 	c.width = width
 	c.year = width * float64(nbuckets)
 	c.yearStart = math.Floor(start/c.year) * c.year
@@ -81,8 +97,20 @@ func (c *Calendar) Push(it Item) {
 }
 
 func (c *Calendar) insert(it Item) {
+	node := c.free
+	if node != nil {
+		c.free = node.next
+		*node = listNode{it: it}
+	} else {
+		node = &listNode{it: it}
+	}
+	c.insertNode(node)
+}
+
+// insertNode links an engine- or resize-owned node into its bucket.
+func (c *Calendar) insertNode(node *listNode) {
+	it := node.it
 	b := &c.buckets[c.bucketFor(it.Time)]
-	node := &listNode{it: it}
 	// Buckets are kept sorted; scan from the head (buckets are short
 	// by construction, ~1 item on average).
 	if b.head == nil || it.Before(b.head.it) {
@@ -143,11 +171,13 @@ func (c *Calendar) findMin(remove bool) Item {
 		if head := c.buckets[idx].head; head != nil && head.it.Time < endOfDay {
 			c.day = day
 			c.yearStart = yearStart
+			it := head.it
 			if remove {
 				c.buckets[idx].head = head.next
 				c.n--
+				c.release(head)
 			}
-			return head.it
+			return it
 		}
 		day++
 		if day == len(c.buckets) {
@@ -172,15 +202,27 @@ func (c *Calendar) findMin(remove bool) Item {
 	if c.day >= len(c.buckets) {
 		c.day = len(c.buckets) - 1
 	}
+	it := head.it
 	if remove {
 		c.buckets[best].head = head.next
 		c.n--
+		c.release(head)
 	}
-	return head.it
+	return it
+}
+
+// release returns a node to the free list, dropping its payload
+// reference.
+func (c *Calendar) release(node *listNode) {
+	*node = listNode{next: c.free}
+	c.free = node
 }
 
 // resize rebuilds the calendar with nbuckets buckets and a width
-// estimated from the spacing of events near the head.
+// estimated from the spacing of events near the head. The existing
+// nodes are relinked into the new bucket array — no node is
+// reallocated — and the displaced bucket array is kept as the spare
+// for the next resize.
 func (c *Calendar) resize(nbuckets int) {
 	if nbuckets < calMinBuckets {
 		nbuckets = calMinBuckets
@@ -199,8 +241,11 @@ func (c *Calendar) resize(nbuckets int) {
 	c.init(nbuckets, width, start)
 	c.n = 0
 	for i := range old {
-		for node := old[i].head; node != nil; node = node.next {
-			c.insert(node.it)
+		node := old[i].head
+		for node != nil {
+			next := node.next
+			c.insertNode(node)
+			node = next
 		}
 	}
 }
@@ -209,29 +254,31 @@ func (c *Calendar) resize(nbuckets int) {
 // queue and returns 3x their average separation (Brown's heuristic),
 // clamped away from zero.
 func (c *Calendar) estimateWidth() float64 {
-	var sample []float64
+	var sample [calSampleMax]float64
+	ns := 0
 	for i := range c.buckets {
-		for node := c.buckets[i].head; node != nil && len(sample) < calSampleMax; node = node.next {
-			sample = append(sample, node.it.Time)
+		for node := c.buckets[i].head; node != nil && ns < calSampleMax; node = node.next {
+			sample[ns] = node.it.Time
+			ns++
 		}
-		if len(sample) >= calSampleMax {
+		if ns >= calSampleMax {
 			break
 		}
 	}
-	if len(sample) < 2 {
+	if ns < 2 {
 		return c.width
 	}
 	// Insertion sort; the sample is tiny.
-	for i := 1; i < len(sample); i++ {
+	for i := 1; i < ns; i++ {
 		for j := i; j > 0 && sample[j] < sample[j-1]; j-- {
 			sample[j], sample[j-1] = sample[j-1], sample[j]
 		}
 	}
 	sum := 0.0
-	for i := 1; i < len(sample); i++ {
+	for i := 1; i < ns; i++ {
 		sum += sample[i] - sample[i-1]
 	}
-	avg := sum / float64(len(sample)-1)
+	avg := sum / float64(ns-1)
 	width := 3 * avg
 	if width <= 0 || math.IsNaN(width) || math.IsInf(width, 0) {
 		return c.width

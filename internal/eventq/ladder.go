@@ -1,9 +1,6 @@
 package eventq
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // Ladder is a ladder queue (Tang, Goh & Thng, TOMACS 2005): a
 // three-tier structure with an unsorted Top list for far-future
@@ -14,6 +11,12 @@ import (
 // amortized cost per event is O(1) regardless of the timestamp
 // distribution — the property that made it a successor to the
 // calendar queue in the DES literature.
+//
+// All transient storage is recycled: Bottom nodes go through a free
+// list, exhausted rungs (and their bucket arrays) are reused by the
+// next spawn, and bucket backing arrays consumed by materialize are
+// handed back to a spare pool. In steady state the hold pattern
+// pop→push therefore allocates nothing.
 type Ladder struct {
 	top      []Item
 	topMin   float64
@@ -27,6 +30,10 @@ type Ladder struct {
 	bottomHigh float64 // max time currently in bottom (valid when bottomLen > 0)
 
 	n int
+
+	free      *listNode     // recycled bottom nodes
+	freeRungs []*ladderRung // recycled rungs with their bucket arrays
+	spare     [][]Item      // recycled bucket backing arrays
 }
 
 type ladderRung struct {
@@ -39,6 +46,7 @@ type ladderRung struct {
 const (
 	ladderThreshold = 50
 	ladderMaxRungs  = 10
+	ladderMaxSpare  = 64 // cap on pooled bucket arrays
 )
 
 // NewLadder returns an empty ladder queue.
@@ -75,7 +83,7 @@ func (l *Ladder) Push(it Item) {
 	// at or after the rung's current (unmaterialized) position.
 	for _, r := range l.rungs {
 		if it.Time >= r.curStart() {
-			r.put(it)
+			l.rungPut(r, it)
 			return
 		}
 	}
@@ -101,11 +109,20 @@ func (l *Ladder) Pop() (Item, bool) {
 	l.bottom = node.next
 	l.bottomLen--
 	l.n--
-	return node.it, true
+	it := node.it
+	*node = listNode{next: l.free} // release payload reference
+	l.free = node
+	return it, true
 }
 
 func (l *Ladder) pushBottom(it Item) {
-	node := &listNode{it: it}
+	node := l.free
+	if node != nil {
+		l.free = node.next
+		*node = listNode{it: it}
+	} else {
+		node = &listNode{it: it}
+	}
 	if l.bottom == nil || it.Before(l.bottom.it) {
 		node.next = l.bottom
 		l.bottom = node
@@ -133,8 +150,10 @@ func (l *Ladder) ensureBottom() {
 		}
 		r := l.rungs[len(l.rungs)-1]
 		bucket := r.nextBucket()
-		if bucket == nil { // rung exhausted
+		if bucket == nil { // rung exhausted: recycle it
 			l.rungs = l.rungs[:len(l.rungs)-1]
+			r.cur = 0
+			l.freeRungs = append(l.freeRungs, r)
 			continue
 		}
 		l.materialize(bucket)
@@ -142,7 +161,8 @@ func (l *Ladder) ensureBottom() {
 }
 
 // materialize moves one bucket either into a new finer rung (when it
-// is too big to sort cheaply) or into Bottom.
+// is too big to sort cheaply) or into Bottom, then recycles the
+// bucket's backing array.
 func (l *Ladder) materialize(bucket []Item) {
 	if len(bucket) > ladderThreshold && len(l.rungs) < ladderMaxRungs {
 		lo, hi := bucket[0].Time, bucket[0].Time
@@ -156,20 +176,22 @@ func (l *Ladder) materialize(bucket []Item) {
 		}
 		// All-equal timestamps cannot be spread; sort them directly.
 		if hi > lo {
-			r := newLadderRung(lo, hi, len(bucket))
+			r := l.newRung(lo, hi, len(bucket))
 			for _, it := range bucket {
-				r.put(it)
+				l.rungPut(r, it)
 			}
 			l.rungs = append(l.rungs, r)
+			l.recycleBucket(bucket)
 			return
 		}
 	}
-	sort.Slice(bucket, func(i, j int) bool { return bucket[i].Before(bucket[j]) })
-	// Append in reverse so each pushBottom hits the head fast path...
-	// bucket items all precede the (empty) bottom, so insert in order.
+	sortItems(bucket)
+	// Bucket items all precede the (empty) bottom; inserting back to
+	// front keeps every pushBottom on the head fast path.
 	for i := len(bucket) - 1; i >= 0; i-- {
 		l.pushBottom(bucket[i])
 	}
+	l.recycleBucket(bucket)
 }
 
 // spawnFromTop converts the Top list into the first rung of a fresh
@@ -183,16 +205,16 @@ func (l *Ladder) spawnFromTop() {
 	lo, hi := l.topMin, l.topMax
 	if hi <= lo { // all events share one timestamp
 		items := l.top
-		sort.Slice(items, func(i, j int) bool { return items[i].Before(items[j]) })
+		sortItems(items)
 		for i := len(items) - 1; i >= 0; i-- {
 			l.pushBottom(items[i])
 		}
 		l.resetTop()
 		return
 	}
-	r := newLadderRung(lo, hi, len(l.top))
+	r := l.newRung(lo, hi, len(l.top))
 	for _, it := range l.top {
-		r.put(it)
+		l.rungPut(r, it)
 	}
 	l.rungs = append(l.rungs[:0], r)
 	l.topStart = hi
@@ -211,7 +233,9 @@ func (l *Ladder) resetTop() {
 	l.topMax = math.Inf(-1)
 }
 
-func newLadderRung(lo, hi float64, count int) *ladderRung {
+// newRung returns a rung spanning [lo, hi) with ~count buckets,
+// reusing a recycled rung's bucket array when it is large enough.
+func (l *Ladder) newRung(lo, hi float64, count int) *ladderRung {
 	nbuckets := count
 	if nbuckets < 2 {
 		nbuckets = 2
@@ -220,19 +244,24 @@ func newLadderRung(lo, hi float64, count int) *ladderRung {
 	if width <= 0 {
 		width = math.SmallestNonzeroFloat64
 	}
-	return &ladderRung{
-		start:   lo,
-		width:   width,
-		buckets: make([][]Item, nbuckets),
+	if n := len(l.freeRungs); n > 0 {
+		r := l.freeRungs[n-1]
+		l.freeRungs = l.freeRungs[:n-1]
+		r.start, r.width, r.cur = lo, width, 0
+		if cap(r.buckets) >= nbuckets {
+			r.buckets = r.buckets[:nbuckets]
+			// Entries were nil'd by nextBucket when the rung drained.
+		} else {
+			r.buckets = make([][]Item, nbuckets)
+		}
+		return r
 	}
+	return &ladderRung{start: lo, width: width, buckets: make([][]Item, nbuckets)}
 }
 
-// curStart is the earliest timestamp the rung can still accept.
-func (r *ladderRung) curStart() float64 {
-	return r.start + float64(r.cur)*r.width
-}
-
-func (r *ladderRung) put(it Item) {
+// rungPut files an item into its rung bucket, drawing a recycled
+// backing array for the bucket's first item when one is available.
+func (l *Ladder) rungPut(r *ladderRung, it Item) {
 	idx := int((it.Time - r.start) / r.width)
 	if idx < r.cur {
 		idx = r.cur
@@ -240,7 +269,32 @@ func (r *ladderRung) put(it Item) {
 	if idx >= len(r.buckets) {
 		idx = len(r.buckets) - 1
 	}
-	r.buckets[idx] = append(r.buckets[idx], it)
+	b := r.buckets[idx]
+	if b == nil {
+		if n := len(l.spare); n > 0 {
+			b = l.spare[n-1]
+			l.spare = l.spare[:n-1]
+		}
+	}
+	r.buckets[idx] = append(b, it)
+}
+
+// recycleBucket returns a consumed bucket's backing array to the spare
+// pool.
+func (l *Ladder) recycleBucket(bucket []Item) {
+	if cap(bucket) == 0 || len(l.spare) >= ladderMaxSpare {
+		return
+	}
+	bucket = bucket[:cap(bucket)]
+	for i := range bucket {
+		bucket[i] = Item{} // release payload references
+	}
+	l.spare = append(l.spare, bucket[:0])
+}
+
+// curStart is the earliest timestamp the rung can still accept.
+func (r *ladderRung) curStart() float64 {
+	return r.start + float64(r.cur)*r.width
 }
 
 // nextBucket returns the next non-empty bucket, or nil when the rung
@@ -255,4 +309,50 @@ func (r *ladderRung) nextBucket() []Item {
 		}
 	}
 	return nil
+}
+
+// sortItems sorts in place on (Time, Seq) without allocating — the
+// reflection-based sort.Slice allocates its closure and header on
+// every call, which would break the allocation-free steady state.
+// Buckets that reach a sort are normally at most ladderThreshold
+// items, where insertion sort wins; oversized runs (rung limit hit, or
+// a Top spill of equal timestamps) fall back to heapsort.
+func sortItems(items []Item) {
+	if len(items) <= 2*ladderThreshold {
+		for i := 1; i < len(items); i++ {
+			it := items[i]
+			j := i - 1
+			for j >= 0 && it.Before(items[j]) {
+				items[j+1] = items[j]
+				j--
+			}
+			items[j+1] = it
+		}
+		return
+	}
+	for i := len(items)/2 - 1; i >= 0; i-- {
+		siftDown(items, i, len(items))
+	}
+	for end := len(items) - 1; end > 0; end-- {
+		items[0], items[end] = items[end], items[0]
+		siftDown(items, 0, end)
+	}
+}
+
+// siftDown restores the max-heap property for items[i:end).
+func siftDown(items []Item, i, end int) {
+	for {
+		child := 2*i + 1
+		if child >= end {
+			return
+		}
+		if r := child + 1; r < end && items[child].Before(items[r]) {
+			child = r
+		}
+		if !items[i].Before(items[child]) {
+			return
+		}
+		items[i], items[child] = items[child], items[i]
+		i = child
+	}
 }

@@ -21,7 +21,9 @@ import "fmt"
 
 // Item is a pending simulation event as seen by the queue: a timestamp,
 // a tie-breaking sequence number, and an opaque payload owned by the
-// engine.
+// engine. The payload is a concrete *Event rather than an interface so
+// that pushing an item never boxes and popping one never type-asserts
+// — the queues themselves treat Event as opaque.
 type Item struct {
 	// Time is the simulation time at which the event fires.
 	Time float64
@@ -29,8 +31,8 @@ type Item struct {
 	// assign strictly increasing values so dequeue order is total
 	// and FIFO-stable.
 	Seq uint64
-	// Value is the engine-owned payload (typically an *event).
-	Value any
+	// Event is the engine-owned payload; nil for bare benchmark items.
+	Event *Event
 }
 
 // Before reports whether item a orders strictly before item b.
@@ -80,16 +82,24 @@ func Kinds() []Kind {
 	return []Kind{KindHeap, KindList, KindSkipList, KindSplay, KindCalendar, KindLadder}
 }
 
-// New constructs an empty queue of the given kind. It panics on an
-// unknown kind: kinds are programmer input, not user input.
-func New(k Kind) Queue {
+// New constructs an empty queue of the given kind with the default
+// seed. It panics on an unknown kind: kinds are programmer input, not
+// user input.
+func New(k Kind) Queue { return NewSeeded(k, 1) }
+
+// NewSeeded constructs an empty queue of the given kind. The seed
+// feeds the structure's internal randomness (today only the skip
+// list's tower-height stream); engines pass their own seed through so
+// two engines with different seeds do not share level sequences.
+// Deterministic structures ignore it. Panics on an unknown kind.
+func NewSeeded(k Kind, seed uint64) Queue {
 	switch k {
 	case KindHeap:
 		return NewHeap()
 	case KindList:
 		return NewList()
 	case KindSkipList:
-		return NewSkipList(1)
+		return NewSkipList(seed)
 	case KindSplay:
 		return NewSplay()
 	case KindCalendar:

@@ -34,12 +34,13 @@ func TestEmptyQueue(t *testing.T) {
 
 func TestSingleItem(t *testing.T) {
 	forEachKind(t, func(t *testing.T, q Queue) {
-		q.Push(Item{Time: 3.5, Seq: 1, Value: "x"})
+		ev := &Event{Label: "x"}
+		q.Push(Item{Time: 3.5, Seq: 1, Event: ev})
 		if q.Len() != 1 {
 			t.Fatalf("Len = %d, want 1", q.Len())
 		}
 		it, ok := q.Peek()
-		if !ok || it.Time != 3.5 || it.Value != "x" {
+		if !ok || it.Time != 3.5 || it.Event != ev {
 			t.Fatalf("Peek = %+v, %v", it, ok)
 		}
 		it, ok = q.Pop()
@@ -92,7 +93,7 @@ func TestFIFOStabilityOnTies(t *testing.T) {
 		// Many items at identical times: must dequeue in Seq order.
 		const n = 500
 		for i := 0; i < n; i++ {
-			q.Push(Item{Time: 7.0, Seq: uint64(i), Value: i})
+			q.Push(Item{Time: 7.0, Seq: uint64(i)})
 		}
 		for i := 0; i < n; i++ {
 			it, ok := q.Pop()

@@ -5,11 +5,16 @@ package eventq
 // deterministic internal xorshift generator seeded at construction,
 // so a given insertion sequence always produces the same structure —
 // simulation runs stay reproducible.
+//
+// Popped nodes are recycled through per-height free lists (a tower's
+// next slice is only reusable by a tower of the same height), so the
+// steady-state hold pattern pop→push allocates nothing.
 type SkipList struct {
 	head   *skipNode // sentinel, full height
 	levels int       // current highest occupied level + 1
 	n      int
 	rng    uint64
+	free   [skipMaxLevels]*skipNode // recycled towers, indexed by height-1
 }
 
 const skipMaxLevels = 28
@@ -73,12 +78,26 @@ func (s *SkipList) Push(it Item) {
 		}
 		s.levels = height
 	}
-	fresh := &skipNode{it: it, next: make([]*skipNode, height)}
+	fresh := s.alloc(it, height)
 	for lvl := 0; lvl < height; lvl++ {
 		fresh.next[lvl] = update[lvl].next[lvl]
 		update[lvl].next[lvl] = fresh
 	}
 	s.n++
+}
+
+// alloc reuses a recycled tower of the requested height when one is
+// available.
+func (s *SkipList) alloc(it Item, height int) *skipNode {
+	if node := s.free[height-1]; node != nil {
+		s.free[height-1] = node.next[0]
+		node.it = it
+		for lvl := range node.next {
+			node.next[lvl] = nil
+		}
+		return node
+	}
+	return &skipNode{it: it, next: make([]*skipNode, height)}
 }
 
 // Peek implements Queue.
@@ -103,5 +122,9 @@ func (s *SkipList) Pop() (Item, bool) {
 		s.levels--
 	}
 	s.n--
-	return first.it, true
+	it := first.it
+	first.it = Item{} // release payload reference
+	first.next[0] = s.free[len(first.next)-1]
+	s.free[len(first.next)-1] = first
+	return it, true
 }

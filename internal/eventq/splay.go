@@ -6,10 +6,14 @@ package eventq
 // because event access patterns are highly skewed toward the minimum,
 // which splaying exploits: the tree keeps a cached pointer to its
 // minimum so Peek and the fast path of Pop are O(1).
+// Popped nodes are recycled through a free list (linked via the right
+// pointer), so the steady-state hold pattern pop→push allocates
+// nothing.
 type Splay struct {
 	root *splayNode
 	min  *splayNode
 	n    int
+	free *splayNode
 }
 
 type splayNode struct {
@@ -30,7 +34,13 @@ func (s *Splay) Len() int { return s.n }
 // Push implements Queue.
 func (s *Splay) Push(it Item) {
 	s.n++
-	fresh := &splayNode{it: it}
+	fresh := s.free
+	if fresh != nil {
+		s.free = fresh.right
+		*fresh = splayNode{it: it}
+	} else {
+		fresh = &splayNode{it: it}
+	}
 	if s.root == nil {
 		s.root = fresh
 		s.min = fresh
@@ -75,7 +85,10 @@ func (s *Splay) Pop() (Item, bool) {
 	} else {
 		s.min = leftmost(s.root)
 	}
-	return min.it, true
+	it := min.it
+	*min = splayNode{right: s.free} // release payload reference
+	s.free = min
+	return it, true
 }
 
 func leftmost(n *splayNode) *splayNode {

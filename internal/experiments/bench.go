@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/eventq"
+	"repro/internal/parsim"
+)
+
+// BenchResult is one micro-benchmark measurement in the machine-readable
+// report written by -benchjson. AllocsPerOp is the headline number for
+// the zero-allocation hot-path claim (C2): a steady-state
+// schedule/execute cycle must not allocate for any FEL kind.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchCases enumerates the hot paths the perf claims rest on:
+// schedule/execute per FEL kind, a cancel-heavy hold model, and the
+// federation window loop at several worker counts.
+func benchCases() []struct {
+	name string
+	fn   func(b *testing.B)
+} {
+	var cases []struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	for _, k := range eventq.Kinds() {
+		k := k
+		cases = append(cases, struct {
+			name string
+			fn   func(b *testing.B)
+		}{
+			name: "ScheduleExecute/" + string(k),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				e := des.NewEngine(des.WithQueue(k))
+				src := e.Stream("bench")
+				const population = 1024
+				count := 0
+				var pump func()
+				pump = func() {
+					count++
+					if count < b.N {
+						e.Schedule(src.Exp(1), pump)
+					}
+				}
+				for i := 0; i < population && i < b.N; i++ {
+					e.Schedule(src.Exp(1), pump)
+				}
+				b.ResetTimer()
+				e.Run()
+			},
+		})
+	}
+	cases = append(cases, struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		name: "HoldModelCancel",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			e := des.NewEngine()
+			src := e.Stream("bench")
+			var decoy des.Timer
+			count := 0
+			var step func()
+			step = func() {
+				count++
+				if count >= b.N {
+					return
+				}
+				decoy.Cancel()
+				decoy = e.Schedule(3+src.Float64(), func() {})
+				e.Schedule(src.Exp(1), step)
+			}
+			e.Schedule(src.Exp(1), step)
+			b.ResetTimer()
+			e.Run()
+		},
+	})
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		cases = append(cases, struct {
+			name string
+			fn   func(b *testing.B)
+		}{
+			name: fmt.Sprintf("FederationWindowOverhead/workers=%d", w),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					f := parsim.NewFederation(8, 0.01, w, 7)
+					for j := 0; j < f.LPs(); j++ {
+						lp := f.LP(j)
+						src := lp.E.Stream("sparse")
+						lp.OnMessage = func(parsim.Message) {}
+						var tick func()
+						tick = func() { lp.E.Schedule(src.Exp(0.1), tick) }
+						lp.E.Schedule(src.Exp(0.1), tick)
+					}
+					b.StartTimer()
+					f.Run(10)
+				}
+			},
+		})
+	}
+	return cases
+}
+
+// RunBenchJSON executes the hot-path micro-benchmarks via
+// testing.Benchmark and writes the results as a JSON array to path.
+// This is how a CI job or the acceptance check records the
+// allocation trajectory without parsing `go test -bench` text output.
+func RunBenchJSON(path string) ([]BenchResult, error) {
+	var out []BenchResult
+	for _, c := range benchCases() {
+		r := testing.Benchmark(c.fn)
+		out = append(out, BenchResult{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -40,7 +40,7 @@ type Flow struct {
 	startTime float64
 	doneTime  float64
 	done      func()
-	timer     *des.Timer
+	timer     des.Timer
 	net       *Network
 	finished  bool
 }
@@ -205,10 +205,8 @@ func (n *Network) rebalance() {
 	// Reschedule completion events in flow-start order, so equal
 	// completion instants resolve deterministically.
 	for _, f := range n.flows {
-		if f.timer != nil {
-			f.timer.Cancel()
-			f.timer = nil
-		}
+		f.timer.Cancel()
+		f.timer = des.Timer{}
 		if f.rate <= 0 {
 			continue // stalled: no capacity on some link
 		}

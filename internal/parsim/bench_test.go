@@ -1,0 +1,53 @@
+package parsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFederationWindowOverhead isolates the per-window cost of
+// the synchronization machinery: a lookahead 1000x finer than the mean
+// event spacing forces one barrier per 0.01 time units while each LP
+// only has an event every ~10 units, so almost every (LP, window) pair
+// is idle. This is the regime where rebuilding the worker pool and
+// channel per window dominated; the persistent pool plus the
+// PeekTime skip makes a window a near-noop.
+func BenchmarkFederationWindowOverhead(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				f := NewFederation(8, 0.01, w, 7)
+				for j := 0; j < f.LPs(); j++ {
+					lp := f.LP(j)
+					src := lp.E.Stream("sparse")
+					lp.OnMessage = func(Message) {}
+					var tick func()
+					tick = func() { lp.E.Schedule(src.Exp(0.1), tick) }
+					lp.E.Schedule(src.Exp(0.1), tick)
+				}
+				b.StartTimer()
+				f.Run(10) // 1000 windows, ~1 event per LP per 1000 windows
+			}
+		})
+	}
+}
+
+// BenchmarkPHOLDSmall is the alloc-trajectory benchmark for the
+// parallel engine: a short PHOLD run small enough to iterate, with
+// allocation accounting on so the steady-state claim is visible in
+// -benchmem output.
+func BenchmarkPHOLDSmall(b *testing.B) {
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ph := NewPHOLD(8, w, 1.0, 16, 0.1, 50, 17)
+				b.StartTimer()
+				ph.Run(200)
+			}
+		})
+	}
+}

@@ -26,8 +26,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/des"
+	"repro/internal/eventq"
 )
 
 // Message is a cross-LP event payload.
@@ -82,13 +84,31 @@ func (lp *LP) Sent() uint64 { return lp.sent }
 func (lp *LP) Received() uint64 { return lp.recv }
 
 // Federation is a set of LPs advancing in conservative lock-step
-// windows over a pool of workers.
+// windows over a persistent pool of workers.
+//
+// The pool is started once per Run and reused for every window: the
+// coordinator publishes the window end, releases one token per worker
+// through a shared channel, workers claim LPs off an atomic cursor,
+// and a counting barrier (one done-token per worker) closes the
+// window. Rebuilding the goroutines and channels per window — the
+// naive translation of "fork workers for each window" — costs a pool
+// construction and teardown every lookahead interval, which is exactly
+// the execution-context churn the paper's engine guidance warns about;
+// with fine lookaheads the simulation executes thousands of windows
+// per second and the churn dominates.
 type Federation struct {
 	lps       []*LP
 	lookahead float64
 	workers   int
 
-	windows uint64
+	windows   uint64
+	idleSkips atomic.Uint64
+
+	// per-Run worker-pool state
+	windowEnd float64       // published before workers are released
+	cursor    atomic.Int64  // next LP index to claim
+	start     chan struct{} // one token per worker per window; closed to stop
+	done      chan struct{} // one token per worker per window
 }
 
 // NewFederation creates n LPs with the given lookahead (the minimum
@@ -97,6 +117,14 @@ type Federation struct {
 // seed and the LP index, so results are reproducible and independent
 // of the worker count.
 func NewFederation(n int, lookahead float64, workers int, seed uint64) *Federation {
+	return NewFederationWithQueue(n, lookahead, workers, seed, eventq.KindHeap)
+}
+
+// NewFederationWithQueue is NewFederation with an explicit
+// future-event-list kind for every LP engine. Results are independent
+// of the kind (dequeue order is total), so it is exercised by the
+// determinism tests and benchmark sweeps.
+func NewFederationWithQueue(n int, lookahead float64, workers int, seed uint64, kind eventq.Kind) *Federation {
 	if n <= 0 || lookahead <= 0 || workers <= 0 {
 		panic(fmt.Sprintf("parsim: NewFederation(n=%d, lookahead=%v, workers=%d)", n, lookahead, workers))
 	}
@@ -104,7 +132,7 @@ func NewFederation(n int, lookahead float64, workers int, seed uint64) *Federati
 	for i := 0; i < n; i++ {
 		lp := &LP{
 			Index:  i,
-			E:      des.NewEngine(des.WithSeed(seed + uint64(i)*0x9e3779b9)),
+			E:      des.NewEngine(des.WithSeed(seed+uint64(i)*0x9e3779b9), des.WithQueue(kind)),
 			fed:    f,
 			outbox: make([][]Message, n),
 		}
@@ -125,10 +153,19 @@ func (f *Federation) Lookahead() float64 { return f.lookahead }
 // Windows returns the number of synchronization windows executed.
 func (f *Federation) Windows() uint64 { return f.windows }
 
+// IdleSkips returns the number of (LP, window) pairs that were skipped
+// because the LP had no event inside the window — work the persistent
+// pool avoids dispatching entirely.
+func (f *Federation) IdleSkips() uint64 { return f.idleSkips.Load() }
+
 // Run advances every LP to the horizon in lookahead-sized windows.
 // Within a window LPs execute concurrently on the worker pool; at the
 // barrier, buffered cross-LP messages are delivered (in deterministic
 // LP-index and send order) into the target engines.
+//
+// The worker goroutines are started once here and reused for every
+// window; they exit when Run returns. Run may be called again to
+// continue past a previous horizon.
 func (f *Federation) Run(horizon float64) {
 	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
 		panic(fmt.Sprintf("parsim: Run(%v)", horizon))
@@ -138,13 +175,33 @@ func (f *Federation) Run(horizon float64) {
 			panic(fmt.Sprintf("parsim: LP %d has no OnMessage handler", lp.Index))
 		}
 	}
-	nextWindow := f.lookahead
-	for windowEnd := nextWindow; ; windowEnd += f.lookahead {
+	workers := f.workers
+	if workers > len(f.lps) {
+		workers = len(f.lps) // extra workers would only contend on the cursor
+	}
+	if workers > 1 {
+		f.start = make(chan struct{})
+		f.done = make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				f.workerLoop()
+			}()
+		}
+		defer func() {
+			close(f.start) // stop signal: workers drain and exit
+			wg.Wait()
+			f.start, f.done = nil, nil
+		}()
+	}
+	for windowEnd := f.lookahead; ; windowEnd += f.lookahead {
 		if windowEnd > horizon {
 			windowEnd = horizon
 		}
 		f.windows++
-		f.runWindow(windowEnd)
+		f.runWindow(windowEnd, workers)
 		f.deliver()
 		if windowEnd >= horizon {
 			return
@@ -152,34 +209,63 @@ func (f *Federation) Run(horizon float64) {
 	}
 }
 
-// runWindow executes every LP up to windowEnd using the worker pool.
-func (f *Federation) runWindow(windowEnd float64) {
-	if f.workers == 1 {
+// runWindow executes every LP up to windowEnd using the persistent
+// worker pool (or inline when there is a single worker). LPs whose
+// next event lies beyond the window are skipped without entering their
+// engine loop.
+func (f *Federation) runWindow(windowEnd float64, workers int) {
+	if workers == 1 {
 		for _, lp := range f.lps {
+			if lp.E.PeekTime() > windowEnd {
+				f.idleSkips.Add(1)
+				continue
+			}
 			lp.E.RunUntil(windowEnd)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	work := make(chan *LP)
-	for w := 0; w < f.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for lp := range work {
-				lp.E.RunUntil(windowEnd)
+	f.windowEnd = windowEnd
+	f.cursor.Store(0)
+	// Release exactly one token per worker; each token send
+	// happens-before the matching receive, publishing windowEnd and the
+	// reset cursor to that worker.
+	for w := 0; w < workers; w++ {
+		f.start <- struct{}{}
+	}
+	// Counting barrier: the window is over when every worker reports.
+	for w := 0; w < workers; w++ {
+		<-f.done
+	}
+}
+
+// workerLoop is the body of one persistent pool worker: per window it
+// claims LPs off the shared cursor until none remain, then reports to
+// the barrier. A closed start channel is the stop signal.
+func (f *Federation) workerLoop() {
+	for range f.start {
+		windowEnd := f.windowEnd
+		for {
+			i := int(f.cursor.Add(1)) - 1
+			if i >= len(f.lps) {
+				break
 			}
-		}()
+			lp := f.lps[i]
+			// An LP with nothing due this window never enters its
+			// engine loop. PeekTime may pop tombstones, but this worker
+			// is the only one touching the LP during the window.
+			if lp.E.PeekTime() > windowEnd {
+				f.idleSkips.Add(1)
+				continue
+			}
+			lp.E.RunUntil(windowEnd)
+		}
+		f.done <- struct{}{}
 	}
-	for _, lp := range f.lps {
-		work <- lp
-	}
-	close(work)
-	wg.Wait()
 }
 
 // deliver flushes every outbox into the target engines, sequentially
-// and in deterministic order.
+// and in deterministic order. Outboxes are truncated, not released:
+// the backing arrays are reused by the next window's sends.
 func (f *Federation) deliver() {
 	for _, src := range f.lps {
 		for target := range src.outbox {
@@ -187,7 +273,7 @@ func (f *Federation) deliver() {
 			if len(msgs) == 0 {
 				continue
 			}
-			src.outbox[target] = nil
+			src.outbox[target] = msgs[:0]
 			dst := f.lps[target]
 			for _, m := range msgs {
 				m := m

@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"repro/internal/des"
+	"repro/internal/eventq"
 )
 
 func TestFederationBasics(t *testing.T) {
@@ -115,6 +118,64 @@ func TestDeterministicAcrossWorkerCounts(t *testing.T) {
 	for i := range seq {
 		if seq[i] != par[i] {
 			t.Fatalf("LP %d diverged: %d vs %d", i, seq[i], par[i])
+		}
+	}
+}
+
+// TestDeterminismAcrossKindsAndWorkers demands bit-identical engine
+// statistics for every FEL implementation and worker count: neither
+// the queue structure, nor timer recycling, nor the persistent worker
+// pool may leak into trajectories. The model mixes self-scheduling,
+// cross-LP sends, and cancel-heavy decoy timers so tombstone recycling
+// is exercised under parallel window execution.
+func TestDeterminismAcrossKindsAndWorkers(t *testing.T) {
+	run := func(kind eventq.Kind, workers int) []des.Stats {
+		f := NewFederationWithQueue(5, 1.0, workers, 2024, kind)
+		for i := 0; i < f.LPs(); i++ {
+			lp := f.LP(i)
+			src := lp.E.Stream("model")
+			var decoy des.Timer
+			var step func()
+			step = func() {
+				decoy.Cancel() // tombstone the previous decoy
+				decoy = lp.E.Schedule(4+src.Float64(), func() {})
+				if src.Bernoulli(0.35) {
+					target := src.Intn(f.LPs() - 1)
+					if target >= lp.Index {
+						target++
+					}
+					lp.Send(target, 1+src.Float64(), nil)
+				} else {
+					lp.E.Schedule(0.5+src.Float64(), step)
+				}
+			}
+			lp.OnMessage = func(Message) { step() }
+			lp.E.Schedule(src.Float64(), step)
+		}
+		f.Run(60)
+		out := make([]des.Stats, f.LPs())
+		for i := range out {
+			out[i] = f.LP(i).E.Stats()
+		}
+		return out
+	}
+	ref := run(eventq.KindHeap, 1)
+	var canceled uint64
+	for _, st := range ref {
+		canceled += st.Canceled
+	}
+	if canceled == 0 {
+		t.Fatal("model canceled nothing; test is vacuous")
+	}
+	for _, k := range eventq.Kinds() {
+		for _, w := range []int{1, 2, 8} {
+			got := run(k, w)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%s/workers=%d: LP %d stats %+v, want %+v",
+						k, w, i, got[i], ref[i])
+				}
+			}
 		}
 	}
 }

@@ -68,7 +68,7 @@ type CPU struct {
 type cpuTask struct {
 	remaining float64
 	rate      float64
-	timer     *des.Timer
+	timer     des.Timer
 	done      func()
 }
 
@@ -193,10 +193,8 @@ func (c *CPU) rebalance() {
 		rate = c.speed
 	}
 	for _, t := range c.tasks {
-		if t.timer != nil {
-			t.timer.Cancel()
-			t.timer = nil
-		}
+		t.timer.Cancel()
+		t.timer = des.Timer{}
 		t.rate = rate
 		t := t
 		eta := t.remaining / rate

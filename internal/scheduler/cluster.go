@@ -67,7 +67,7 @@ type clusterEntry struct {
 	job    *Job
 	eta    float64 // scheduled finish time once started
 	onDone func(*Job)
-	timer  *des.Timer // completion event, cancellable on failure
+	timer  des.Timer // completion event, cancellable on failure
 }
 
 // NewCluster creates a cluster with the given core count and per-core
