@@ -1,8 +1,9 @@
 # lsds build/verify entry points. `make tier1` is the gate CI runs.
 
 GO ?= go
+TRACE_OUT ?= /tmp/lsds_trace_e5.json
 
-.PHONY: all build test tier1 vet race bench benchjson clean
+.PHONY: all build test tier1 vet race bench benchjson trace-smoke clean
 
 all: tier1
 
@@ -30,6 +31,14 @@ bench:
 # Machine-readable hot-path allocation report.
 benchjson:
 	$(GO) run ./cmd/experiments -benchjson BENCH_1.json
+
+# trace-smoke runs a quick traced E5 federation and validates the
+# Chrome trace output: ObserveE5 re-reads the written file through a
+# strict JSON parser and fails if it does not parse or is missing
+# tracks, so this target is a true end-to-end check of the exporter.
+trace-smoke:
+	$(GO) run ./cmd/experiments -quick -trace $(TRACE_OUT)
+	rm -f $(TRACE_OUT)
 
 clean:
 	$(GO) clean ./...

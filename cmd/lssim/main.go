@@ -12,9 +12,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
+	"repro/internal/des"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simulators/bricks"
 	"repro/internal/simulators/chicsim"
 	"repro/internal/simulators/gridsim"
@@ -27,7 +31,34 @@ func main() {
 	sim := flag.String("sim", "monarc", "personality: bricks|optorsim|simgrid|gridsim|chicsim|monarc")
 	seed := flag.Uint64("seed", 1, "random seed")
 	jobs := flag.Int("jobs", 0, "job/task count override (0 = personality default)")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) of the run to this file")
+	histo := flag.Bool("histo", false, "print event-latency histograms after the run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "lssim: pprof:", err)
+			}
+		}()
+	}
+
+	// Personalities construct their engines internally, so the trace
+	// recorder and histograms are injected through the engine's default
+	// observer (sequential front-end wiring; see des.SetDefaultObserver).
+	var rec *obs.Recorder
+	var met *obs.Metrics
+	if *trace != "" || *histo {
+		met = &obs.Metrics{}
+		o := &des.Observer{Metrics: met}
+		if *trace != "" {
+			rec = obs.NewRecorder(1 << 18)
+			o.Recorder = rec
+		}
+		des.SetDefaultObserver(o)
+		defer des.SetDefaultObserver(nil)
+	}
 
 	t := metrics.NewTable(fmt.Sprintf("lssim: %s (seed %d)", *sim, *seed), "metric", "value")
 	switch *sim {
@@ -117,8 +148,30 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *histo {
+		t.AddRowf("event exec", met.Exec.String())
+		t.AddRowf("queue dwell (sim ns)", met.Dwell.String())
+	}
 	if err := t.Write(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lssim:", err)
 		os.Exit(1)
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lssim:", err)
+			os.Exit(1)
+		}
+		track := obs.Track{Name: *sim, TID: 0, Rec: rec}
+		if err := obs.WriteChromeTrace(f, track); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "lssim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lssim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d spans, %d dropped)\n", *trace, rec.Len(), rec.Dropped())
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/eventq"
+	"repro/internal/obs"
 )
 
 // BenchmarkScheduleExecute measures raw event throughput per FEL kind:
@@ -26,6 +27,36 @@ func BenchmarkScheduleExecute(b *testing.B) {
 			for i := 0; i < population && i < b.N; i++ {
 				e.Schedule(src.Exp(1), pump)
 			}
+			b.ResetTimer()
+			e.Run()
+		})
+	}
+}
+
+// BenchmarkScheduleExecuteTraced is BenchmarkScheduleExecute with the
+// full observability sink attached (ring recorder + histograms): the
+// steady-state recording path must be allocation-free, so the cost of
+// tracing is bounded by timestamping, not by GC pressure.
+func BenchmarkScheduleExecuteTraced(b *testing.B) {
+	for _, k := range []eventq.Kind{eventq.KindHeap} {
+		b.Run(string(k), func(b *testing.B) {
+			rec := obs.NewRecorder(1 << 14)
+			met := &obs.Metrics{}
+			e := NewEngine(WithQueue(k), WithObserver(Observer{Recorder: rec, Metrics: met}))
+			src := e.Stream("bench")
+			const population = 1024
+			var pump func()
+			count := 0
+			pump = func() {
+				count++
+				if count < b.N {
+					e.Schedule(src.Exp(1), pump)
+				}
+			}
+			for i := 0; i < population && i < b.N; i++ {
+				e.Schedule(src.Exp(1), pump)
+			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			e.Run()
 		})

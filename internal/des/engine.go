@@ -26,6 +26,7 @@ import (
 	"math"
 
 	"repro/internal/eventq"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -58,8 +59,10 @@ type Engine struct {
 	canceled  uint64
 	maxQueue  int
 
-	// trace hook, nil when tracing is off
-	onEvent func(t float64, label string)
+	// obs is the attached observability sink; nil when every form of
+	// tracing and metrics is off. The hot loop performs exactly one
+	// nil-check against it, which is the whole disabled-mode cost.
+	obs *Observer
 
 	// live process accounting (see process.go)
 	liveProcs    int
@@ -81,6 +84,50 @@ func WithSeed(seed uint64) Option {
 	return func(e *Engine) { e.seed = seed }
 }
 
+// Observer bundles the optional observability attachments of an
+// engine. Any field may be nil/zero; an Observer with no attachments
+// detaches observability entirely (restoring the nil-check-only path).
+//
+// All attachments are single-writer from the engine goroutine; they
+// must not be shared with another concurrently running engine (the
+// federation gives each LP its own, tagged by Track).
+type Observer struct {
+	// Hook is invoked before each event callback executes.
+	Hook obs.Hook
+	// Recorder receives execute spans, schedule marks, and
+	// canceled-tombstone discard marks, with queue depth.
+	Recorder *obs.Recorder
+	// Metrics accumulates event-callback wall time and queue dwell.
+	Metrics *obs.Metrics
+	// Track tags recorded spans with an LP/track id for multi-engine
+	// traces.
+	Track int
+}
+
+// enabled reports whether any attachment is active.
+func (o Observer) enabled() bool {
+	return o.Hook != nil || o.Recorder != nil || o.Metrics != nil
+}
+
+// WithObserver attaches an observability sink at construction time.
+func WithObserver(o Observer) Option {
+	return func(e *Engine) { e.setObserver(o) }
+}
+
+// defaultObserver, when non-nil, is attached by NewEngine to every
+// engine not given its own observer. See SetDefaultObserver.
+var defaultObserver *Observer
+
+// SetDefaultObserver installs (or, with nil, removes) a process-wide
+// observer template applied to subsequently constructed engines that
+// have none of their own. It exists for front ends (cmd/lssim) that
+// drive personality packages which construct engines internally and
+// expose no engine handle. It is not synchronized and the attachments
+// are single-writer, so it is only safe for sequential front-end
+// wiring — never set it around a parallel federation run (the
+// federation attaches per-LP observers instead).
+func SetDefaultObserver(o *Observer) { defaultObserver = o }
+
 // NewEngine returns an engine at simulation time 0.
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
@@ -90,9 +137,33 @@ func NewEngine(opts ...Option) *Engine {
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.obs == nil && defaultObserver != nil {
+		e.setObserver(*defaultObserver)
+	}
 	e.rng = rng.New(e.seed)
 	e.queue = eventq.NewSeeded(e.queueKind, e.seed)
 	return e
+}
+
+// SetObserver replaces the engine's observability attachments. A zero
+// Observer detaches everything. It must not be called while Run is
+// executing events.
+func (e *Engine) SetObserver(o Observer) { e.setObserver(o) }
+
+func (e *Engine) setObserver(o Observer) {
+	if !o.enabled() {
+		e.obs = nil
+		return
+	}
+	e.obs = &o
+}
+
+// Observer returns a copy of the current attachments (zero when none).
+func (e *Engine) Observer() Observer {
+	if e.obs == nil {
+		return Observer{}
+	}
+	return *e.obs
 }
 
 // Now returns the current simulation time.
@@ -182,6 +253,19 @@ func (e *Engine) at(t float64, label string, fn func()) Timer {
 		ev = new(eventq.Event)
 	}
 	ev.Fn, ev.Label = fn, label
+	if o := e.obs; o != nil {
+		// SchedAt is only maintained while observing: the store (and
+		// the field's cache traffic) stays off the disabled-mode path.
+		// Events scheduled before the observer was attached carry a
+		// stale SchedAt; their dwell samples are clamped at zero.
+		ev.SchedAt = e.now
+		if o.Recorder != nil {
+			o.Recorder.Record(obs.Span{
+				Kind: obs.KindSchedule, Track: int32(o.Track), Seq: e.seq,
+				Time: t, Wall: obs.Now(), Queue: int32(e.queue.Len() + 1), Label: label,
+			})
+		}
+	}
 	e.queue.Push(eventq.Item{Time: t, Seq: e.seq, Event: ev})
 	if n := e.queue.Len(); n > e.maxQueue {
 		e.maxQueue = n
@@ -200,9 +284,59 @@ func (e *Engine) recycle(ev *eventq.Event) {
 	e.freeEv = ev
 }
 
-// OnEvent installs a trace hook invoked before each event executes.
-// Passing nil disables tracing.
-func (e *Engine) OnEvent(hook func(t float64, label string)) { e.onEvent = hook }
+// OnEvent installs a trace hook invoked before each event executes,
+// preserving any other observability attachments. Passing nil removes
+// the hook.
+func (e *Engine) OnEvent(hook obs.Hook) {
+	o := e.Observer()
+	o.Hook = hook
+	e.setObserver(o)
+}
+
+// discard retires a canceled event's tombstone: counts it, records the
+// cancel mark when tracing, and recycles the record.
+func (e *Engine) discard(it eventq.Item) {
+	e.canceled++
+	if o := e.obs; o != nil && o.Recorder != nil {
+		o.Recorder.Record(obs.Span{
+			Kind: obs.KindCancel, Track: int32(o.Track), Seq: it.Seq,
+			Time: it.Time, Wall: obs.Now(), Queue: int32(e.queue.Len()), Label: it.Event.Label,
+		})
+	}
+	e.recycle(it.Event)
+}
+
+// execObserved runs one event callback under the attached observer:
+// hook first, then the timed execution, then the span/histograms.
+// Split out of the hot loops so the untraced path stays small enough
+// to keep its current shape (and inlining behavior).
+func (e *Engine) execObserved(t float64, seq uint64, schedAt float64, label string, fn func()) {
+	o := e.obs
+	qlen := e.queue.Len()
+	if o.Hook != nil {
+		o.Hook(obs.Event{Time: t, Seq: seq, Label: label, QueueLen: qlen})
+	}
+	if o.Metrics != nil {
+		// Dwell is simulation time spent queued, in nano-units.
+		o.Metrics.Dwell.Observe(int64((t - schedAt) * 1e9))
+	}
+	if o.Recorder == nil && o.Metrics == nil {
+		fn()
+		return
+	}
+	start := obs.Now()
+	fn()
+	dur := obs.Now() - start
+	if o.Metrics != nil {
+		o.Metrics.Exec.Observe(dur)
+	}
+	if o.Recorder != nil {
+		o.Recorder.Record(obs.Span{
+			Kind: obs.KindExec, Track: int32(o.Track), Seq: seq,
+			Time: t, Wall: start, Dur: dur, Queue: int32(qlen), Label: label,
+		})
+	}
+}
 
 // Stop halts Run after the current event completes. It may be called
 // from within an event handler or simulated process.
@@ -234,8 +368,7 @@ func (e *Engine) RunUntil(horizon float64) float64 {
 		e.queue.Pop()
 		ev := it.Event
 		if ev.Canceled {
-			e.canceled++
-			e.recycle(ev)
+			e.discard(it)
 			continue
 		}
 		if it.Time < e.now {
@@ -243,14 +376,18 @@ func (e *Engine) RunUntil(horizon float64) float64 {
 		}
 		e.now = it.Time
 		fn, label := ev.Fn, ev.Label
-		// Recycle before running fn: the record is out of the queue, so
-		// events scheduled inside fn can reuse it immediately.
-		e.recycle(ev)
-		e.executed++
-		if e.onEvent != nil {
-			e.onEvent(e.now, label)
+		if e.obs == nil {
+			// Recycle before running fn: the record is out of the queue,
+			// so events scheduled inside fn can reuse it immediately.
+			e.recycle(ev)
+			e.executed++
+			fn()
+		} else {
+			schedAt := ev.SchedAt
+			e.recycle(ev)
+			e.executed++
+			e.execObserved(it.Time, it.Seq, schedAt, label, fn)
 		}
-		fn()
 	}
 	return e.now
 }
@@ -266,18 +403,21 @@ func (e *Engine) Step() bool {
 		e.queue.Pop()
 		ev := it.Event
 		if ev.Canceled {
-			e.canceled++
-			e.recycle(ev)
+			e.discard(it)
 			continue
 		}
 		e.now = it.Time
 		fn, label := ev.Fn, ev.Label
-		e.recycle(ev)
-		e.executed++
-		if e.onEvent != nil {
-			e.onEvent(e.now, label)
+		if e.obs == nil {
+			e.recycle(ev)
+			e.executed++
+			fn()
+		} else {
+			schedAt := ev.SchedAt
+			e.recycle(ev)
+			e.executed++
+			e.execObserved(it.Time, it.Seq, schedAt, label, fn)
 		}
-		fn()
 		return true
 	}
 }
@@ -292,8 +432,7 @@ func (e *Engine) PeekTime() float64 {
 		}
 		if it.Event.Canceled {
 			e.queue.Pop()
-			e.canceled++
-			e.recycle(it.Event)
+			e.discard(it)
 			continue
 		}
 		return it.Time
@@ -301,22 +440,35 @@ func (e *Engine) PeekTime() float64 {
 }
 
 // Stats reports engine counters: events executed, scheduled, canceled,
-// and the high-water mark of the pending-event queue.
+// and the high-water mark of the pending-event queue. When an Observer
+// with Metrics is attached, the latency histograms ride along.
 type Stats struct {
 	Executed  uint64
 	Scheduled uint64
 	Canceled  uint64
 	MaxQueue  int
+
+	// Exec is the event-callback wall-time histogram (nanoseconds);
+	// nil unless an Observer with Metrics is attached.
+	Exec *obs.Histogram
+	// Dwell is the schedule→fire queue-dwell histogram in nano-units
+	// of simulation time; nil unless Metrics is attached.
+	Dwell *obs.Histogram
 }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Executed:  e.executed,
 		Scheduled: e.scheduled,
 		Canceled:  e.canceled,
 		MaxQueue:  e.maxQueue,
 	}
+	if e.obs != nil && e.obs.Metrics != nil {
+		s.Exec = &e.obs.Metrics.Exec
+		s.Dwell = &e.obs.Metrics.Dwell
+	}
+	return s
 }
 
 // QueueLen returns the number of pending (possibly tombstoned) events.

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/eventq"
+	"repro/internal/obs"
 )
 
 func TestScheduleAndRunOrder(t *testing.T) {
@@ -230,13 +231,31 @@ func TestStep(t *testing.T) {
 
 func TestOnEventHook(t *testing.T) {
 	e := NewEngine()
-	var labels []string
-	e.OnEvent(func(tm float64, label string) { labels = append(labels, label) })
+	var got []obs.Event
+	e.OnEvent(func(ev obs.Event) { got = append(got, ev) })
 	e.ScheduleNamed("alpha", 1, func() {})
 	e.ScheduleNamed("beta", 2, func() {})
 	e.Run()
-	if len(labels) != 2 || labels[0] != "alpha" || labels[1] != "beta" {
-		t.Fatalf("labels = %v", labels)
+	if len(got) != 2 || got[0].Label != "alpha" || got[1].Label != "beta" {
+		t.Fatalf("events = %v", got)
+	}
+	// The typed hook carries the engine-assigned seq and the queue
+	// length at execution: alpha fires with beta still pending.
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("seqs = %d, %d", got[0].Seq, got[1].Seq)
+	}
+	if got[0].QueueLen != 1 || got[1].QueueLen != 0 {
+		t.Fatalf("queue lens = %d, %d", got[0].QueueLen, got[1].QueueLen)
+	}
+	if got[0].Time != 1 || got[1].Time != 2 {
+		t.Fatalf("times = %v, %v", got[0].Time, got[1].Time)
+	}
+	// Removing the hook detaches observability entirely.
+	e.OnEvent(nil)
+	e.Schedule(1, func() {})
+	e.Run()
+	if len(got) != 2 {
+		t.Fatal("hook fired after removal")
 	}
 }
 

@@ -63,17 +63,22 @@ func (td *TimeDriven) RunUntil(horizon float64) float64 {
 			e.queue.Pop()
 			ev := it.Event
 			if ev.Canceled {
-				e.canceled++
-				e.recycle(ev)
+				e.discard(it)
 				continue
 			}
 			fn, label := ev.Fn, ev.Label
-			e.recycle(ev)
-			e.executed++
-			if e.onEvent != nil {
-				e.onEvent(e.now, label)
+			if e.obs == nil {
+				e.recycle(ev)
+				e.executed++
+				fn()
+			} else {
+				schedAt := ev.SchedAt
+				e.recycle(ev)
+				e.executed++
+				// Handlers observe the quantized tick time, and so does
+				// the trace: spans carry e.now, not the original due time.
+				e.execObserved(e.now, it.Seq, schedAt, label, fn)
 			}
-			fn()
 			if e.stopped {
 				break
 			}

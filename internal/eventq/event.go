@@ -22,6 +22,9 @@ type Event struct {
 	Fn func()
 	// Label is the trace label (empty when tracing metadata is off).
 	Label string
+	// SchedAt is the simulation time the event was scheduled at, kept
+	// for the engine's queue-dwell histogram (fire time − SchedAt).
+	SchedAt float64
 	// Gen is incremented each time the record is recycled; handles
 	// compare it against the generation they captured at schedule time.
 	Gen uint64

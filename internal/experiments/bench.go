@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/eventq"
+	"repro/internal/obs"
 	"repro/internal/parsim"
 )
 
@@ -62,6 +63,36 @@ func benchCases() []struct {
 			},
 		})
 	}
+	// The traced variant pins the other half of the observability
+	// contract: with the ring recorder and histograms attached,
+	// steady-state recording is still allocation-free.
+	cases = append(cases, struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		name: "ScheduleExecuteTraced/heap",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			rec := obs.NewRecorder(1 << 14)
+			met := &obs.Metrics{}
+			e := des.NewEngine(des.WithObserver(des.Observer{Recorder: rec, Metrics: met}))
+			src := e.Stream("bench")
+			const population = 1024
+			count := 0
+			var pump func()
+			pump = func() {
+				count++
+				if count < b.N {
+					e.Schedule(src.Exp(1), pump)
+				}
+			}
+			for i := 0; i < population && i < b.N; i++ {
+				e.Schedule(src.Exp(1), pump)
+			}
+			b.ResetTimer()
+			e.Run()
+		},
+	})
 	cases = append(cases, struct {
 		name string
 		fn   func(b *testing.B)

@@ -1,0 +1,77 @@
+// Telemetry export: the bridge from the obs observability layer to the
+// monitoring wire format. MONARC 2's defining trait in the taxonomy is
+// that its input can come from the MonALISA monitoring service; these
+// helpers close the loop in the other direction — a simulation's own
+// runtime telemetry (event spans, queue depth, latency histograms)
+// becomes a monitoring capture that Replay can drive a later
+// simulation from, making the framework self-hosting for trace-driven
+// experiments.
+package monitoring
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// TelemetryRecords flattens trace spans into monitoring records, keyed
+// by simulation time:
+//
+//	<t> <site> exec_ns <wall ns>      one per execute span
+//	<t> <site> queue_len <n>          pending events after each op
+//	<t> <site> cancel <1>             per discarded tombstone
+//	<t> <site> barrier_wait_ns <ns>   per federation barrier wait
+//
+// The records come out in span-record order; Replay sorts by time, so
+// captures from multiple tracks can simply be concatenated.
+func TelemetryRecords(site string, spans []obs.Span) []Record {
+	recs := make([]Record, 0, 2*len(spans))
+	for _, s := range spans {
+		switch s.Kind {
+		case obs.KindExec:
+			recs = append(recs,
+				Record{Time: s.Time, Site: site, Param: "exec_ns", Value: float64(s.Dur)},
+				Record{Time: s.Time, Site: site, Param: "queue_len", Value: float64(s.Queue)})
+		case obs.KindSchedule:
+			recs = append(recs,
+				Record{Time: s.Time, Site: site, Param: "queue_len", Value: float64(s.Queue)})
+		case obs.KindCancel:
+			recs = append(recs,
+				Record{Time: s.Time, Site: site, Param: "cancel", Value: 1})
+		case obs.KindBarrierWait:
+			recs = append(recs,
+				Record{Time: s.Time, Site: site, Param: "barrier_wait_ns", Value: float64(s.Dur)})
+		case obs.KindWindowBusy:
+			recs = append(recs,
+				Record{Time: s.Time, Site: site, Param: "window_busy_ns", Value: float64(s.Dur)})
+		}
+	}
+	return recs
+}
+
+// HistogramRecords renders a histogram as monitoring records at one
+// timestamp: a <param>_bucket record per non-empty bucket (value =
+// count, bucket lower bound in the parameter name) plus <param>_count,
+// <param>_mean, <param>_p50, <param>_p99, and <param>_max summaries —
+// the shape a monitoring service would scrape periodically.
+func HistogramRecords(t float64, site, param string, h *obs.Histogram) []Record {
+	if h == nil || h.Count() == 0 {
+		return nil
+	}
+	var recs []Record
+	h.Buckets(func(lo int64, count uint64) {
+		recs = append(recs, Record{
+			Time: t, Site: site,
+			Param: fmt.Sprintf("%s_bucket_%d", param, lo),
+			Value: float64(count),
+		})
+	})
+	recs = append(recs,
+		Record{Time: t, Site: site, Param: param + "_count", Value: float64(h.Count())},
+		Record{Time: t, Site: site, Param: param + "_mean", Value: h.Mean()},
+		Record{Time: t, Site: site, Param: param + "_p50", Value: h.Quantile(0.5)},
+		Record{Time: t, Site: site, Param: param + "_p99", Value: h.Quantile(0.99)},
+		Record{Time: t, Site: site, Param: param + "_max", Value: float64(h.Max())},
+	)
+	return recs
+}

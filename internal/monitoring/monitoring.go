@@ -110,8 +110,9 @@ type Collector struct {
 
 // Sample installs a periodic sampler on the engine: every period it
 // calls probe and appends the returned records, until the stop time.
-// stop must be positive — an open-ended sampler would keep the event
-// queue nonempty forever and Run would never return.
+// The final sample always lands at or before stop, never after. stop
+// must be positive — an open-ended sampler would keep the event queue
+// nonempty forever and Run would never return.
 func (c *Collector) Sample(e *des.Engine, period, stop float64, probe func() []Record) {
 	if period <= 0 || stop <= 0 {
 		panic("monitoring: Sample requires positive period and stop")
@@ -119,10 +120,14 @@ func (c *Collector) Sample(e *des.Engine, period, stop float64, probe func() []R
 	var tick func()
 	tick = func() {
 		c.Records = append(c.Records, probe()...)
-		if stop > 0 && e.Now()+period > stop {
+		if e.Now()+period > stop {
 			return
 		}
 		e.Schedule(period, tick)
 	}
-	e.Schedule(period, tick)
+	// The first tick gets the same guard as the rest: with
+	// period > stop no sample may fire past the stop time.
+	if e.Now()+period <= stop {
+		e.Schedule(period, tick)
+	}
 }

@@ -109,6 +109,45 @@ func TestCollectorSamples(t *testing.T) {
 	}
 }
 
+// TestCollectorStopsAtOrBeforeStop pins the contract that no sample
+// ever lands after the stop time — including the first one, which used
+// to fire at t=period even when period > stop.
+func TestCollectorStopsAtOrBeforeStop(t *testing.T) {
+	cases := []struct {
+		period, stop float64
+		want         int
+	}{
+		{1.0, 5.0, 5},  // samples at 1..5
+		{2.0, 5.0, 2},  // samples at 2, 4
+		{2.5, 5.0, 2},  // samples at 2.5, 5.0 — the boundary fires
+		{10.0, 5.0, 0}, // period beyond stop: no sample at all
+		{5.0, 5.0, 1},  // single boundary sample
+		{1.0, 0.5, 0},  // sub-period stop
+	}
+	for _, tc := range cases {
+		e := des.NewEngine()
+		var c Collector
+		c.Sample(e, tc.period, tc.stop, func() []Record {
+			return []Record{{Time: e.Now(), Site: "s", Param: "p", Value: 1}}
+		})
+		end := e.Run()
+		if len(c.Records) != tc.want {
+			t.Fatalf("period=%v stop=%v: %d samples, want %d",
+				tc.period, tc.stop, len(c.Records), tc.want)
+		}
+		for _, r := range c.Records {
+			if r.Time > tc.stop {
+				t.Fatalf("period=%v stop=%v: sample at %v after stop",
+					tc.period, tc.stop, r.Time)
+			}
+		}
+		if end > tc.stop {
+			t.Fatalf("period=%v stop=%v: engine ran to %v, past stop",
+				tc.period, tc.stop, end)
+		}
+	}
+}
+
 func TestCollectorValidation(t *testing.T) {
 	e := des.NewEngine()
 	var c Collector

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func traceFixture() []Track {
+	lp0 := NewRecorder(16)
+	lp0.Record(Span{Kind: KindSchedule, Track: 0, Seq: 1, Time: 0, Wall: 10, Queue: 1, Label: "job"})
+	lp0.Record(Span{Kind: KindExec, Track: 0, Seq: 1, Time: 1.5, Wall: 100, Dur: 40, Queue: 0, Label: "job"})
+	lp0.Record(Span{Kind: KindCancel, Track: 0, Seq: 2, Time: 2.0, Wall: 160, Label: `quo"ted`})
+	w0 := NewRecorder(16)
+	w0.Record(Span{Kind: KindBarrierWait, Track: 1, Wall: 150, Dur: 30})
+	w0.Record(Span{Kind: KindWindowBusy, Track: 1, Wall: 180, Dur: 70})
+	return []Track{
+		{Name: "lp-0", TID: 0, Rec: lp0},
+		{Name: "worker-0", TID: 100, Rec: w0},
+		{Name: "empty", TID: 200, Rec: nil},
+	}
+}
+
+func TestWriteChromeTraceParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, traceFixture()...); err != nil {
+		t.Fatal(err)
+	}
+	events, tids, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exporter output rejected: %v\n%s", err, buf.String())
+	}
+	// 3 metadata + 3 lp records + 2 counters + 2 worker spans.
+	if events != 10 {
+		t.Fatalf("events = %d, want 10", events)
+	}
+	for _, tid := range []int{0, 100, 200} {
+		if !tids[tid] {
+			t.Fatalf("tid %d missing from trace (got %v)", tid, tids)
+		}
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, traceFixture()...); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			TID  int            `json:"tid"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Cat  string         `json:"cat"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var phases = map[string]int{}
+	sawThreadName := false
+	sawBarrier := false
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			sawThreadName = true
+		}
+		if ev.Ph == "X" && ev.Name == "barrier-wait" {
+			sawBarrier = true
+			if ev.Dur <= 0 {
+				t.Fatal("barrier-wait span has no duration")
+			}
+		}
+		if ev.Ph == "X" && ev.Name == "job" {
+			if ev.Args["t"] != 1.5 || ev.Args["seq"] != float64(1) {
+				t.Fatalf("exec args = %v", ev.Args)
+			}
+			if ev.Ts != 0.1 || ev.Dur != 0.04 { // 100ns → 0.1µs, 40ns → 0.04µs
+				t.Fatalf("exec ts/dur = %v/%v", ev.Ts, ev.Dur)
+			}
+		}
+	}
+	if !sawThreadName || !sawBarrier {
+		t.Fatalf("missing records: thread_name=%v barrier=%v", sawThreadName, sawBarrier)
+	}
+	if phases["X"] != 3 || phases["i"] != 2 || phases["C"] != 2 || phases["M"] != 3 {
+		t.Fatalf("phase counts = %v", phases)
+	}
+}
+
+func TestValidateChromeTraceRejectsGarbage(t *testing.T) {
+	if _, _, err := ValidateChromeTrace([]byte("{not json")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, _, err := ValidateChromeTrace([]byte(`{"traceEvents":[{"tid":1}]}`)); err == nil {
+		t.Fatal("accepted event without ph")
+	}
+}

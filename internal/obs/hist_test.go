@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.String() != "n=0" {
+		t.Fatal("zero histogram not empty")
+	}
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 || h.Min() != 0 || h.Max() != 1000 || h.Sum() != 1106 {
+		t.Fatalf("count=%d min=%d max=%d sum=%d", h.Count(), h.Min(), h.Max(), h.Sum())
+	}
+	if got := h.Mean(); math.Abs(got-1106.0/6) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample not clamped: %+v", h)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i)
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 1000 {
+		t.Fatalf("extreme quantiles: %v %v", h.Quantile(0), h.Quantile(1))
+	}
+	// Log-bucketing bounds relative error by 2x; check the median lands
+	// in the right bucket neighborhood.
+	p50 := h.Quantile(0.5)
+	if p50 < 250 || p50 > 1000 {
+		t.Fatalf("p50 = %v, want within 2x of 500", p50)
+	}
+	// Quantiles are monotone in q.
+	prev := 0.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(1); i <= 10; i++ {
+		a.Observe(i)
+	}
+	for i := int64(100); i <= 110; i++ {
+		b.Observe(i)
+	}
+	a.Merge(&b)
+	if a.Count() != 21 || a.Min() != 1 || a.Max() != 110 {
+		t.Fatalf("merged: count=%d min=%d max=%d", a.Count(), a.Min(), a.Max())
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 21 {
+		t.Fatal("merge(nil) changed histogram")
+	}
+	var empty Histogram
+	empty.Merge(&a)
+	if empty.Count() != 21 || empty.Min() != 1 {
+		t.Fatalf("merge into empty: %+v", empty)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5) // bucket [4,8)
+	h.Observe(5)
+	var los []int64
+	var counts []uint64
+	h.Buckets(func(lo int64, c uint64) {
+		los = append(los, lo)
+		counts = append(counts, c)
+	})
+	if len(los) != 3 || los[0] != 0 || los[1] != 1 || los[2] != 4 || counts[2] != 2 {
+		t.Fatalf("buckets: los=%v counts=%v", los, counts)
+	}
+}
+
+func TestHistogramObserveDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(12345) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per op", allocs)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1500) // 1.5µs
+	}
+	s := h.String()
+	if !strings.Contains(s, "n=100") || !strings.Contains(s, "µs") {
+		t.Fatalf("String = %q", s)
+	}
+	var big Histogram
+	big.Observe(2_500_000_000)
+	if !strings.Contains(big.String(), "s") {
+		t.Fatalf("String = %q", big.String())
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestRecorderOrderAndWrap(t *testing.T) {
+	r := NewRecorder(4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	for i := 0; i < 3; i++ {
+		r.Record(Span{Seq: uint64(i + 1)})
+	}
+	if r.Len() != 3 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	got := r.Spans()
+	for i, s := range got {
+		if s.Seq != uint64(i+1) {
+			t.Fatalf("span %d seq = %d", i, s.Seq)
+		}
+	}
+	// Overflow: 7 total records into capacity 4 keeps the last 4.
+	for i := 3; i < 7; i++ {
+		r.Record(Span{Seq: uint64(i + 1)})
+	}
+	if r.Len() != 4 || r.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	got = r.Spans()
+	want := []uint64{4, 5, 6, 7}
+	for i, s := range got {
+		if s.Seq != want[i] {
+			t.Fatalf("wrapped span %d seq = %d, want %d", i, s.Seq, want[i])
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || len(r.Spans()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestRecorderCapacityRounding(t *testing.T) {
+	r := NewRecorder(5)
+	if r.Cap() != 8 {
+		t.Fatalf("cap = %d, want 8", r.Cap())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on capacity 0")
+		}
+	}()
+	NewRecorder(0)
+}
+
+func TestRecorderRecordDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(1 << 10)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(Span{Kind: KindExec, Wall: Now(), Dur: 5, Time: 1.5, Seq: 9, Label: "x"})
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per op", allocs)
+	}
+}
+
+func TestNowMonotone(t *testing.T) {
+	a := Now()
+	b := Now()
+	if a < 0 || b < a {
+		t.Fatalf("Now not monotone: %d then %d", a, b)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindExec: "exec", KindSchedule: "schedule", KindCancel: "cancel",
+		KindBarrierWait: "barrier-wait", KindWindowBusy: "window-busy",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() != "?" {
+		t.Fatal("unknown kind")
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/eventq"
+	"repro/internal/obs"
 )
 
 // Message is a cross-LP event payload.
@@ -109,6 +110,19 @@ type Federation struct {
 	cursor    atomic.Int64  // next LP index to claim
 	start     chan struct{} // one token per worker per window; closed to stop
 	done      chan struct{} // one token per worker per window
+
+	// observability (EnableObservability); every structure below is
+	// single-writer: per-LP recorders are written only by whichever
+	// worker holds the LP inside a window (the token barrier orders
+	// cross-window handoffs), per-worker recorders/histograms only by
+	// their worker, and windowWall only by the coordinator.
+	obsOn       bool
+	lpRecs      []*obs.Recorder
+	lpMetrics   []*obs.Metrics
+	workerRecs  []*obs.Recorder
+	barrierWait []obs.Histogram // per worker: wall ns blocked between windows
+	busy        []obs.Histogram // per worker: wall ns executing LPs per window
+	windowWall  obs.Histogram   // coordinator: wall ns per window incl. delivery
 }
 
 // NewFederation creates n LPs with the given lookahead (the minimum
@@ -158,6 +172,110 @@ func (f *Federation) Windows() uint64 { return f.windows }
 // pool avoids dispatching entirely.
 func (f *Federation) IdleSkips() uint64 { return f.idleSkips.Load() }
 
+// poolWorkers returns the number of workers the pool actually uses
+// (extra workers beyond the LP count would only contend on the cursor).
+func (f *Federation) poolWorkers() int {
+	if f.workers > len(f.lps) {
+		return len(f.lps)
+	}
+	return f.workers
+}
+
+// EnableObservability attaches a trace recorder (spanCap spans, ring)
+// and latency histograms to every LP engine, plus a recorder and
+// barrier-wait/busy histograms to every pool worker. It must be called
+// before Run; calling it with tracing already enabled resets the
+// attachments. Observability never perturbs simulation results — the
+// determinism tests run with it on — it only costs wall time.
+func (f *Federation) EnableObservability(spanCap int) {
+	workers := f.poolWorkers()
+	f.obsOn = true
+	f.lpRecs = make([]*obs.Recorder, len(f.lps))
+	f.lpMetrics = make([]*obs.Metrics, len(f.lps))
+	for i, lp := range f.lps {
+		f.lpRecs[i] = obs.NewRecorder(spanCap)
+		f.lpMetrics[i] = &obs.Metrics{}
+		lp.E.SetObserver(des.Observer{Recorder: f.lpRecs[i], Metrics: f.lpMetrics[i], Track: i})
+	}
+	f.workerRecs = make([]*obs.Recorder, workers)
+	for w := range f.workerRecs {
+		f.workerRecs[w] = obs.NewRecorder(spanCap)
+	}
+	f.barrierWait = make([]obs.Histogram, workers)
+	f.busy = make([]obs.Histogram, workers)
+	f.windowWall.Reset()
+}
+
+// Snapshot is a point-in-time view of federation-level runtime
+// metrics, taken between Run calls.
+type Snapshot struct {
+	// Windows and IdleSkips mirror the federation counters.
+	Windows   uint64
+	IdleSkips uint64
+	// LPs holds each LP engine's Stats (with latency histograms when
+	// observability is on).
+	LPs []des.Stats
+	// BarrierWait aggregates, across workers, the wall nanoseconds a
+	// worker spent blocked between finishing one window and starting
+	// the next — the synchronization cost of conservative lock-step.
+	BarrierWait *obs.Histogram
+	// WindowWall is the coordinator's wall nanoseconds per window,
+	// including message delivery.
+	WindowWall *obs.Histogram
+	// Utilization is, per worker, busy wall time divided by total
+	// window wall time — the load-balance profile of the run.
+	Utilization []float64
+}
+
+// Snapshot captures the current federation metrics. The histograms are
+// merged copies; mutating them does not affect the live run. Must not
+// be called while Run is executing.
+func (f *Federation) Snapshot() Snapshot {
+	s := Snapshot{Windows: f.windows, IdleSkips: f.idleSkips.Load()}
+	s.LPs = make([]des.Stats, len(f.lps))
+	for i, lp := range f.lps {
+		s.LPs[i] = lp.E.Stats()
+	}
+	if !f.obsOn {
+		return s
+	}
+	bw := &obs.Histogram{}
+	for w := range f.barrierWait {
+		bw.Merge(&f.barrierWait[w])
+	}
+	s.BarrierWait = bw
+	ww := &obs.Histogram{}
+	ww.Merge(&f.windowWall)
+	s.WindowWall = ww
+	total := f.windowWall.Sum()
+	s.Utilization = make([]float64, len(f.busy))
+	for w := range f.busy {
+		if total > 0 {
+			s.Utilization[w] = float64(f.busy[w].Sum()) / float64(total)
+		}
+	}
+	return s
+}
+
+// TraceTracks returns one obs.Track per LP and per pool worker, ready
+// for obs.WriteChromeTrace: LP tracks carry event spans and
+// schedule/cancel marks, worker tracks carry barrier-wait and
+// window-busy spans. Nil when observability is off.
+func (f *Federation) TraceTracks() []obs.Track {
+	if !f.obsOn {
+		return nil
+	}
+	var tracks []obs.Track
+	for i, r := range f.lpRecs {
+		tracks = append(tracks, obs.Track{Name: fmt.Sprintf("lp-%d", i), TID: i, Rec: r})
+	}
+	for w, r := range f.workerRecs {
+		// Worker tids live in a disjoint range above the LP tids.
+		tracks = append(tracks, obs.Track{Name: fmt.Sprintf("worker-%d", w), TID: 1000 + w, Rec: r})
+	}
+	return tracks
+}
+
 // Run advances every LP to the horizon in lookahead-sized windows.
 // Within a window LPs execute concurrently on the worker pool; at the
 // barrier, buffered cross-LP messages are delivered (in deterministic
@@ -175,19 +293,17 @@ func (f *Federation) Run(horizon float64) {
 			panic(fmt.Sprintf("parsim: LP %d has no OnMessage handler", lp.Index))
 		}
 	}
-	workers := f.workers
-	if workers > len(f.lps) {
-		workers = len(f.lps) // extra workers would only contend on the cursor
-	}
+	workers := f.poolWorkers()
 	if workers > 1 {
 		f.start = make(chan struct{})
 		f.done = make(chan struct{})
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
+			w := w
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				f.workerLoop()
+				f.workerLoop(w)
 			}()
 		}
 		defer func() {
@@ -201,8 +317,15 @@ func (f *Federation) Run(horizon float64) {
 			windowEnd = horizon
 		}
 		f.windows++
+		var wallStart int64
+		if f.obsOn {
+			wallStart = obs.Now()
+		}
 		f.runWindow(windowEnd, workers)
 		f.deliver()
+		if f.obsOn {
+			f.windowWall.Observe(obs.Now() - wallStart)
+		}
 		if windowEnd >= horizon {
 			return
 		}
@@ -215,12 +338,19 @@ func (f *Federation) Run(horizon float64) {
 // engine loop.
 func (f *Federation) runWindow(windowEnd float64, workers int) {
 	if workers == 1 {
+		var busyStart int64
+		if f.obsOn {
+			busyStart = obs.Now()
+		}
 		for _, lp := range f.lps {
 			if lp.E.PeekTime() > windowEnd {
 				f.idleSkips.Add(1)
 				continue
 			}
 			lp.E.RunUntil(windowEnd)
+		}
+		if f.obsOn {
+			f.observeWindow(0, busyStart, obs.Now(), windowEnd)
 		}
 		return
 	}
@@ -241,8 +371,28 @@ func (f *Federation) runWindow(windowEnd float64, workers int) {
 // workerLoop is the body of one persistent pool worker: per window it
 // claims LPs off the shared cursor until none remain, then reports to
 // the barrier. A closed start channel is the stop signal.
-func (f *Federation) workerLoop() {
+//
+// With observability on, the worker times two phases of each cycle:
+// busy (claiming and running LPs) and barrier wait (from reporting its
+// done-token until the next start-token arrives — the window-close
+// barrier, message delivery, and the release of the next window). The
+// barrier-wait histogram is the measurable synchronization cost the
+// paper's C4 discussion attributes to conservative execution.
+func (f *Federation) workerLoop(w int) {
+	var waitStart int64
+	if f.obsOn {
+		waitStart = obs.Now()
+	}
 	for range f.start {
+		var busyStart int64
+		if f.obsOn {
+			busyStart = obs.Now()
+			wait := busyStart - waitStart
+			f.barrierWait[w].Observe(wait)
+			f.workerRecs[w].Record(obs.Span{
+				Kind: obs.KindBarrierWait, Track: int32(w), Wall: waitStart, Dur: wait,
+			})
+		}
 		windowEnd := f.windowEnd
 		for {
 			i := int(f.cursor.Add(1)) - 1
@@ -259,8 +409,24 @@ func (f *Federation) workerLoop() {
 			}
 			lp.E.RunUntil(windowEnd)
 		}
+		if f.obsOn {
+			f.observeWindow(w, busyStart, obs.Now(), windowEnd)
+		}
 		f.done <- struct{}{}
+		if f.obsOn {
+			waitStart = obs.Now()
+		}
 	}
+}
+
+// observeWindow records one worker's busy phase of a window.
+func (f *Federation) observeWindow(w int, busyStart, busyEnd int64, windowEnd float64) {
+	busy := busyEnd - busyStart
+	f.busy[w].Observe(busy)
+	f.workerRecs[w].Record(obs.Span{
+		Kind: obs.KindWindowBusy, Track: int32(w), Wall: busyStart, Dur: busy,
+		Time: windowEnd,
+	})
 }
 
 // deliver flushes every outbox into the target engines, sequentially
