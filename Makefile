@@ -2,8 +2,9 @@
 
 GO ?= go
 TRACE_OUT ?= /tmp/lsds_trace_e5.json
+CKPT_OUT ?= /tmp/lsds_phold.ckpt
 
-.PHONY: all build test tier1 vet race bench benchjson trace-smoke clean
+.PHONY: all build test tier1 vet race bench benchjson trace-smoke checkpoint-smoke clean
 
 all: tier1
 
@@ -17,9 +18,9 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the packages with real concurrency: the parallel
-# federation and the engine it drives.
+# federation, the TCP-distributed engine, and the engine they drive.
 race:
-	$(GO) test -race ./internal/parsim/... ./internal/des/...
+	$(GO) test -race ./internal/parsim/... ./internal/des/... ./internal/distsim/...
 
 # tier1 is the acceptance gate: build + full tests, plus vet and the
 # race detector over the concurrent packages.
@@ -39,6 +40,16 @@ benchjson:
 trace-smoke:
 	$(GO) run ./cmd/experiments -quick -trace $(TRACE_OUT)
 	rm -f $(TRACE_OUT)
+
+# checkpoint-smoke is the end-to-end fault-tolerance check: a PHOLD run
+# is checkpointed at a window barrier, resumed in a second process, and
+# -verify replays the whole run uninterrupted and fails on any
+# divergence; then the kill-a-worker recovery e2e runs under -race.
+checkpoint-smoke:
+	$(GO) run ./cmd/lssim -sim phold -checkpoint $(CKPT_OUT)
+	$(GO) run ./cmd/lssim -sim phold -resume $(CKPT_OUT) -verify
+	rm -f $(CKPT_OUT)
+	$(GO) test -race -count=1 -run 'TestKillWorkerMidWindowRecovers|TestCoordinatorFileResume' ./internal/distsim/
 
 clean:
 	$(GO) clean ./...

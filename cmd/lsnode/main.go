@@ -20,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/distsim"
 	"repro/internal/metrics"
@@ -37,6 +38,11 @@ func main() {
 	jobs := flag.Int("jobs", 8, "PHOLD jobs per LP")
 	remote := flag.Float64("remote", 0.2, "PHOLD remote-hop probability")
 	work := flag.Int("work", 100, "PHOLD per-event synthetic work")
+	timeout := flag.Float64("timeout", 0, "coordinator: per-frame receive deadline in seconds (0 = 30s default, negative disables)")
+	ckptEvery := flag.Int("ckpt-every", 0, "coordinator: cluster checkpoint every N windows (0 = every window when fault tolerance is on)")
+	maxRec := flag.Int("max-recoveries", 0, "coordinator: worker crashes to survive by rollback-recovery")
+	ckptFile := flag.String("checkpoint", "", "coordinator: persist cluster checkpoints to this file (atomic)")
+	resumeFile := flag.String("resume", "", "coordinator: resume from this cluster checkpoint when it exists")
 	flag.Parse()
 
 	switch *mode {
@@ -48,12 +54,20 @@ func main() {
 		defer ln.Close()
 		fmt.Printf("lsnode: coordinating %d LPs over %d workers on %s\n", *lps, *workers, ln.Addr())
 		c := distsim.NewCoordinator(*lps, *lookahead, *horizon, *seed)
+		if *timeout != 0 {
+			c.Timeout = time.Duration(*timeout * float64(time.Second))
+		}
+		c.CheckpointEvery = *ckptEvery
+		c.MaxRecoveries = *maxRec
+		c.CheckpointPath = *ckptFile
+		c.ResumePath = *resumeFile
 		if err := c.Serve(ln, *workers); err != nil {
 			fatal(err)
 		}
 		t := metrics.NewTable("Distributed run complete", "metric", "value")
 		t.AddRowf("windows", c.Windows)
 		t.AddRowf("events routed", c.EventsRouted)
+		t.AddRowf("recoveries", c.Recoveries)
 		var executed, sent uint64
 		var counts []uint64
 		perLP := map[int]uint64{}

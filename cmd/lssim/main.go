@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	lssim -sim bricks|optorsim|simgrid|gridsim|chicsim|monarc [-seed N] [-jobs N]
+//	lssim -sim bricks|optorsim|simgrid|gridsim|chicsim|monarc|phold [-seed N] [-jobs N]
 //
 // Each personality runs its default configuration with the seed and
 // job-count overrides applied where meaningful.
+//
+// The phold personality is the checkpointable parallel benchmark: with
+// -checkpoint it runs to a window barrier and writes a snapshot; with
+// -resume it restores a snapshot and finishes the run; with -verify it
+// additionally replays the whole run uninterrupted in-process and
+// requires bit-identical results.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/parsim"
 	"repro/internal/simulators/bricks"
 	"repro/internal/simulators/chicsim"
 	"repro/internal/simulators/gridsim"
@@ -27,13 +34,100 @@ import (
 	"repro/internal/simulators/simgrid"
 )
 
+// phold personality parameters (fixed except for the flags): an
+// 8-LP federation with unit lookahead, the E5 default traffic mix.
+const (
+	pholdLPs       = 8
+	pholdLookahead = 1.0
+	pholdJobs      = 16
+	pholdRemote    = 0.2
+	pholdWork      = 100
+)
+
+// runPHOLD executes the checkpointable PHOLD personality: optionally
+// restoring a snapshot first, optionally stopping at a window barrier
+// to write one, and optionally verifying the finished run against an
+// uninterrupted in-process replay.
+func runPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, workers int, ckptPath string, ckptAt float64, resumePath string, verify bool) error {
+	jobsPer := pholdJobs
+	if jobs > 0 {
+		jobsPer = jobs
+	}
+	build := func(w int, s uint64) *parsim.PHOLD {
+		return parsim.NewPHOLD(pholdLPs, w, pholdLookahead, jobsPer, pholdRemote, pholdWork, s)
+	}
+	ph := build(workers, seed)
+	if resumePath != "" {
+		f, err := os.Open(resumePath)
+		if err != nil {
+			return err
+		}
+		err = ph.Fed.Restore(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		t.AddRowf("resumed from", fmt.Sprintf("%s (t=%v)", resumePath, ph.Fed.Clock()))
+	}
+	if ckptPath != "" {
+		at := ckptAt
+		if at == 0 {
+			at = horizon / 2
+		}
+		if at <= ph.Fed.Clock() {
+			return fmt.Errorf("checkpoint time %v is not past the clock %v", at, ph.Fed.Clock())
+		}
+		ph.Fed.Run(at)
+		f, err := os.Create(ckptPath)
+		if err != nil {
+			return err
+		}
+		if err := ph.Fed.Checkpoint(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		t.AddRowf("checkpoint", fmt.Sprintf("%s (t=%v)", ckptPath, ph.Fed.Clock()))
+		t.AddRowf("events so far", ph.TotalEvents())
+		return nil
+	}
+	ph.Run(horizon)
+	t.AddRowf("events", ph.TotalEvents())
+	t.AddRowf("windows", ph.Fed.Windows())
+	t.AddRowf("per-LP events", fmt.Sprint(ph.PerLPEvents()))
+	if verify {
+		ref := build(1, seed)
+		ref.Run(horizon)
+		want, got := ref.PerLPEvents(), ph.PerLPEvents()
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("verify: LP %d has %d events, uninterrupted run has %d (want %v, got %v)",
+					i, got[i], want[i], want, got)
+			}
+		}
+		if ph.Fed.Windows() != ref.Fed.Windows() {
+			return fmt.Errorf("verify: %d windows, uninterrupted run has %d", ph.Fed.Windows(), ref.Fed.Windows())
+		}
+		t.AddRowf("verify", "identical to uninterrupted run")
+	}
+	return nil
+}
+
 func main() {
-	sim := flag.String("sim", "monarc", "personality: bricks|optorsim|simgrid|gridsim|chicsim|monarc")
+	sim := flag.String("sim", "monarc", "personality: bricks|optorsim|simgrid|gridsim|chicsim|monarc|phold")
 	seed := flag.Uint64("seed", 1, "random seed")
 	jobs := flag.Int("jobs", 0, "job/task count override (0 = personality default)")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) of the run to this file")
 	histo := flag.Bool("histo", false, "print event-latency histograms after the run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	horizon := flag.Float64("horizon", 40, "phold: simulation end time")
+	workers := flag.Int("workers", 4, "phold: parallel pool workers")
+	ckptPath := flag.String("checkpoint", "", "phold: run to -checkpoint-at, write a snapshot to this file, and exit")
+	ckptAt := flag.Float64("checkpoint-at", 0, "phold: window barrier to checkpoint at (0 = half the horizon; use a multiple of the lookahead)")
+	resumePath := flag.String("resume", "", "phold: restore this snapshot before running to -horizon")
+	verify := flag.Bool("verify", false, "phold: replay the run uninterrupted in-process and require identical results")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -143,6 +237,11 @@ func main() {
 		t.AddRowf("T0 utilization", r.T0Utilization)
 		t.AddRowf("WAN GB", r.WANBytes/1e9)
 		t.AddRowf("DB queries", r.DBQueries)
+	case "phold":
+		if err := runPHOLD(t, *seed, *jobs, *horizon, *workers, *ckptPath, *ckptAt, *resumePath, *verify); err != nil {
+			fmt.Fprintln(os.Stderr, "lssim:", err)
+			os.Exit(1)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "lssim: unknown personality %q\n", *sim)
 		flag.Usage()

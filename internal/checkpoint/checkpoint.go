@@ -1,0 +1,377 @@
+// Package checkpoint defines the durable snapshot format shared by
+// every engine layer of the framework, plus the interface a simulation
+// model implements to ride along in a snapshot.
+//
+// The paper's taxonomy places execution mode and failure support on
+// the same axis sheet: the MONARC-class simulators it surveys are
+// distinguished by running long campaigns reliably at scale, yet none
+// of them can survive a crash of the simulator itself — a failure
+// loses the run. This package supplies the missing property. A
+// snapshot is a versioned, self-describing container of named
+// sections; producers (des.Engine, parsim.Federation, the distsim
+// worker and coordinator) each write their own sections, and readers
+// skip sections they do not understand, so the format can grow without
+// breaking old snapshots.
+//
+// Wire layout:
+//
+//	magic   "LSDSCKPT" (8 bytes)
+//	version uint16 big-endian
+//	section*  { nameLen uint8 >0, name, payloadLen uvarint, payload }
+//	end       { nameLen uint8 == 0 }
+//	crc32     IEEE, big-endian, over everything before it
+//
+// Integers inside section payloads are uvarint-encoded via Enc/Dec;
+// floats are fixed 8-byte IEEE 754 bits. Everything is explicit — no
+// reflection, no gob — so a snapshot written on one host restores
+// bit-identically on any other.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Magic identifies a snapshot stream.
+const Magic = "LSDSCKPT"
+
+// Version is the current format version. Readers accept exactly the
+// versions they know how to parse.
+const Version = 1
+
+// maxSectionLen bounds a single section payload (1 GiB): a length
+// beyond it means a corrupt or hostile stream, not a real snapshot.
+const maxSectionLen = 1 << 30
+
+// Checkpointable is implemented by simulation models whose state must
+// survive a checkpoint/restore cycle alongside the engine state (event
+// counters, accumulators, open jobs — anything not reconstructible
+// from the pending-event set alone).
+//
+// MarshalState must be deterministic: equal model states produce equal
+// bytes, so snapshot comparison is meaningful. UnmarshalState must
+// fully overwrite the receiver; it is called on a freshly constructed
+// model whose configuration already matches the checkpointed run.
+type Checkpointable interface {
+	MarshalState() ([]byte, error)
+	UnmarshalState(data []byte) error
+}
+
+// Writer streams a snapshot to an io.Writer, section by section.
+type Writer struct {
+	w   io.Writer
+	crc uint32
+	err error
+}
+
+// NewWriter starts a snapshot on w by writing the header.
+func NewWriter(w io.Writer) *Writer {
+	sw := &Writer{w: w}
+	var hdr [len(Magic) + 2]byte
+	copy(hdr[:], Magic)
+	binary.BigEndian.PutUint16(hdr[len(Magic):], Version)
+	sw.write(hdr[:])
+	return sw
+}
+
+func (sw *Writer) write(b []byte) {
+	if sw.err != nil {
+		return
+	}
+	sw.crc = crc32.Update(sw.crc, crc32.IEEETable, b)
+	_, sw.err = sw.w.Write(b)
+}
+
+// Section appends one named section. Names are 1–255 bytes and may
+// repeat: repeated names form an ordered list (used for per-LP
+// sections).
+func (sw *Writer) Section(name string, payload []byte) error {
+	if len(name) == 0 || len(name) > 255 {
+		return fmt.Errorf("checkpoint: section name %q out of range", name)
+	}
+	var hdr [1 + 255 + binary.MaxVarintLen64]byte
+	hdr[0] = byte(len(name))
+	n := 1 + copy(hdr[1:], name)
+	n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
+	sw.write(hdr[:n])
+	sw.write(payload)
+	return sw.err
+}
+
+// Close writes the end marker and CRC trailer. The Writer must not be
+// used afterwards.
+func (sw *Writer) Close() error {
+	sw.write([]byte{0})
+	if sw.err != nil {
+		return sw.err
+	}
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], sw.crc)
+	_, sw.err = sw.w.Write(tail[:])
+	return sw.err
+}
+
+// Section is one named chunk of a parsed snapshot.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Snapshot is a fully parsed, CRC-verified snapshot.
+type Snapshot struct {
+	sections []Section
+}
+
+// Read parses and verifies a snapshot from r.
+func Read(r io.Reader) (*Snapshot, error) {
+	br := &crcReader{r: r}
+	hdr := make([]byte, len(Magic)+2)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("checkpoint: short header: %w", err)
+	}
+	if string(hdr[:len(Magic)]) != Magic {
+		return nil, errors.New("checkpoint: bad magic (not a snapshot)")
+	}
+	if v := binary.BigEndian.Uint16(hdr[len(Magic):]); v != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d (have %d)", v, Version)
+	}
+	snap := &Snapshot{}
+	var one [1]byte
+	for {
+		if _, err := io.ReadFull(br, one[:]); err != nil {
+			return nil, fmt.Errorf("checkpoint: truncated section header: %w", err)
+		}
+		nameLen := int(one[0])
+		if nameLen == 0 {
+			break // end marker
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("checkpoint: truncated section name: %w", err)
+		}
+		plen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: truncated section length: %w", err)
+		}
+		if plen > maxSectionLen {
+			return nil, fmt.Errorf("checkpoint: section %q length %d exceeds limit", name, plen)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return nil, fmt.Errorf("checkpoint: truncated section %q: %w", name, err)
+		}
+		snap.sections = append(snap.sections, Section{Name: string(name), Data: payload})
+	}
+	want := br.crc
+	var tail [4]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: missing CRC trailer: %w", err)
+	}
+	if got := binary.BigEndian.Uint32(tail[:]); got != want {
+		return nil, fmt.Errorf("checkpoint: CRC mismatch (stored %08x, computed %08x)", got, want)
+	}
+	return snap, nil
+}
+
+// Section returns the first section with the given name.
+func (s *Snapshot) Section(name string) ([]byte, bool) {
+	for _, sec := range s.sections {
+		if sec.Name == name {
+			return sec.Data, true
+		}
+	}
+	return nil, false
+}
+
+// All returns every section with the given name, in write order.
+func (s *Snapshot) All(name string) [][]byte {
+	var out [][]byte
+	for _, sec := range s.sections {
+		if sec.Name == name {
+			out = append(out, sec.Data)
+		}
+	}
+	return out
+}
+
+// Sections returns every section in write order.
+func (s *Snapshot) Sections() []Section { return s.sections }
+
+// crcReader updates a CRC over everything read through it, one byte at
+// a time when used as an io.ByteReader (for ReadUvarint).
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+func (cr *crcReader) ReadByte() (byte, error) {
+	var one [1]byte
+	if _, err := io.ReadFull(cr.r, one[:]); err != nil {
+		return 0, err
+	}
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, one[:])
+	return one[0], nil
+}
+
+// Enc builds a section payload: uvarint integers, fixed-width floats,
+// length-prefixed strings and byte slices. The zero Enc is ready to
+// use.
+type Enc struct {
+	b []byte
+}
+
+// U64 appends a uvarint-encoded integer.
+func (e *Enc) U64(v uint64) {
+	e.b = binary.AppendUvarint(e.b, v)
+}
+
+// Int appends a non-negative int as a uvarint.
+func (e *Enc) Int(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("checkpoint: Enc.Int(%d)", v))
+	}
+	e.U64(uint64(v))
+}
+
+// F64 appends a float as its fixed 8-byte IEEE 754 representation.
+func (e *Enc) F64(v float64) {
+	e.b = binary.BigEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+
+// Bool appends a single flag byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// Raw appends a length-prefixed byte slice (nil encodes as length 0).
+func (e *Enc) Raw(b []byte) {
+	e.U64(uint64(len(b)))
+	e.b = append(e.b, b...)
+}
+
+// Bytes returns the accumulated payload.
+func (e *Enc) Bytes() []byte { return e.b }
+
+// Dec parses a section payload written by Enc. Errors are sticky:
+// after the first decode failure every accessor returns a zero value
+// and Err reports the failure, so call sites stay linear.
+type Dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDec wraps a payload for decoding.
+func NewDec(b []byte) *Dec { return &Dec{b: b} }
+
+func (d *Dec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("checkpoint: truncated %s at offset %d", what, d.off)
+	}
+}
+
+// U64 reads a uvarint.
+func (d *Dec) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads a uvarint as an int.
+func (d *Dec) Int() int { return int(d.U64()) }
+
+// F64 reads a fixed 8-byte float.
+func (d *Dec) F64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+
+// Bool reads a flag byte.
+func (d *Dec) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail("bool")
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	return v != 0
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string {
+	n := d.U64()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)-d.off) < n {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Raw reads a length-prefixed byte slice. The returned slice is a
+// copy, safe to retain.
+func (d *Dec) Raw() []byte {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)-d.off) < n {
+		d.fail("bytes")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.b[d.off:d.off+int(n)])
+	d.off += int(n)
+	return out
+}
+
+// Err reports the first decode failure, nil when the payload parsed.
+func (d *Dec) Err() error { return d.err }
+
+// Remaining returns the number of unread payload bytes.
+func (d *Dec) Remaining() int { return len(d.b) - d.off }

@@ -1,0 +1,354 @@
+package des
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/eventq"
+	"repro/internal/obs"
+)
+
+// ckptModel is a small self-rescheduling op-based workload exercising
+// everything a snapshot must carry: random draws from the engine
+// stream, op arguments, multiple pending events per step, and canceled
+// tombstones sitting in the queue.
+type ckptModel struct {
+	e     *Engine
+	step  Op
+	decoy Op
+	count uint64
+	acc   float64
+	limit uint64
+}
+
+func newCkptModel(e *Engine, limit uint64) *ckptModel {
+	m := &ckptModel{e: e, limit: limit}
+	m.step = e.RegisterOp("test.step", m.onStep)
+	m.decoy = e.RegisterOp("test.decoy", func([]byte) {})
+	return m
+}
+
+func (m *ckptModel) start(jobs int) {
+	for i := 0; i < jobs; i++ {
+		var arg [8]byte
+		binary.BigEndian.PutUint64(arg[:], uint64(i))
+		m.e.ScheduleOp(m.e.Rand().Exp(1), m.step, arg[:])
+	}
+}
+
+func (m *ckptModel) onStep(arg []byte) {
+	m.count++
+	id := binary.BigEndian.Uint64(arg)
+	m.acc += m.e.Rand().Float64() * float64(id+1)
+	if m.count >= m.limit {
+		return
+	}
+	// A decoy scheduled and immediately canceled: its tombstone stays
+	// queued until its due time, so checkpoints taken in between must
+	// round-trip canceled records.
+	t := m.e.ScheduleOp(5+m.e.Rand().Float64(), m.decoy, nil)
+	t.Cancel()
+	var next [8]byte
+	binary.BigEndian.PutUint64(next[:], id)
+	m.e.ScheduleOp(m.e.Rand().Exp(1), m.step, next[:])
+}
+
+// MarshalState/UnmarshalState make the model checkpointable alongside
+// its engine.
+func (m *ckptModel) MarshalState() ([]byte, error) {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], m.count)
+	binary.BigEndian.PutUint64(b[8:], uint64(0))
+	return b[:], nil
+}
+
+type traceEntry struct {
+	Time  float64
+	Seq   uint64
+	Label string
+}
+
+func traceHook(sink *[]traceEntry) obs.Hook {
+	return func(ev obs.Event) {
+		*sink = append(*sink, traceEntry{Time: ev.Time, Seq: ev.Seq, Label: ev.Label})
+	}
+}
+
+// TestResumeBitIdenticalAllKinds is the flagship determinism property:
+// for every FEL kind, a run checkpointed at t=H/2 and restored into a
+// fresh engine produces — event for event (time, sequence number,
+// label) — the same execution trace and final statistics as a run that
+// was never interrupted.
+func TestResumeBitIdenticalAllKinds(t *testing.T) {
+	const (
+		H    = 40.0
+		jobs = 16
+		seed = 97
+	)
+	for _, kind := range eventq.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			// Straight run: full trace, final stats.
+			var refTrace []traceEntry
+			refE := NewEngine(WithSeed(seed), WithQueue(kind))
+			refE.OnEvent(traceHook(&refTrace))
+			refM := newCkptModel(refE, 1<<40)
+			refM.start(jobs)
+			refEnd := refE.RunUntil(H)
+			refStats := refE.Stats()
+
+			// Interrupted run: advance to H/2, checkpoint, restore into a
+			// fresh engine, finish there.
+			firstE := NewEngine(WithSeed(seed), WithQueue(kind))
+			firstM := newCkptModel(firstE, 1<<40)
+			firstM.start(jobs)
+			firstE.RunUntil(H / 2)
+			var snap bytes.Buffer
+			if err := firstE.Checkpoint(&snap); err != nil {
+				t.Fatal(err)
+			}
+
+			var resTrace []traceEntry
+			resE := NewEngine(WithSeed(seed + 1000), WithQueue(kind)) // deliberately different seed: Restore overrides
+			resE.OnEvent(traceHook(&resTrace))
+			resM := newCkptModel(resE, 1<<40)
+			resM.start(jobs) // initial events must be discarded by Restore
+			if err := resE.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			if got := resE.Now(); got != firstE.Now() {
+				t.Fatalf("restored clock %v, want %v", got, firstE.Now())
+			}
+			resEnd := resE.RunUntil(H)
+			resStats := resE.Stats()
+
+			if resEnd != refEnd {
+				t.Fatalf("end time %v, want %v", resEnd, refEnd)
+			}
+			if resStats != refStats {
+				t.Fatalf("stats %+v, want %+v", resStats, refStats)
+			}
+			// The resumed trace must equal the reference trace's second
+			// half, entry for entry.
+			var refTail []traceEntry
+			for _, te := range refTrace {
+				if te.Time > H/2 {
+					refTail = append(refTail, te)
+				}
+			}
+			if len(resTrace) != len(refTail) {
+				t.Fatalf("resumed trace has %d events, reference tail has %d", len(resTrace), len(refTail))
+			}
+			for i := range refTail {
+				if resTrace[i] != refTail[i] {
+					t.Fatalf("trace diverges at %d: %+v vs %+v", i, resTrace[i], refTail[i])
+				}
+			}
+			// Model accumulators must match as well (random draws aligned).
+			if resM.count+countAt(refTrace, H/2) != refM.count {
+				t.Fatalf("model counts: resumed %d + first-half %d != straight %d",
+					resM.count, countAt(refTrace, H/2), refM.count)
+			}
+			if resM.acc == 0 {
+				t.Fatal("resumed model did no work")
+			}
+		})
+	}
+}
+
+// countAt counts reference step events at or before the split time.
+func countAt(trace []traceEntry, split float64) uint64 {
+	var n uint64
+	for _, te := range trace {
+		if te.Time <= split && te.Label == "test.step" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCheckpointSnapshotStable pins that checkpointing is
+// non-destructive and deterministic: two consecutive snapshots of the
+// same engine are byte-identical, and the run continues unperturbed.
+func TestCheckpointSnapshotStable(t *testing.T) {
+	e := NewEngine(WithSeed(5))
+	m := newCkptModel(e, 1<<40)
+	m.start(8)
+	e.RunUntil(10)
+
+	var a, b bytes.Buffer
+	if err := e.Checkpoint(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("checkpoint is not deterministic")
+	}
+
+	// Continuing after a checkpoint matches a run that never
+	// checkpointed.
+	ref := NewEngine(WithSeed(5))
+	rm := newCkptModel(ref, 1<<40)
+	rm.start(8)
+	ref.RunUntil(20)
+	e.RunUntil(20)
+	if e.Stats() != ref.Stats() {
+		t.Fatalf("post-checkpoint run diverged: %+v vs %+v", e.Stats(), ref.Stats())
+	}
+}
+
+func TestCheckpointRejectsClosures(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	if err := e.Checkpoint(&bytes.Buffer{}); err == nil {
+		t.Fatal("closure event serialized")
+	}
+
+	// A canceled closure is fine: it never executes.
+	e2 := NewEngine()
+	tm := e2.Schedule(1, func() {})
+	tm.Cancel()
+	var buf bytes.Buffer
+	if err := e2.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e3 := NewEngine()
+	if err := e3.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	e3.Run()
+	if got := e3.Stats().Canceled; got != 1 {
+		t.Fatalf("canceled = %d, want 1", got)
+	}
+}
+
+func TestRestoreRejectsUnknownOp(t *testing.T) {
+	e := NewEngine()
+	op := e.RegisterOp("only.here", func([]byte) {})
+	e.ScheduleOp(1, op, nil)
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewEngine()
+	err := fresh.Restore(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestCheckpointRejectsLiveProcesses(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("sleeper", func(p *Process) {
+		p.Hold(100)
+	})
+	e.RunUntil(1)
+	if err := e.Checkpoint(&bytes.Buffer{}); err == nil {
+		t.Fatal("live process engine serialized")
+	}
+}
+
+func TestOpValidation(t *testing.T) {
+	e := NewEngine()
+	for name, fn := range map[string]func(){
+		"zero op":       func() { e.ScheduleOp(1, Op{}, nil) },
+		"empty name":    func() { e.RegisterOp("", func([]byte) {}) },
+		"nil fn":        func() { e.RegisterOp("x", nil) },
+		"foreign index": func() { e.ScheduleOp(1, Op{idx: 99}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Duplicate registration panics.
+	e.RegisterOp("dup", func([]byte) {})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate op name: no panic")
+			}
+		}()
+		e.RegisterOp("dup", func([]byte) {})
+	}()
+}
+
+func TestScheduleOpZeroAlloc(t *testing.T) {
+	// The op path is the allocation-free alternative to closures: a
+	// steady-state op schedule/execute cycle must not allocate.
+	e := NewEngine()
+	var op Op
+	op = e.RegisterOp("tick", func([]byte) { e.ScheduleOp(1, op, nil) })
+	e.ScheduleOp(1, op, nil)
+	e.RunUntil(64) // warm the free list
+	allocs := testing.AllocsPerRun(100, func() {
+		e.RunUntil(e.Now() + 8)
+	})
+	if allocs > 0 {
+		t.Fatalf("op hot path allocates %.1f/run", allocs)
+	}
+}
+
+func TestRestoreIntoDifferentQueueKind(t *testing.T) {
+	// Dequeue order is total, so a snapshot taken under one FEL kind
+	// resumes bit-identically under another.
+	ref := NewEngine(WithSeed(11), WithQueue(eventq.KindHeap))
+	rm := newCkptModel(ref, 1<<40)
+	rm.start(8)
+	ref.RunUntil(30)
+
+	half := NewEngine(WithSeed(11), WithQueue(eventq.KindHeap))
+	hm := newCkptModel(half, 1<<40)
+	hm.start(8)
+	half.RunUntil(15)
+	var buf bytes.Buffer
+	if err := half.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []eventq.Kind{eventq.KindCalendar, eventq.KindSplay} {
+		res := NewEngine(WithQueue(kind))
+		resM := newCkptModel(res, 1<<40)
+		if err := res.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		res.RunUntil(30)
+		if res.Stats() != ref.Stats() {
+			t.Fatalf("%v: stats %+v, want %+v", kind, res.Stats(), ref.Stats())
+		}
+		_ = resM
+	}
+}
+
+func TestSnapshotSelfDescribing(t *testing.T) {
+	// The snapshot must be readable as a generic section stream — the
+	// property tooling relies on to inspect snapshots without engine
+	// code.
+	e := NewEngine()
+	op := e.RegisterOp("peek.me", func([]byte) {})
+	e.ScheduleOp(2, op, []byte("payload"))
+	var buf bytes.Buffer
+	if err := e.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := checkpoint.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, sec := range snap.Sections() {
+		names[sec.Name] = true
+	}
+	for _, want := range []string{secEngine, secRNG, secOps, secEvents} {
+		if !names[want] {
+			t.Fatalf("section %q missing from %v", want, names)
+		}
+	}
+}

@@ -50,6 +50,12 @@ type Engine struct {
 	// schedule→dequeue→execute cycle performs no heap allocation.
 	freeEv *eventq.Event
 
+	// ops is the registered-op table backing ScheduleOp/AtOp: named,
+	// restorable event callbacks (see checkpoint.go). Index 0 is a
+	// reserved sentinel meaning "closure event"; real ops start at 1.
+	ops   []opEntry
+	opIdx map[string]uint32
+
 	stopped bool
 	running bool
 
@@ -242,6 +248,12 @@ func (e *Engine) At(t float64, fn func()) Timer {
 }
 
 func (e *Engine) at(t float64, label string, fn func()) Timer {
+	return e.atEvent(t, label, fn, 0, nil)
+}
+
+// atEvent is the common schedule path for closure events (fn non-nil)
+// and registered-op events (fn nil, op > 0).
+func (e *Engine) atEvent(t float64, label string, fn func(), op uint32, arg []byte) Timer {
 	e.seq++
 	e.scheduled++
 	ev := e.freeEv
@@ -253,6 +265,7 @@ func (e *Engine) at(t float64, label string, fn func()) Timer {
 		ev = new(eventq.Event)
 	}
 	ev.Fn, ev.Label = fn, label
+	ev.Op, ev.Arg = op, arg
 	if o := e.obs; o != nil {
 		// SchedAt is only maintained while observing: the store (and
 		// the field's cache traffic) stays off the disabled-mode path.
@@ -279,6 +292,8 @@ func (e *Engine) at(t float64, label string, fn func()) Timer {
 func (e *Engine) recycle(ev *eventq.Event) {
 	ev.Gen++
 	ev.Fn = nil
+	ev.Op = 0
+	ev.Arg = nil
 	ev.Label = ""
 	ev.Next = e.freeEv
 	e.freeEv = ev
@@ -310,7 +325,7 @@ func (e *Engine) discard(it eventq.Item) {
 // hook first, then the timed execution, then the span/histograms.
 // Split out of the hot loops so the untraced path stays small enough
 // to keep its current shape (and inlining behavior).
-func (e *Engine) execObserved(t float64, seq uint64, schedAt float64, label string, fn func()) {
+func (e *Engine) execObserved(t float64, seq uint64, schedAt float64, label string, fn func(), op uint32, arg []byte) {
 	o := e.obs
 	qlen := e.queue.Len()
 	if o.Hook != nil {
@@ -321,11 +336,19 @@ func (e *Engine) execObserved(t float64, seq uint64, schedAt float64, label stri
 		o.Metrics.Dwell.Observe(int64((t - schedAt) * 1e9))
 	}
 	if o.Recorder == nil && o.Metrics == nil {
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			e.ops[op].fn(arg)
+		}
 		return
 	}
 	start := obs.Now()
-	fn()
+	if fn != nil {
+		fn()
+	} else {
+		e.ops[op].fn(arg)
+	}
 	dur := obs.Now() - start
 	if o.Metrics != nil {
 		o.Metrics.Exec.Observe(dur)
@@ -375,18 +398,22 @@ func (e *Engine) RunUntil(horizon float64) float64 {
 			panic(fmt.Sprintf("des: event queue returned time %v before now %v", it.Time, e.now))
 		}
 		e.now = it.Time
-		fn, label := ev.Fn, ev.Label
+		fn, label, op, arg := ev.Fn, ev.Label, ev.Op, ev.Arg
 		if e.obs == nil {
 			// Recycle before running fn: the record is out of the queue,
 			// so events scheduled inside fn can reuse it immediately.
 			e.recycle(ev)
 			e.executed++
-			fn()
+			if fn != nil {
+				fn()
+			} else {
+				e.ops[op].fn(arg)
+			}
 		} else {
 			schedAt := ev.SchedAt
 			e.recycle(ev)
 			e.executed++
-			e.execObserved(it.Time, it.Seq, schedAt, label, fn)
+			e.execObserved(it.Time, it.Seq, schedAt, label, fn, op, arg)
 		}
 	}
 	return e.now
@@ -407,16 +434,20 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = it.Time
-		fn, label := ev.Fn, ev.Label
+		fn, label, op, arg := ev.Fn, ev.Label, ev.Op, ev.Arg
 		if e.obs == nil {
 			e.recycle(ev)
 			e.executed++
-			fn()
+			if fn != nil {
+				fn()
+			} else {
+				e.ops[op].fn(arg)
+			}
 		} else {
 			schedAt := ev.SchedAt
 			e.recycle(ev)
 			e.executed++
-			e.execObserved(it.Time, it.Seq, schedAt, label, fn)
+			e.execObserved(it.Time, it.Seq, schedAt, label, fn, op, arg)
 		}
 		return true
 	}

@@ -66,18 +66,22 @@ func (td *TimeDriven) RunUntil(horizon float64) float64 {
 				e.discard(it)
 				continue
 			}
-			fn, label := ev.Fn, ev.Label
+			fn, label, op, arg := ev.Fn, ev.Label, ev.Op, ev.Arg
 			if e.obs == nil {
 				e.recycle(ev)
 				e.executed++
-				fn()
+				if fn != nil {
+					fn()
+				} else {
+					e.ops[op].fn(arg)
+				}
 			} else {
 				schedAt := ev.SchedAt
 				e.recycle(ev)
 				e.executed++
 				// Handlers observe the quantized tick time, and so does
 				// the trace: spans carry e.now, not the original due time.
-				e.execObserved(e.now, it.Seq, schedAt, label, fn)
+				e.execObserved(e.now, it.Seq, schedAt, label, fn, op, arg)
 			}
 			if e.stopped {
 				break

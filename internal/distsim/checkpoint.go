@@ -1,0 +1,322 @@
+package distsim
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/checkpoint"
+)
+
+// This file implements the snapshot machinery of the fault-tolerant
+// protocol. Two granularities exist:
+//
+//   - A *worker snapshot* is one worker's complete state — every LP
+//     engine (clock, pending events, random stream), per-LP send
+//     sequence numbers, the local delivery buffer, message counters,
+//     and the model's Checkpointable state. Workers produce it on a
+//     checkpoint frame and consume it on a restore frame.
+//
+//   - A *cluster checkpoint* is the coordinator's cut of the whole
+//     run, taken at a window barrier: the window clock, routing
+//     counters, every in-flight routed event, and one worker snapshot
+//     per worker slot. Because the cut is at a barrier — all workers
+//     quiescent at the same window clock, all cross-worker events
+//     either routed (in pending) or local (in a worker's buffer) — it
+//     is globally consistent by construction; no Chandy-Lamport
+//     marker machinery is needed.
+//
+// Recovery is rollback-all: when a worker dies, every surviving
+// worker is restored from the last cluster checkpoint alongside the
+// replacement, so the whole federation re-executes from the barrier
+// and the resumed run is bit-identical to an uninterrupted one. A
+// crash costs at most CheckpointEvery windows of re-execution.
+
+// snapshot section names (distsim level).
+const (
+	secWorker  = "distsim.worker"
+	secLP      = "distsim.lp"
+	secModel   = "distsim.model"
+	secCluster = "distsim.cluster"
+	secSlot    = "distsim.slot"
+)
+
+// encodeEvent serializes one wire event for op arguments and
+// snapshots.
+func encodeEvent(ev *Event) []byte {
+	var enc checkpoint.Enc
+	encEventInto(&enc, ev)
+	return enc.Bytes()
+}
+
+func encEventInto(enc *checkpoint.Enc, ev *Event) {
+	enc.F64(ev.Time)
+	enc.Int(ev.From)
+	enc.Int(ev.To)
+	enc.U64(ev.Seq)
+	enc.Raw(ev.Data)
+}
+
+func decodeEvent(arg []byte) (Event, error) {
+	d := checkpoint.NewDec(arg)
+	ev := decEventFrom(d)
+	return ev, d.Err()
+}
+
+func decEventFrom(d *checkpoint.Dec) Event {
+	return Event{
+		Time: d.F64(),
+		From: d.Int(),
+		To:   d.Int(),
+		Seq:  d.U64(),
+		Data: d.Raw(),
+	}
+}
+
+// snapshot serializes the worker's complete state. It requires every
+// pending event in every LP engine to be op-scheduled (the delivery
+// path always is; the model must be too).
+func (w *Worker) snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	cw := checkpoint.NewWriter(&buf)
+	var enc checkpoint.Enc
+	enc.Int(len(w.order))
+	enc.U64(w.sent)
+	enc.U64(w.received)
+	enc.Int(len(w.localBuf))
+	for i := range w.localBuf {
+		encEventInto(&enc, &w.localBuf[i].ev)
+	}
+	if err := cw.Section(secWorker, enc.Bytes()); err != nil {
+		return nil, err
+	}
+	for _, lp := range w.order {
+		var eng bytes.Buffer
+		if err := lp.E.Checkpoint(&eng); err != nil {
+			return nil, fmt.Errorf("distsim: LP %d: %w", lp.ID, err)
+		}
+		var lpEnc checkpoint.Enc
+		lpEnc.Int(lp.ID)
+		lpEnc.U64(lp.sendSeq)
+		lpEnc.Raw(eng.Bytes())
+		if err := cw.Section(secLP, lpEnc.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	if w.Model != nil {
+		state, err := w.Model.MarshalState()
+		if err != nil {
+			return nil, fmt.Errorf("distsim: model state: %w", err)
+		}
+		if err := cw.Section(secModel, state); err != nil {
+			return nil, err
+		}
+	}
+	if err := cw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// restore overwrites the worker's state from a snapshot produced by a
+// worker owning the same LP set (engines must exist: restore happens
+// after config and Setup).
+func (w *Worker) restore(data []byte) error {
+	snap, err := checkpoint.Read(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	wSec, ok := snap.Section(secWorker)
+	if !ok {
+		return fmt.Errorf("snapshot has no %s section", secWorker)
+	}
+	d := checkpoint.NewDec(wSec)
+	n := d.Int()
+	sent := d.U64()
+	received := d.U64()
+	nLocal := d.Int()
+	local := make([]localEvent, 0, nLocal)
+	for i := 0; i < nLocal; i++ {
+		ev := decEventFrom(d)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		lp := w.lps[ev.To]
+		if lp == nil {
+			return fmt.Errorf("snapshot buffers an event for foreign LP %d", ev.To)
+		}
+		local = append(local, localEvent{ev: ev, lp: lp})
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if n != len(w.order) {
+		return fmt.Errorf("snapshot has %d LPs, worker owns %d", n, len(w.order))
+	}
+	lpSecs := snap.All(secLP)
+	if len(lpSecs) != n {
+		return fmt.Errorf("snapshot has %d LP sections, want %d", len(lpSecs), n)
+	}
+	modelState, hasModel := snap.Section(secModel)
+	if hasModel && w.Model == nil {
+		return fmt.Errorf("snapshot carries model state but the worker has no Model")
+	}
+	if !hasModel && w.Model != nil {
+		return fmt.Errorf("snapshot has no model state but the worker has a Model")
+	}
+
+	for i, payload := range lpSecs {
+		ld := checkpoint.NewDec(payload)
+		id := ld.Int()
+		sendSeq := ld.U64()
+		engSnap := ld.Raw()
+		if err := ld.Err(); err != nil {
+			return err
+		}
+		lp := w.order[i]
+		if id != lp.ID {
+			return fmt.Errorf("snapshot LP section %d is for LP %d, worker has LP %d", i, id, lp.ID)
+		}
+		if err := lp.E.Restore(bytes.NewReader(engSnap)); err != nil {
+			return fmt.Errorf("LP %d: %w", id, err)
+		}
+		lp.sendSeq = sendSeq
+	}
+	if w.Model != nil {
+		if err := w.Model.UnmarshalState(modelState); err != nil {
+			return fmt.Errorf("model state: %w", err)
+		}
+	}
+	w.sent = sent
+	w.received = received
+	w.localBuf = local
+	w.outbox = nil
+	return nil
+}
+
+// clusterCheckpoint is the coordinator's consistent cut of a run.
+type clusterCheckpoint struct {
+	Clock        float64
+	Windows      uint64
+	EventsRouted uint64
+	Keys         []string  // per slot: canonical LP-set key (see lpKey)
+	Snapshots    [][]byte  // per slot: worker snapshot
+	Pending      [][]Event // per slot: routed, not-yet-delivered events
+}
+
+// lpKey is the canonical identity of a worker slot: its sorted LP-id
+// list. A replacement worker must register exactly this set.
+func lpKey(ids []int) string { return fmt.Sprint(ids) }
+
+// encode serializes the cluster checkpoint for file persistence.
+func (ck *clusterCheckpoint) encode() ([]byte, error) {
+	var buf bytes.Buffer
+	cw := checkpoint.NewWriter(&buf)
+	var enc checkpoint.Enc
+	enc.Int(len(ck.Keys))
+	enc.F64(ck.Clock)
+	enc.U64(ck.Windows)
+	enc.U64(ck.EventsRouted)
+	if err := cw.Section(secCluster, enc.Bytes()); err != nil {
+		return nil, err
+	}
+	for i := range ck.Keys {
+		var se checkpoint.Enc
+		se.Str(ck.Keys[i])
+		se.Raw(ck.Snapshots[i])
+		se.Int(len(ck.Pending[i]))
+		for j := range ck.Pending[i] {
+			encEventInto(&se, &ck.Pending[i][j])
+		}
+		if err := cw.Section(secSlot, se.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	if err := cw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeClusterCheckpoint(data []byte) (*clusterCheckpoint, error) {
+	snap, err := checkpoint.Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	cSec, ok := snap.Section(secCluster)
+	if !ok {
+		return nil, fmt.Errorf("distsim: checkpoint has no %s section", secCluster)
+	}
+	d := checkpoint.NewDec(cSec)
+	n := d.Int()
+	ck := &clusterCheckpoint{
+		Clock:        d.F64(),
+		Windows:      d.U64(),
+		EventsRouted: d.U64(),
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	slots := snap.All(secSlot)
+	if len(slots) != n {
+		return nil, fmt.Errorf("distsim: checkpoint has %d slot sections, want %d", len(slots), n)
+	}
+	for _, payload := range slots {
+		sd := checkpoint.NewDec(payload)
+		ck.Keys = append(ck.Keys, sd.Str())
+		ck.Snapshots = append(ck.Snapshots, sd.Raw())
+		np := sd.Int()
+		evs := make([]Event, 0, np)
+		for j := 0; j < np; j++ {
+			evs = append(evs, decEventFrom(sd))
+		}
+		if err := sd.Err(); err != nil {
+			return nil, err
+		}
+		ck.Pending = append(ck.Pending, evs)
+	}
+	return ck, nil
+}
+
+// save persists the checkpoint atomically: write to a temp file in the
+// same directory, then rename over the target, so a crash mid-write
+// never leaves a truncated checkpoint behind.
+func (ck *clusterCheckpoint) save(path string) error {
+	data, err := ck.encode()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func loadClusterCheckpoint(path string) (*clusterCheckpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeClusterCheckpoint(data)
+}
+
+// copyPending deep-copies the per-slot pending event lists, so that the
+// live routing state and the checkpointed state cannot alias.
+func copyPending(pending [][]Event) [][]Event {
+	out := make([][]Event, len(pending))
+	for i, evs := range pending {
+		out[i] = append([]Event(nil), evs...)
+	}
+	return out
+}

@@ -1,23 +1,67 @@
 package distsim
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sort"
+	"time"
 )
+
+// DefaultTimeout is the per-frame receive deadline the coordinator
+// applies when Coordinator.Timeout is zero. A worker that sends
+// neither a frame nor a heartbeat for this long is declared dead.
+const DefaultTimeout = 30 * time.Second
 
 // Coordinator drives a distributed run: it waits for the expected
 // number of workers, verifies that their LP sets partition [0, nLPs),
 // then executes lookahead windows until the horizon.
+//
+// Fault tolerance is opt-in via CheckpointEvery/MaxRecoveries: the
+// coordinator takes a cluster checkpoint at window barriers, and when
+// a worker dies (connection error, or silence past Timeout) it accepts
+// a replacement for the dead worker's LP set, rolls every worker back
+// to the last checkpoint, and re-executes from there. The recovered
+// run is bit-identical to an uninterrupted one; a crash costs at most
+// CheckpointEvery windows of re-execution.
 type Coordinator struct {
 	NLPs      int
 	Lookahead float64
 	Horizon   float64
 	Seed      uint64
 
+	// Timeout bounds every frame receive (and, via the config frame,
+	// worker heartbeat spacing and write deadlines). Zero means
+	// DefaultTimeout; negative disables deadlines entirely (the
+	// pre-fault-tolerance blocking behavior).
+	Timeout time.Duration
+	// CheckpointEvery takes a cluster checkpoint after every k-th
+	// window (plus one before the first). Zero disables checkpointing
+	// unless MaxRecoveries or CheckpointPath ask for it, in which case
+	// it defaults to every window.
+	CheckpointEvery int
+	// MaxRecoveries is how many worker crashes Serve survives by
+	// rollback-recovery. Zero (the default) fails the run on the first
+	// dead worker.
+	MaxRecoveries int
+	// RecoveryWait bounds how long Serve waits for a replacement worker
+	// to connect after a crash. Zero means the effective Timeout.
+	RecoveryWait time.Duration
+	// CheckpointPath, when set, persists every cluster checkpoint to
+	// this file (atomically), so a crashed *coordinator* can be
+	// restarted with ResumePath.
+	CheckpointPath string
+	// ResumePath, when set and the file exists, resumes the run from a
+	// persisted cluster checkpoint instead of starting at time zero.
+	// A missing file starts a fresh run (first launch of a
+	// crash-restart loop).
+	ResumePath string
+
 	// Results, populated by Serve.
 	Windows      uint64
 	EventsRouted uint64
+	Recoveries   int
 	WorkerStats  []WorkerStats
 }
 
@@ -29,45 +73,111 @@ func NewCoordinator(nLPs int, lookahead, horizon float64, seed uint64) *Coordina
 	return &Coordinator{NLPs: nLPs, Lookahead: lookahead, Horizon: horizon, Seed: seed}
 }
 
+// timeout resolves the effective per-frame deadline.
+func (c *Coordinator) timeout() time.Duration {
+	switch {
+	case c.Timeout > 0:
+		return c.Timeout
+	case c.Timeout < 0:
+		return 0
+	default:
+		return DefaultTimeout
+	}
+}
+
+// every resolves the effective checkpoint cadence (0 = disabled).
+func (c *Coordinator) every() int {
+	if c.CheckpointEvery > 0 {
+		return c.CheckpointEvery
+	}
+	if c.MaxRecoveries > 0 || c.CheckpointPath != "" || c.ResumePath != "" {
+		return 1
+	}
+	return 0
+}
+
+// slotError tags a peer failure with the worker slot it happened on,
+// so the recovery path knows whose replacement to wait for.
+type slotError struct {
+	slot int
+	err  error
+}
+
+func (e *slotError) Error() string {
+	return fmt.Sprintf("distsim: worker %d failed: %v", e.slot, e.err)
+}
+func (e *slotError) Unwrap() error { return e.err }
+
+// session is the mutable state of one Serve call.
+type session struct {
+	ln      net.Listener
+	peers   []*peer
+	keys    []string // per slot: canonical LP-set key
+	lpSets  [][]int  // per slot: owned LPs, sorted
+	pending [][]Event
+	clock   float64
+	ckpt    *clusterCheckpoint
+	every   int
+}
+
 // Serve accepts nWorkers connections on the listener and runs the
 // simulation to completion. It returns after all workers acknowledged
-// the stop frame. The caller owns the listener.
+// the stop frame; with recovery enabled it keeps the listener open to
+// accept replacement workers after a crash. The caller owns the
+// listener.
 func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 	if nWorkers <= 0 {
 		return fmt.Errorf("distsim: Serve with %d workers", nWorkers)
 	}
-	peers := make([]*peer, 0, nWorkers)
+	s := &session{ln: ln, every: c.every(), pending: make([][]Event, nWorkers)}
 	defer func() {
-		for _, p := range peers {
-			p.close()
+		for _, p := range s.peers {
+			if p != nil {
+				p.close()
+			}
 		}
 	}()
 
-	// Registration: collect LP ownership, check it partitions the ID
-	// space exactly.
-	owner := make([]int, c.NLPs) // LP -> worker index
-	for i := range owner {
-		owner[i] = -1
+	var resume *clusterCheckpoint
+	if c.ResumePath != "" {
+		ck, err := loadClusterCheckpoint(c.ResumePath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// first launch: nothing to resume yet
+		case err != nil:
+			return err
+		case len(ck.Keys) != nWorkers:
+			return fmt.Errorf("distsim: checkpoint %s has %d workers, run has %d", c.ResumePath, len(ck.Keys), nWorkers)
+		default:
+			resume = ck
+		}
 	}
-	for len(peers) < nWorkers {
+
+	// Registration: collect LP ownership, check it partitions the ID
+	// space exactly. Peers are tracked immediately so the deferred
+	// close releases workers blocked on their config read when
+	// registration fails.
+	for len(s.peers) < nWorkers {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
 		p := newPeer(conn)
-		// Track the peer before validation so the deferred close
-		// releases workers blocked on their config read when
-		// registration fails.
-		wi := len(peers)
-		peers = append(peers, p)
-		f, err := p.recv()
+		p.writeTimeout = c.timeout()
+		s.peers = append(s.peers, p)
+		ids, err := c.readRegister(p)
 		if err != nil {
 			return err
 		}
-		if f.Kind != frameRegister {
-			return fmt.Errorf("distsim: expected register, got %d", f.Kind)
-		}
-		for _, lp := range f.LPs {
+		s.lpSets = append(s.lpSets, ids)
+		s.keys = append(s.keys, lpKey(ids))
+	}
+	owner := make([]int, c.NLPs) // LP -> worker slot
+	for i := range owner {
+		owner[i] = -1
+	}
+	for wi, ids := range s.lpSets {
+		for _, lp := range ids {
 			if lp < 0 || lp >= c.NLPs {
 				return fmt.Errorf("distsim: worker %d registers unknown LP %d", wi, lp)
 			}
@@ -83,34 +193,117 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 		}
 	}
 
+	// Resuming: reorder peers into the checkpoint's slot order, so
+	// slot i's snapshot lands on a worker owning slot i's LP set.
+	if resume != nil {
+		if err := s.reorderToSlots(resume.Keys); err != nil {
+			return err
+		}
+		for i := range owner {
+			owner[i] = -1
+		}
+		for wi, ids := range s.lpSets {
+			for _, lp := range ids {
+				owner[lp] = wi
+			}
+		}
+	}
+
 	// Configuration.
-	for _, p := range peers {
-		if err := p.send(&frame{
-			Kind: frameConfig, Lookahead: c.Lookahead, Horizon: c.Horizon, Seed: c.Seed,
-		}); err != nil {
+	for wi, p := range s.peers {
+		if err := p.send(c.configFrame()); err != nil {
+			return &slotError{wi, err}
+		}
+	}
+
+	if resume != nil {
+		// Restore every worker from the persisted checkpoint, then pick
+		// up the window loop at its clock.
+		for wi, p := range s.peers {
+			if err := p.send(&frame{Kind: frameRestore, Data: resume.Snapshots[wi]}); err != nil {
+				return &slotError{wi, err}
+			}
+		}
+		for wi, p := range s.peers {
+			if err := c.awaitRestored(p); err != nil {
+				return &slotError{wi, err}
+			}
+		}
+		s.ckpt = resume
+		s.clock = resume.Clock
+		s.pending = copyPending(resume.Pending)
+		c.Windows = resume.Windows
+		c.EventsRouted = resume.EventsRouted
+	} else if s.every > 0 {
+		// Initial checkpoint: a crash inside the very first window must
+		// be as recoverable as any other.
+		if err := c.checkpoint(s); err != nil {
 			return err
 		}
 	}
 
-	// Window loop.
-	pending := make([][]Event, nWorkers)
-	for windowEnd := c.Lookahead; ; windowEnd += c.Lookahead {
+	// Window loop, with rollback-recovery around it.
+	err := c.runWindows(s, owner)
+	for err != nil {
+		var se *slotError
+		if !errors.As(err, &se) || s.ckpt == nil || c.Recoveries >= c.MaxRecoveries {
+			return err
+		}
+		c.Recoveries++
+		if rerr := c.recoverSlot(s, se.slot); rerr != nil {
+			var cascade *slotError
+			if errors.As(rerr, &cascade) {
+				err = rerr // another worker died mid-recovery; recover it too
+				continue
+			}
+			return fmt.Errorf("distsim: recovery after [%v] failed: %w", se, rerr)
+		}
+		err = c.runWindows(s, owner)
+	}
+
+	// Shutdown + stats.
+	for wi, p := range s.peers {
+		if err := p.send(&frame{Kind: frameStop}); err != nil {
+			return &slotError{wi, err}
+		}
+	}
+	c.WorkerStats = nil
+	for wi, p := range s.peers {
+		f, err := c.recvFrame(p)
+		if err != nil {
+			return &slotError{wi, err}
+		}
+		if f.Kind != frameStats {
+			return fmt.Errorf("distsim: expected stats, got %d", f.Kind)
+		}
+		c.WorkerStats = append(c.WorkerStats, f.Stats)
+	}
+	return nil
+}
+
+// runWindows executes lookahead windows from s.clock to the horizon.
+// It returns nil when the horizon is reached, a *slotError when a
+// worker fails (recoverable), or a plain error on protocol violations
+// (terminal).
+func (c *Coordinator) runWindows(s *session, owner []int) error {
+	for s.clock < c.Horizon {
+		windowEnd := s.clock + c.Lookahead
 		if windowEnd > c.Horizon {
 			windowEnd = c.Horizon
 		}
 		c.Windows++
-		for wi, p := range peers {
-			out := pending[wi]
-			pending[wi] = nil
+		for wi, p := range s.peers {
+			out := s.pending[wi]
+			s.pending[wi] = nil
 			if err := p.send(&frame{Kind: frameWindow, End: windowEnd, Events: out}); err != nil {
-				return err
+				return &slotError{wi, err}
 			}
 		}
 		var produced []Event
-		for _, p := range peers {
-			f, err := p.recv()
+		for wi, p := range s.peers {
+			f, err := c.recvFrame(p)
 			if err != nil {
-				return err
+				return &slotError{wi, err}
 			}
 			if f.Kind != frameDone {
 				return fmt.Errorf("distsim: expected done, got %d (%s)", f.Kind, f.Err)
@@ -128,30 +321,198 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 			if ev.To < 0 || ev.To >= c.NLPs {
 				return fmt.Errorf("distsim: worker produced event for unknown LP %d (run configured with %d LPs)", ev.To, c.NLPs)
 			}
-			pending[owner[ev.To]] = append(pending[owner[ev.To]], ev)
+			s.pending[owner[ev.To]] = append(s.pending[owner[ev.To]], ev)
 			c.EventsRouted++
 		}
-		if windowEnd >= c.Horizon {
-			break
+		s.clock = windowEnd
+		if s.every > 0 && c.Windows%uint64(s.every) == 0 && s.clock < c.Horizon {
+			if err := c.checkpoint(s); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
+}
 
-	// Shutdown + stats.
-	for _, p := range peers {
-		if err := p.send(&frame{Kind: frameStop}); err != nil {
-			return err
+// checkpoint takes a cluster checkpoint at the current window barrier:
+// one snapshot per worker plus the coordinator's routing state.
+func (c *Coordinator) checkpoint(s *session) error {
+	for wi, p := range s.peers {
+		if err := p.send(&frame{Kind: frameCheckpoint}); err != nil {
+			return &slotError{wi, err}
 		}
 	}
-	c.WorkerStats = nil
-	for _, p := range peers {
-		f, err := p.recv()
+	snaps := make([][]byte, len(s.peers))
+	for wi, p := range s.peers {
+		f, err := c.recvFrame(p)
+		if err != nil {
+			return &slotError{wi, err}
+		}
+		if f.Kind != frameSnapshot {
+			return fmt.Errorf("distsim: expected snapshot, got %d", f.Kind)
+		}
+		if f.Err != "" {
+			// A snapshot failure is a model bug (unserializable events),
+			// not a crash: recovery cannot fix it, so fail the run.
+			return fmt.Errorf("distsim: worker %d cannot snapshot: %s", wi, f.Err)
+		}
+		snaps[wi] = f.Data
+	}
+	s.ckpt = &clusterCheckpoint{
+		Clock:        s.clock,
+		Windows:      c.Windows,
+		EventsRouted: c.EventsRouted,
+		Keys:         s.keys,
+		Snapshots:    snaps,
+		Pending:      copyPending(s.pending),
+	}
+	if c.CheckpointPath != "" {
+		if err := s.ckpt.save(c.CheckpointPath); err != nil {
+			return fmt.Errorf("distsim: persisting checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// recoverSlot replaces a dead worker and rolls the whole federation
+// back to the last cluster checkpoint: the replacement connects,
+// registers the dead worker's exact LP set, and every worker —
+// survivors included — is restored from its checkpointed snapshot, so
+// the re-executed windows are bit-identical to what the uninterrupted
+// run would have produced.
+func (c *Coordinator) recoverSlot(s *session, dead int) error {
+	s.peers[dead].close()
+	wait := c.RecoveryWait
+	if wait == 0 {
+		wait = c.timeout()
+	}
+	if d, ok := s.ln.(interface{ SetDeadline(time.Time) error }); ok && wait > 0 {
+		_ = d.SetDeadline(time.Now().Add(wait))
+		defer d.SetDeadline(time.Time{})
+	}
+	conn, err := s.ln.Accept()
+	if err != nil {
+		return fmt.Errorf("waiting for replacement worker: %w", err)
+	}
+	p := newPeer(conn)
+	p.writeTimeout = c.timeout()
+	ids, err := c.readRegister(p)
+	if err != nil {
+		p.close()
+		return err
+	}
+	if lpKey(ids) != s.keys[dead] {
+		p.close()
+		return fmt.Errorf("replacement worker registers LPs %v, dead worker owned %s", ids, s.keys[dead])
+	}
+	if err := p.send(c.configFrame()); err != nil {
+		p.close()
+		return err
+	}
+	s.peers[dead] = p
+
+	// Rollback-all: every peer (replacement and survivors) restores the
+	// checkpointed state. Survivors may still be computing the crashed
+	// window — their stale done/snapshot frames are drained by
+	// awaitRestored.
+	for wi, pp := range s.peers {
+		if err := pp.send(&frame{Kind: frameRestore, Data: s.ckpt.Snapshots[wi]}); err != nil {
+			return &slotError{wi, err}
+		}
+	}
+	for wi, pp := range s.peers {
+		if err := c.awaitRestored(pp); err != nil {
+			return &slotError{wi, err}
+		}
+	}
+	s.clock = s.ckpt.Clock
+	s.pending = copyPending(s.ckpt.Pending)
+	c.Windows = s.ckpt.Windows
+	c.EventsRouted = s.ckpt.EventsRouted
+	return nil
+}
+
+// awaitRestored reads frames until the peer acknowledges its restore,
+// draining whatever the crashed window left in flight (done frames,
+// snapshot replies, heartbeats).
+func (c *Coordinator) awaitRestored(p *peer) error {
+	for {
+		f, err := p.recvTimeout(c.timeout())
 		if err != nil {
 			return err
 		}
-		if f.Kind != frameStats {
-			return fmt.Errorf("distsim: expected stats, got %d", f.Kind)
+		switch f.Kind {
+		case frameRestored:
+			return nil
+		case frameDone, frameSnapshot, frameHeartbeat:
+			// stale; drop
+		default:
+			return fmt.Errorf("distsim: expected restored, got %d", f.Kind)
 		}
-		c.WorkerStats = append(c.WorkerStats, f.Stats)
 	}
+}
+
+// recvFrame receives the next non-heartbeat frame under the configured
+// deadline; every heartbeat re-arms it, so a slow-but-alive worker is
+// never declared dead.
+func (c *Coordinator) recvFrame(p *peer) (*frame, error) {
+	for {
+		f, err := p.recvTimeout(c.timeout())
+		if err != nil {
+			return nil, err
+		}
+		if f.Kind == frameHeartbeat {
+			continue
+		}
+		return f, nil
+	}
+}
+
+// readRegister reads and validates a registration frame, returning the
+// worker's sorted LP set.
+func (c *Coordinator) readRegister(p *peer) ([]int, error) {
+	f, err := p.recvTimeout(c.timeout())
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind != frameRegister {
+		return nil, fmt.Errorf("distsim: expected register, got %d", f.Kind)
+	}
+	ids := append([]int(nil), f.LPs...)
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// configFrame builds the run-parameter frame sent to every worker.
+func (c *Coordinator) configFrame() *frame {
+	return &frame{
+		Kind: frameConfig, Lookahead: c.Lookahead, Horizon: c.Horizon, Seed: c.Seed,
+		TimeoutSec: c.timeout().Seconds(),
+	}
+}
+
+// reorderToSlots permutes the registered peers so that peer i owns the
+// LP set of checkpoint slot i.
+func (s *session) reorderToSlots(keys []string) error {
+	bySlot := make(map[string]int, len(keys))
+	for i, k := range keys {
+		bySlot[k] = i
+	}
+	peers := make([]*peer, len(keys))
+	lpSets := make([][]int, len(keys))
+	for i, k := range s.keys {
+		slot, ok := bySlot[k]
+		if !ok {
+			return fmt.Errorf("distsim: worker owning LPs %s has no slot in the checkpoint (want one of %v)", k, keys)
+		}
+		if peers[slot] != nil {
+			return fmt.Errorf("distsim: two workers registered LP set %s", k)
+		}
+		peers[slot] = s.peers[i]
+		lpSets[slot] = s.lpSets[i]
+	}
+	s.peers = peers
+	s.lpSets = lpSets
+	s.keys = append([]string(nil), keys...)
 	return nil
 }

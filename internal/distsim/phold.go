@@ -1,6 +1,13 @@
 package distsim
 
-import "math"
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/checkpoint"
+	"repro/internal/des"
+)
 
 // PHOLDModel installs the PHOLD benchmark (see package parsim) on a
 // worker: a fixed job population hopping between LPs. The model logic,
@@ -8,6 +15,10 @@ import "math"
 // exactly, which lets tests assert that a TCP-distributed run is
 // bit-identical to a single-process run — the strongest statement a
 // distributed engine can make about its synchronization.
+//
+// The model is checkpointable: jobs are scheduled as registered ops
+// ("phold.hop") and the per-LP counters ride in worker snapshots, so a
+// crashed worker can be replaced and rolled back mid-run.
 type PHOLDModel struct {
 	TotalLPs   int
 	JobsPerLP  int
@@ -17,10 +28,12 @@ type PHOLDModel struct {
 	meanDelay float64
 	events    map[int]uint64
 	sinks     map[int]float64
+	hopOps    map[int]des.Op
 }
 
 // InstallPHOLD wires the model into the worker's Setup/CountEvents
-// hooks. Call before Worker.Run.
+// hooks and attaches it as the worker's checkpointable Model. Call
+// before Worker.Run.
 func InstallPHOLD(w *Worker, totalLPs, jobsPerLP int, remoteProb float64, work int) *PHOLDModel {
 	m := &PHOLDModel{
 		TotalLPs:   totalLPs,
@@ -29,18 +42,21 @@ func InstallPHOLD(w *Worker, totalLPs, jobsPerLP int, remoteProb float64, work i
 		Work:       work,
 		events:     make(map[int]uint64),
 		sinks:      make(map[int]float64),
+		hopOps:     make(map[int]des.Op),
 	}
 	w.Setup = func(w *Worker) {
 		m.meanDelay = 4 * w.Lookahead()
 		for _, lp := range w.LPs() {
 			lp := lp
 			lp.OnMessage = func(Event) { m.hop(lp) }
+			m.hopOps[lp.ID] = lp.E.RegisterOp("phold.hop", func([]byte) { m.hop(lp) })
 			for j := 0; j < m.JobsPerLP; j++ {
-				lp.E.Schedule(m.drawDelay(lp), func() { m.hop(lp) })
+				lp.E.ScheduleOp(m.drawDelay(lp), m.hopOps[lp.ID], nil)
 			}
 		}
 	}
 	w.CountEvents = func() map[int]uint64 { return m.events }
+	w.Model = m
 	return m
 }
 
@@ -68,5 +84,42 @@ func (m *PHOLDModel) hop(lp *LP) {
 		lp.Send(target, delay, nil)
 		return
 	}
-	lp.E.Schedule(delay, func() { m.hop(lp) })
+	lp.E.ScheduleOp(delay, m.hopOps[lp.ID], nil)
+}
+
+// MarshalState serializes the per-LP counters in sorted LP order (maps
+// iterate randomly; snapshots must be deterministic).
+func (m *PHOLDModel) MarshalState() ([]byte, error) {
+	ids := make([]int, 0, len(m.events))
+	for id := range m.events {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var enc checkpoint.Enc
+	enc.Int(len(ids))
+	for _, id := range ids {
+		enc.Int(id)
+		enc.U64(m.events[id])
+		enc.F64(m.sinks[id])
+	}
+	return enc.Bytes(), nil
+}
+
+// UnmarshalState restores the per-LP counters from a snapshot.
+func (m *PHOLDModel) UnmarshalState(data []byte) error {
+	d := checkpoint.NewDec(data)
+	n := d.Int()
+	events := make(map[int]uint64, n)
+	sinks := make(map[int]float64, n)
+	for i := 0; i < n; i++ {
+		id := d.Int()
+		events[id] = d.U64()
+		sinks[id] = d.F64()
+	}
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("distsim: PHOLD state: %w", err)
+	}
+	m.events = events
+	m.sinks = sinks
+	return nil
 }

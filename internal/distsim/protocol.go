@@ -29,6 +29,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sync"
+	"time"
 )
 
 // Event is one cross-LP message on the wire.
@@ -44,25 +46,32 @@ type Event struct {
 type frameKind uint8
 
 const (
-	frameRegister frameKind = iota + 1 // worker -> coordinator: LP ownership
-	frameConfig                        // coordinator -> worker: run parameters
-	frameWindow                        // coordinator -> worker: advance + inbound events
-	frameDone                          // worker -> coordinator: window finished + outbound events
-	frameStop                          // coordinator -> worker: run over
-	frameStats                         // worker -> coordinator: final statistics
+	frameRegister   frameKind = iota + 1 // worker -> coordinator: LP ownership
+	frameConfig                          // coordinator -> worker: run parameters
+	frameWindow                          // coordinator -> worker: advance + inbound events
+	frameDone                            // worker -> coordinator: window finished + outbound events
+	frameStop                            // coordinator -> worker: run over
+	frameStats                           // worker -> coordinator: final statistics
+	frameCheckpoint                      // coordinator -> worker: snapshot your state
+	frameSnapshot                        // worker -> coordinator: snapshot bytes (or Err)
+	frameRestore                         // coordinator -> worker: overwrite state from snapshot
+	frameRestored                        // worker -> coordinator: restore acknowledged
+	frameHeartbeat                       // worker -> coordinator: liveness while computing
 )
 
 // frame is the single wire message type (gob-encoded).
 type frame struct {
-	Kind      frameKind
-	LPs       []int   // register
-	Lookahead float64 // config
-	Horizon   float64 // config
-	Seed      uint64  // config: base seed for LP engines
-	End       float64 // window
-	Events    []Event // window (inbound) / done (outbound)
-	Stats     WorkerStats
-	Err       string
+	Kind       frameKind
+	LPs        []int   // register
+	Lookahead  float64 // config
+	Horizon    float64 // config
+	Seed       uint64  // config: base seed for LP engines
+	TimeoutSec float64 // config: coordinator timeout; worker heartbeats at a third of it
+	End        float64 // window
+	Events     []Event // window (inbound) / done (outbound)
+	Data       []byte  // restore (coordinator -> worker) / snapshot (worker -> coordinator)
+	Stats      WorkerStats
+	Err        string
 }
 
 // WorkerStats is the per-worker outcome returned at shutdown.
@@ -74,11 +83,17 @@ type WorkerStats struct {
 	PerLPCounts    map[int]uint64 // model-level counts (filled by the model hook)
 }
 
-// peer wraps a connection with its codecs.
+// peer wraps a connection with its codecs. Writes are serialized by a
+// mutex because a worker's heartbeat goroutine sends concurrently with
+// its main loop; writeTimeout, when set, bounds each frame write so a
+// peer with a wedged socket surfaces an error instead of blocking
+// forever.
 type peer struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	conn         net.Conn
+	enc          *gob.Encoder
+	dec          *gob.Decoder
+	sendMu       sync.Mutex
+	writeTimeout time.Duration
 }
 
 func newPeer(conn net.Conn) *peer {
@@ -86,6 +101,12 @@ func newPeer(conn net.Conn) *peer {
 }
 
 func (p *peer) send(f *frame) error {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if p.writeTimeout > 0 {
+		_ = p.conn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
+		defer p.conn.SetWriteDeadline(time.Time{})
+	}
 	if err := p.enc.Encode(f); err != nil {
 		return fmt.Errorf("distsim: send %d: %w", f.Kind, err)
 	}
@@ -98,6 +119,18 @@ func (p *peer) recv() (*frame, error) {
 		return nil, fmt.Errorf("distsim: recv: %w", err)
 	}
 	return &f, nil
+}
+
+// recvTimeout is recv with a read deadline: a peer that sends nothing
+// for d returns a timeout error instead of blocking forever. d <= 0
+// means no deadline. A heartbeat counts as activity — callers that
+// skip heartbeats re-arm the deadline on every frame.
+func (p *peer) recvTimeout(d time.Duration) (*frame, error) {
+	if d > 0 {
+		_ = p.conn.SetReadDeadline(time.Now().Add(d))
+		defer p.conn.SetReadDeadline(time.Time{})
+	}
+	return p.recv()
 }
 
 func (p *peer) close() { _ = p.conn.Close() }

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/des"
 )
 
@@ -19,6 +21,10 @@ type LP struct {
 
 	w       *Worker
 	sendSeq uint64
+	// msgOp is the registered delivery op ("distsim.msg"): inbound
+	// events are scheduled as ops carrying the encoded Event, so the
+	// pending set is always serializable into a snapshot.
+	msgOp des.Op
 }
 
 // Send routes an event to another LP (local or remote) delay seconds
@@ -66,12 +72,17 @@ type Worker struct {
 
 	// Setup is called once after the config frame arrives, when
 	// engines exist and seeds are known; the model installs OnMessage
-	// handlers and initial events here.
+	// handlers and initial events here. Checkpointable models schedule
+	// via registered ops (des.RegisterOp/ScheduleOp), never closures.
 	Setup func(w *Worker)
 
 	// CountEvents optionally reports model-level per-LP counters for
 	// the final stats frame.
 	CountEvents func() map[int]uint64
+
+	// Model, when set, rides in worker snapshots: Checkpoint frames
+	// call MarshalState, restore frames call UnmarshalState.
+	Model checkpoint.Checkpointable
 }
 
 // NewWorker creates a worker owning the given LP IDs.
@@ -139,7 +150,15 @@ func (w *Worker) serve(p *peer) error {
 	// Engines are seeded exactly as package parsim seeds its LPs, so a
 	// distributed run reproduces a single-process run bit for bit.
 	for _, lp := range w.order {
+		lp := lp
 		lp.E = des.NewEngine(des.WithSeed(cfg.Seed + uint64(lp.ID)*0x9e3779b9))
+		lp.msgOp = lp.E.RegisterOp("distsim.msg", func(arg []byte) {
+			ev, err := decodeEvent(arg)
+			if err != nil {
+				panic(fmt.Sprintf("distsim: corrupt delivery op argument: %v", err))
+			}
+			lp.OnMessage(ev)
+		})
 	}
 	if w.Setup == nil {
 		return fmt.Errorf("distsim: worker has no Setup hook")
@@ -149,6 +168,30 @@ func (w *Worker) serve(p *peer) error {
 		if lp.OnMessage == nil {
 			return fmt.Errorf("distsim: LP %d has no OnMessage handler", lp.ID)
 		}
+	}
+
+	// Heartbeats: while this worker computes (a window, a snapshot), the
+	// coordinator only sees silence. A background ticker at a third of
+	// the coordinator's timeout keeps the connection demonstrably alive,
+	// so a slow worker is distinguishable from a dead one.
+	if cfg.TimeoutSec > 0 {
+		p.writeTimeout = time.Duration(cfg.TimeoutSec * float64(time.Second))
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(time.Duration(cfg.TimeoutSec / 3 * float64(time.Second)))
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if p.send(&frame{Kind: frameHeartbeat}) != nil {
+						return // connection gone; main loop will notice
+					}
+				}
+			}
+		}()
 	}
 
 	for {
@@ -169,6 +212,26 @@ func (w *Worker) serve(p *peer) error {
 			out := w.outbox
 			w.outbox = nil
 			if err := p.send(&frame{Kind: frameDone, Events: out}); err != nil {
+				return err
+			}
+		case frameCheckpoint:
+			data, err := w.snapshot()
+			if err != nil {
+				// A snapshot failure is a model bug (closure events), not
+				// a crash: report it and keep serving.
+				if serr := p.send(&frame{Kind: frameSnapshot, Err: err.Error()}); serr != nil {
+					return serr
+				}
+				continue
+			}
+			if err := p.send(&frame{Kind: frameSnapshot, Data: data}); err != nil {
+				return err
+			}
+		case frameRestore:
+			if err := w.restore(f.Data); err != nil {
+				return fmt.Errorf("distsim: restore: %w", err)
+			}
+			if err := p.send(&frame{Kind: frameRestored}); err != nil {
 				return err
 			}
 		case frameStop:
@@ -207,8 +270,10 @@ func (w *Worker) deliver(remote []Event) {
 		if lp == nil {
 			panic(fmt.Sprintf("distsim: received event for foreign LP %d", ev.To))
 		}
-		ev := ev
 		w.received++
-		lp.E.At(ev.Time, func() { lp.OnMessage(ev) })
+		// Delivery is op-based so pending deliveries serialize into
+		// snapshots; events on the wire are already encoded, so one more
+		// small encode here is noise next to the gob round trip.
+		lp.E.AtOp(ev.Time, lp.msgOp, encodeEvent(&ev))
 	}
 }

@@ -18,8 +18,15 @@ package eventq
 // into safe no-ops.
 type Event struct {
 	// Fn is the event callback, cleared on recycle so the free list
-	// does not retain closures.
+	// does not retain closures. Nil when the event was scheduled as a
+	// registered op (Op/Arg below), the serializable alternative to a
+	// closure used by checkpointable models.
 	Fn func()
+	// Op indexes the engine's registered-op table when Fn is nil; 0
+	// means "no op" (a closure event, or an inert restored tombstone).
+	Op uint32
+	// Arg is the op argument, cleared on recycle alongside Fn.
+	Arg []byte
 	// Label is the trace label (empty when tracing metadata is off).
 	Label string
 	// SchedAt is the simulation time the event was scheduled at, kept

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -22,6 +23,9 @@ type BenchResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Extra carries benchmark-specific metrics reported via
+	// b.ReportMetric (e.g. snapshot_bytes for CheckpointSnapshot).
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // benchCases enumerates the hot paths the perf claims rest on:
@@ -119,6 +123,30 @@ func benchCases() []struct {
 			e.Run()
 		},
 	})
+	// CheckpointSnapshot measures the cost of one federation snapshot of
+	// the E5-shaped PHOLD state — the per-barrier price of fault
+	// tolerance. snapshot_bytes is the serialized size. The experiments
+	// pin this below 5% of a window's wall time (see E5d).
+	cases = append(cases, struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		name: "CheckpointSnapshot",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			ph := parsim.NewPHOLD(e5LPs, 1, e5Lookahead, e5JobsPerLP, e5RemoteProb, e5Work, e5Seed)
+			ph.Run(10) // jobs spread out, free lists warm
+			var buf bytes.Buffer
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := ph.Fed.Checkpoint(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(buf.Len()), "snapshot_bytes")
+		},
+	})
 	for _, w := range []int{1, 2, 4} {
 		w := w
 		cases = append(cases, struct {
@@ -156,13 +184,20 @@ func RunBenchJSON(path string) ([]BenchResult, error) {
 	var out []BenchResult
 	for _, c := range benchCases() {
 		r := testing.Benchmark(c.fn)
-		out = append(out, BenchResult{
+		res := BenchResult{
 			Name:        c.name,
 			Iterations:  r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
-		})
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Extra[k] = v
+			}
+		}
+		out = append(out, res)
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

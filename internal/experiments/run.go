@@ -51,6 +51,7 @@ func Run(id string, quick bool) ([]*metrics.Table, error) {
 			return nil, err
 		}
 		tables = append(tables, tcp, E5cOptimisticVsConservative(6, horizon))
+		tables = append(tables, E5dCheckpointOverhead(work, horizon))
 		return tables, nil
 	case "E6":
 		return []*metrics.Table{E6Validation(400000 / scale)}, nil

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/checkpoint"
 	"repro/internal/des"
 	"repro/internal/eventq"
 	"repro/internal/obs"
@@ -104,6 +105,17 @@ type Federation struct {
 
 	windows   uint64
 	idleSkips atomic.Uint64
+
+	// clock is the end of the last completed window: Run continues from
+	// here, and Checkpoint records it so a restored federation resumes
+	// at the exact window boundary.
+	clock float64
+
+	// msgOps, when non-nil, holds the per-LP registered op used to
+	// deliver cross-LP messages serializably (see EnableCheckpointing);
+	// model is the attached Checkpointable state rider.
+	msgOps []des.Op
+	model  checkpoint.Checkpointable
 
 	// per-Run worker-pool state
 	windowEnd float64       // published before workers are released
@@ -285,8 +297,8 @@ func (f *Federation) TraceTracks() []obs.Track {
 // window; they exit when Run returns. Run may be called again to
 // continue past a previous horizon.
 func (f *Federation) Run(horizon float64) {
-	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
-		panic(fmt.Sprintf("parsim: Run(%v)", horizon))
+	if horizon <= f.clock || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		panic(fmt.Sprintf("parsim: Run(%v) with window clock at %v", horizon, f.clock))
 	}
 	for _, lp := range f.lps {
 		if lp.OnMessage == nil {
@@ -312,7 +324,7 @@ func (f *Federation) Run(horizon float64) {
 			f.start, f.done = nil, nil
 		}()
 	}
-	for windowEnd := f.lookahead; ; windowEnd += f.lookahead {
+	for windowEnd := f.clock + f.lookahead; ; windowEnd += f.lookahead {
 		if windowEnd > horizon {
 			windowEnd = horizon
 		}
@@ -326,6 +338,7 @@ func (f *Federation) Run(horizon float64) {
 		if f.obsOn {
 			f.windowWall.Observe(obs.Now() - wallStart)
 		}
+		f.clock = windowEnd
 		if windowEnd >= horizon {
 			return
 		}
@@ -444,7 +457,14 @@ func (f *Federation) deliver() {
 			for _, m := range msgs {
 				m := m
 				dst.recv++
-				dst.E.At(m.Time, func() { dst.OnMessage(m) })
+				if f.msgOps != nil {
+					// Checkpointable delivery: the pending event carries
+					// the encoded message instead of a closure, so it can
+					// ride in a snapshot (see checkpoint.go).
+					dst.E.AtOp(m.Time, f.msgOps[target], encodeMessage(&m))
+				} else {
+					dst.E.At(m.Time, func() { dst.OnMessage(m) })
+				}
 			}
 		}
 	}

@@ -1,6 +1,12 @@
 package parsim
 
-import "math"
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/checkpoint"
+	"repro/internal/des"
+)
 
 // PHOLD is the standard synthetic benchmark of the parallel-DES
 // literature (Fujimoto's "parallel hold" model): a fixed population of
@@ -24,9 +30,13 @@ type PHOLD struct {
 
 	events []uint64  // per-LP processed event counts
 	sinks  []float64 // per-LP accumulator keeping the work loop live
+	hopOps []des.Op  // per-LP registered hop op ("phold.hop")
 }
 
-// NewPHOLD builds the benchmark over a fresh federation.
+// NewPHOLD builds the benchmark over a fresh federation. The model is
+// checkpointable: jobs are scheduled as registered ops and the per-LP
+// counters ride in federation snapshots, so a PHOLD run can be
+// checkpointed at any window barrier and resumed bit-identically.
 func NewPHOLD(lps, workers int, lookahead float64, jobsPerLP int, remoteProb float64, work int, seed uint64) *PHOLD {
 	fed := NewFederation(lps, lookahead, workers, seed)
 	ph := &PHOLD{
@@ -36,13 +46,16 @@ func NewPHOLD(lps, workers int, lookahead float64, jobsPerLP int, remoteProb flo
 		Work:       work,
 		events:     make([]uint64, lps),
 		sinks:      make([]float64, lps),
+		hopOps:     make([]des.Op, lps),
 	}
+	fed.EnableCheckpointing()
+	fed.SetModel(ph)
 	for i := 0; i < lps; i++ {
 		lp := fed.LP(i)
 		lp.OnMessage = func(m Message) { ph.hop(lp) }
+		ph.hopOps[i] = lp.E.RegisterOp("phold.hop", func([]byte) { ph.hop(lp) })
 		for j := 0; j < jobsPerLP; j++ {
-			lp := lp
-			lp.E.Schedule(ph.drawDelay(lp), func() { ph.hop(lp) })
+			lp.E.ScheduleOp(ph.drawDelay(lp), ph.hopOps[i], nil)
 		}
 	}
 	return ph
@@ -76,7 +89,37 @@ func (ph *PHOLD) hop(lp *LP) {
 		lp.Send(target, delay, nil)
 		return
 	}
-	lp.E.Schedule(delay, func() { ph.hop(lp) })
+	lp.E.ScheduleOp(delay, ph.hopOps[lp.Index], nil)
+}
+
+// MarshalState serializes the per-LP counters for federation
+// snapshots; pending job events are carried by the engine snapshots.
+func (ph *PHOLD) MarshalState() ([]byte, error) {
+	var enc checkpoint.Enc
+	enc.Int(len(ph.events))
+	for _, n := range ph.events {
+		enc.U64(n)
+	}
+	for _, s := range ph.sinks {
+		enc.F64(s)
+	}
+	return enc.Bytes(), nil
+}
+
+// UnmarshalState restores the per-LP counters from a snapshot.
+func (ph *PHOLD) UnmarshalState(data []byte) error {
+	d := checkpoint.NewDec(data)
+	n := d.Int()
+	if n != len(ph.events) {
+		return fmt.Errorf("parsim: PHOLD state has %d LPs, model has %d", n, len(ph.events))
+	}
+	for i := range ph.events {
+		ph.events[i] = d.U64()
+	}
+	for i := range ph.sinks {
+		ph.sinks[i] = d.F64()
+	}
+	return d.Err()
 }
 
 // Run executes the benchmark to the horizon and returns the total
