@@ -4,7 +4,7 @@ GO ?= go
 TRACE_OUT ?= /tmp/lsds_trace_e5.json
 CKPT_OUT ?= /tmp/lsds_phold.ckpt
 
-.PHONY: all build test tier1 vet race bench benchjson trace-smoke checkpoint-smoke clean
+.PHONY: all build test tier1 vet race bench benchjson trace-smoke checkpoint-smoke chaos-smoke clean
 
 all: tier1
 
@@ -18,9 +18,10 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the packages with real concurrency: the parallel
-# federation, the TCP-distributed engine, and the engine they drive.
+# federation, the TCP-distributed engine, the fault injector, and the
+# engine they drive.
 race:
-	$(GO) test -race ./internal/parsim/... ./internal/des/... ./internal/distsim/...
+	$(GO) test -race ./internal/parsim/... ./internal/des/... ./internal/distsim/... ./internal/chaos/...
 
 # tier1 is the acceptance gate: build + full tests, plus vet and the
 # race detector over the concurrent packages.
@@ -50,6 +51,18 @@ checkpoint-smoke:
 	$(GO) run ./cmd/lssim -sim phold -resume $(CKPT_OUT) -verify
 	rm -f $(CKPT_OUT)
 	$(GO) test -race -count=1 -run 'TestKillWorkerMidWindowRecovers|TestCoordinatorFileResume' ./internal/distsim/
+
+# chaos-smoke is the end-to-end robustness check: a 100-window
+# distributed PHOLD run over real TCP with 5% of all messages dropped
+# in both directions plus two scripted connection resets (forced
+# session-resume reconnects), where -verify replays the run fault-free
+# in a single process and fails on any divergence — the wire may burn,
+# the answer may not change. The chaos unit suite then runs under
+# -race.
+chaos-smoke:
+	$(GO) run ./cmd/lssim -sim distphold -horizon 100 \
+		-chaos-seed 4 -chaos-drop 0.05 -chaos-reset-at 9,23 -verify
+	$(GO) test -race -count=1 ./internal/chaos/
 
 clean:
 	$(GO) clean ./...

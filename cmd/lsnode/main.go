@@ -43,6 +43,8 @@ func main() {
 	maxRec := flag.Int("max-recoveries", 0, "coordinator: worker crashes to survive by rollback-recovery")
 	ckptFile := flag.String("checkpoint", "", "coordinator: persist cluster checkpoints to this file (atomic)")
 	resumeFile := flag.String("resume", "", "coordinator: resume from this cluster checkpoint when it exists")
+	connRetries := flag.Int("connect-retries", 0, "worker: dial/handshake attempts per connect cycle (0 = 8 default, negative = single attempt)")
+	connBackoff := flag.Duration("connect-backoff", 0, "worker: base delay of the capped exponential dial backoff (0 = 50ms default)")
 	flag.Parse()
 
 	switch *mode {
@@ -101,6 +103,10 @@ func main() {
 		}
 		w := distsim.NewWorker(ids...)
 		distsim.InstallPHOLD(w, *lps, *jobs, *remote, *work)
+		// A worker started before its coordinator retries the dial with
+		// capped exponential backoff instead of exiting immediately.
+		w.ConnectRetries = *connRetries
+		w.ConnectBackoff = *connBackoff
 		fmt.Printf("lsnode: worker owning LPs %v dialing %s\n", ids, *addr)
 		if err := w.Run(*addr); err != nil {
 			fatal(err)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lssim -sim bricks|optorsim|simgrid|gridsim|chicsim|monarc|phold [-seed N] [-jobs N]
+//	lssim -sim bricks|optorsim|simgrid|gridsim|chicsim|monarc|phold|distphold [-seed N] [-jobs N]
 //
 // Each personality runs its default configuration with the seed and
 // job-count overrides applied where meaningful.
@@ -13,16 +13,32 @@
 // -resume it restores a snapshot and finishes the run; with -verify it
 // additionally replays the whole run uninterrupted in-process and
 // requires bit-identical results.
+//
+// The distphold personality runs the same benchmark truly distributed:
+// an in-process coordinator plus two workers talking TCP over the
+// loopback, optionally through the deterministic fault injector
+// (package chaos). The -chaos-* flags attack both directions of the
+// wire; -chaos-reset-at forces connection resets at exact coordinator
+// message indices (deterministic reconnect drills); -verify replays
+// the run single-process and requires bit-identical per-LP results —
+// the paper-grade evidence that a hostile network costs retries, never
+// answers.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/des"
+	"repro/internal/distsim"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/parsim"
@@ -115,8 +131,138 @@ func runPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, workers 
 	return nil
 }
 
+// runDistPHOLD executes the distributed PHOLD personality: a
+// coordinator and two TCP workers in one process, with the chaos
+// injector optionally attacking both directions of every connection.
+func runDistPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, ch chaos.Config, resetAt string, verify bool) error {
+	jobsPer := pholdJobs
+	if jobs > 0 {
+		jobsPer = jobs
+	}
+	forced, err := parseResetAt(resetAt)
+	if err != nil {
+		return err
+	}
+	ch.ResetAt = forced
+	chaotic := ch.Drop > 0 || ch.Dup > 0 || ch.Reorder > 0 || ch.Corrupt > 0 ||
+		ch.Reset > 0 || ch.Delay > 0 || ch.Jitter > 0 || len(ch.ResetAt) > 0 ||
+		ch.PartitionDur > 0
+
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer base.Close()
+	addr := base.Addr().String()
+	var ln net.Listener = base
+	if chaotic {
+		ln = chaos.New(ch).Listener(base)
+	}
+
+	c := distsim.NewCoordinator(pholdLPs, pholdLookahead, horizon, seed)
+	c.Timeout = 2 * time.Second
+	c.ReconnectWait = 10 * time.Second
+	c.MaxReconnects = 1 << 20
+
+	half := pholdLPs / 2
+	workers := make([]*distsim.Worker, 2)
+	for i := range workers {
+		ids := make([]int, 0, half)
+		for lp := i * half; lp < (i+1)*half; lp++ {
+			ids = append(ids, lp)
+		}
+		w := distsim.NewWorker(ids...)
+		distsim.InstallPHOLD(w, pholdLPs, jobsPer, pholdRemote, pholdWork)
+		w.ConnectBackoff = 10 * time.Millisecond
+		w.ConnectRetries = 100
+		// Short handshake waits: a dropped hello or resume reply must be
+		// retried several times inside the coordinator's reconnect
+		// window, not once at the default 10s.
+		w.HandshakeTimeout = time.Second
+		if chaotic {
+			// Each worker attacks its own dialed connections with an
+			// independent fault stream; scripted resets stay on the
+			// coordinator side so their message indices are exact.
+			wcfg := ch
+			wcfg.ResetAt = nil
+			wcfg.Seed += uint64(i+1) * 1000003
+			inj := chaos.New(wcfg)
+			w.Dial = func() (net.Conn, error) {
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				return inj.Conn(conn), nil
+			}
+		}
+		workers[i] = w
+	}
+
+	errs := make(chan error, len(workers))
+	for _, w := range workers {
+		w := w
+		go func() { errs <- w.Run(addr) }()
+	}
+	if err := c.Serve(ln, len(workers)); err != nil {
+		return err
+	}
+	for range workers {
+		if err := <-errs; err != nil {
+			return fmt.Errorf("worker: %w", err)
+		}
+	}
+
+	perLP := make([]uint64, pholdLPs)
+	var executed uint64
+	for _, ws := range c.WorkerStats {
+		executed += ws.EventsExecuted
+		for lp, n := range ws.PerLPCounts {
+			perLP[lp] = n
+		}
+	}
+	t.AddRowf("windows", c.Windows)
+	t.AddRowf("events routed", c.EventsRouted)
+	t.AddRowf("engine events", executed)
+	t.AddRowf("reconnects", c.Reconnects)
+	t.AddRowf("per-LP events", fmt.Sprint(perLP))
+
+	if len(forced) > 0 && c.Reconnects < len(forced) {
+		return fmt.Errorf("%d scripted resets forced only %d reconnects", len(forced), c.Reconnects)
+	}
+	if verify {
+		ref := parsim.NewPHOLD(pholdLPs, 1, pholdLookahead, jobsPer, pholdRemote, pholdWork, seed)
+		ref.Run(horizon)
+		want := ref.PerLPEvents()
+		for i := range want {
+			if perLP[i] != want[i] {
+				return fmt.Errorf("verify: LP %d has %d events, fault-free run has %d (want %v, got %v)",
+					i, perLP[i], want[i], want, perLP)
+			}
+		}
+		t.AddRowf("verify", "identical to fault-free single-process run")
+	}
+	return nil
+}
+
+// parseResetAt parses a comma-separated list of coordinator message
+// indices at which the injector force-closes the connection.
+func parseResetAt(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -chaos-reset-at entry %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 func main() {
-	sim := flag.String("sim", "monarc", "personality: bricks|optorsim|simgrid|gridsim|chicsim|monarc|phold")
+	sim := flag.String("sim", "monarc", "personality: bricks|optorsim|simgrid|gridsim|chicsim|monarc|phold|distphold")
 	seed := flag.Uint64("seed", 1, "random seed")
 	jobs := flag.Int("jobs", 0, "job/task count override (0 = personality default)")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto) of the run to this file")
@@ -127,7 +273,16 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "phold: run to -checkpoint-at, write a snapshot to this file, and exit")
 	ckptAt := flag.Float64("checkpoint-at", 0, "phold: window barrier to checkpoint at (0 = half the horizon; use a multiple of the lookahead)")
 	resumePath := flag.String("resume", "", "phold: restore this snapshot before running to -horizon")
-	verify := flag.Bool("verify", false, "phold: replay the run uninterrupted in-process and require identical results")
+	verify := flag.Bool("verify", false, "phold/distphold: replay the run uninterrupted in-process and require identical results")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "distphold: fault-injector seed")
+	chaosDrop := flag.Float64("chaos-drop", 0, "distphold: per-message drop probability")
+	chaosDup := flag.Float64("chaos-dup", 0, "distphold: per-message duplication probability")
+	chaosReorder := flag.Float64("chaos-reorder", 0, "distphold: per-message reorder probability")
+	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "distphold: per-message byte-corruption probability")
+	chaosReset := flag.Float64("chaos-reset", 0, "distphold: per-message connection-reset probability")
+	chaosDelay := flag.Duration("chaos-delay", 0, "distphold: fixed per-message delay")
+	chaosJitter := flag.Duration("chaos-jitter", 0, "distphold: random per-message delay on top of -chaos-delay")
+	chaosResetAt := flag.String("chaos-reset-at", "", "distphold: comma-separated coordinator message indices to force-reset at")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -239,6 +394,16 @@ func main() {
 		t.AddRowf("DB queries", r.DBQueries)
 	case "phold":
 		if err := runPHOLD(t, *seed, *jobs, *horizon, *workers, *ckptPath, *ckptAt, *resumePath, *verify); err != nil {
+			fmt.Fprintln(os.Stderr, "lssim:", err)
+			os.Exit(1)
+		}
+	case "distphold":
+		ch := chaos.Config{
+			Seed: *chaosSeed, Drop: *chaosDrop, Dup: *chaosDup,
+			Reorder: *chaosReorder, Corrupt: *chaosCorrupt, Reset: *chaosReset,
+			Delay: *chaosDelay, Jitter: *chaosJitter,
+		}
+		if err := runDistPHOLD(t, *seed, *jobs, *horizon, ch, *chaosResetAt, *verify); err != nil {
 			fmt.Fprintln(os.Stderr, "lssim:", err)
 			os.Exit(1)
 		}

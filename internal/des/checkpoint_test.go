@@ -352,3 +352,52 @@ func TestSnapshotSelfDescribing(t *testing.T) {
 		}
 	}
 }
+
+// TestDerivedStreamResumesMidSequence pins the contract model-level
+// checkpointing (e.g. faults.Injector) depends on: Engine.Checkpoint
+// carries the engine's own stream but NOT streams handed out by
+// Engine.Stream — Derive reconstructs a stream at its origin, so a
+// model that draws from a derived stream must marshal that stream's
+// state itself to resume mid-sequence. With the state restored, the
+// continued draw sequence is bit-identical to an uninterrupted one;
+// with a freshly derived stream it is not.
+func TestDerivedStreamResumesMidSequence(t *testing.T) {
+	draws := func(n int) []float64 {
+		e := NewEngine(WithSeed(42))
+		src := e.Stream("model")
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = src.Float64()
+		}
+		return out
+	}
+	want := draws(20)
+
+	e1 := NewEngine(WithSeed(42))
+	src1 := e1.Stream("model")
+	for i := 0; i < 10; i++ {
+		src1.Float64()
+	}
+	state, err := src1.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh derivation replays the stream from its origin...
+	e2 := NewEngine(WithSeed(42))
+	src2 := e2.Stream("model")
+	if got := src2.Float64(); got != want[0] {
+		t.Fatalf("fresh derived stream starts at %v, want origin draw %v", got, want[0])
+	}
+	// ...but restoring the marshaled state continues mid-sequence.
+	e3 := NewEngine(WithSeed(42))
+	src3 := e3.Stream("model")
+	if err := src3.UnmarshalBinary(state); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 20; i++ {
+		if got := src3.Float64(); got != want[i] {
+			t.Fatalf("restored stream draw %d = %v, want %v", i, got, want[i])
+		}
+	}
+}

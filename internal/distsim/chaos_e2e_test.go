@@ -1,0 +1,219 @@
+package distsim
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/parsim"
+)
+
+// The chaos end-to-end suite: a PHOLD federation distributed over two
+// TCP workers, with a deterministic fault injector attacking one or
+// both directions of the wire, must finish with per-LP event counts
+// bit-identical to the fault-free single-process run. Every fault
+// class the injector knows is exercised; the failures are absorbed by
+// the protocol's integrity checking, duplicate suppression, and
+// session-resume reconnects — never by the model.
+const (
+	cePLPs      = 6
+	ceLA        = 1.0
+	ceHorizon   = 20.0
+	ceJobs      = 6
+	ceRemote    = 0.4
+	ceWork      = 5
+	ceSeed      = 20260806
+	ceWorkers   = 2
+	ceTimeout   = 500 * time.Millisecond
+	ceHS        = 2 * time.Second
+	ceRetries   = 100
+	ceBackoff   = 10 * time.Millisecond
+	ceReconn    = 3 * time.Second
+	ceMaxReconn = 10000
+)
+
+var ceRefOnce sync.Once
+var ceRefCounts []uint64
+
+// ceReference computes the fault-free single-process per-LP counts.
+func ceReference() []uint64 {
+	ceRefOnce.Do(func() {
+		ref := parsim.NewPHOLD(cePLPs, 1, ceLA, ceJobs, ceRemote, ceWork, ceSeed)
+		ref.Run(ceHorizon)
+		ceRefCounts = ref.PerLPEvents()
+	})
+	return ceRefCounts
+}
+
+// ceRun executes the distributed PHOLD run with optional injectors on
+// the coordinator side (wrapping the listener, so coordinator->worker
+// frames are attacked) and the worker side (wrapping each worker's
+// dialed connections). It fails the test unless the run completes and
+// matches the reference bit for bit, and returns the coordinator for
+// extra assertions.
+func ceRun(t *testing.T, coordCfg, workerCfg *chaos.Config) *Coordinator {
+	t.Helper()
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	addr := base.Addr().String()
+
+	var ln net.Listener = base
+	if coordCfg != nil {
+		ln = chaos.New(*coordCfg).Listener(base)
+	}
+
+	c := NewCoordinator(cePLPs, ceLA, ceHorizon, ceSeed)
+	c.Timeout = ceTimeout
+	c.ReconnectWait = ceReconn
+	c.MaxReconnects = ceMaxReconn
+
+	workers := []*Worker{NewWorker(0, 1, 2), NewWorker(3, 4, 5)}
+	for i, w := range workers {
+		InstallPHOLD(w, cePLPs, ceJobs, ceRemote, ceWork)
+		w.HandshakeTimeout = ceHS
+		w.ConnectRetries = ceRetries
+		w.ConnectBackoff = ceBackoff
+		if workerCfg != nil {
+			cfg := *workerCfg
+			cfg.Seed += uint64(i) * 1000003 // distinct fault stream per worker
+			inj := chaos.New(cfg)
+			w.Dial = func() (net.Conn, error) {
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				return inj.Conn(conn), nil
+			}
+		}
+	}
+
+	errs := make(chan error, ceWorkers+1)
+	for _, w := range workers {
+		w := w
+		go func() { errs <- w.Run(addr) }()
+	}
+	go func() { errs <- c.Serve(ln, ceWorkers) }()
+	for i := 0; i < ceWorkers+1; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("chaos run failed: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("chaos run wedged")
+		}
+	}
+
+	want := ceReference()
+	got := make([]uint64, cePLPs)
+	for _, ws := range c.WorkerStats {
+		for lp, n := range ws.PerLPCounts {
+			got[lp] = n
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LP %d: chaos run %d events vs fault-free %d\nwant %v\ngot  %v",
+				i, got[i], want[i], want, got)
+		}
+	}
+	return c
+}
+
+func TestChaosCleanBaseline(t *testing.T) {
+	t.Parallel()
+	c := ceRun(t, nil, nil)
+	if c.Reconnects != 0 {
+		t.Fatalf("clean run reconnected %d times", c.Reconnects)
+	}
+}
+
+func TestChaosDrop(t *testing.T) {
+	t.Parallel()
+	ceRun(t,
+		&chaos.Config{Seed: 11, Drop: 0.05},
+		&chaos.Config{Seed: 12, Drop: 0.05})
+}
+
+func TestChaosDuplicate(t *testing.T) {
+	t.Parallel()
+	ceRun(t,
+		&chaos.Config{Seed: 21, Dup: 0.15},
+		&chaos.Config{Seed: 22, Dup: 0.15})
+}
+
+func TestChaosReorder(t *testing.T) {
+	t.Parallel()
+	// Coordinator-side reorder stalls a whole window per hit (the held
+	// frame only flushes on the next same-connection write), so keep
+	// its rate lower than the worker side, where heartbeats flush
+	// holds within a heartbeat interval.
+	ceRun(t,
+		&chaos.Config{Seed: 31, Reorder: 0.03},
+		&chaos.Config{Seed: 32, Reorder: 0.1})
+}
+
+func TestChaosCorrupt(t *testing.T) {
+	t.Parallel()
+	ceRun(t,
+		&chaos.Config{Seed: 41, Corrupt: 0.04},
+		&chaos.Config{Seed: 42, Corrupt: 0.04})
+}
+
+func TestChaosDelayJitter(t *testing.T) {
+	t.Parallel()
+	ceRun(t,
+		&chaos.Config{Seed: 51, Delay: 2 * time.Millisecond, Jitter: 3 * time.Millisecond},
+		&chaos.Config{Seed: 52, Delay: 2 * time.Millisecond, Jitter: 3 * time.Millisecond})
+}
+
+func TestChaosReset(t *testing.T) {
+	t.Parallel()
+	c := ceRun(t,
+		&chaos.Config{Seed: 61, Reset: 0.08},
+		&chaos.Config{Seed: 62, Reset: 0.08})
+	if c.Reconnects == 0 {
+		t.Fatal("reset run never exercised session resume")
+	}
+}
+
+func TestChaosScriptedResets(t *testing.T) {
+	t.Parallel()
+	// Two forced resets at fixed coordinator message indices: the
+	// deterministic "network breaks during window N" scenario.
+	c := ceRun(t, &chaos.Config{Seed: 71, ResetAt: []uint64{9, 23}}, nil)
+	if c.Reconnects < 2 {
+		t.Fatalf("reconnects = %d, want >= 2 (two scripted resets)", c.Reconnects)
+	}
+}
+
+func TestChaosPartitionWithReconnect(t *testing.T) {
+	t.Parallel()
+	// A 700ms two-way blackhole landing mid-run: both directions drop
+	// everything, timeouts fire, and the federation heals by session
+	// resume once the partition lifts. The per-message delay stretches
+	// the run well past the partition start so the blackhole is
+	// guaranteed to land while windows are in flight, and the duration
+	// exceeds the coordinator timeout so the loss is detected *during*
+	// the partition, not after it.
+	c := ceRun(t,
+		&chaos.Config{Seed: 81, Delay: time.Millisecond, PartitionStart: 30 * time.Millisecond, PartitionDur: 700 * time.Millisecond},
+		&chaos.Config{Seed: 82, Delay: time.Millisecond, PartitionStart: 30 * time.Millisecond, PartitionDur: 700 * time.Millisecond})
+	if c.Reconnects == 0 {
+		t.Fatal("partition run never exercised session resume")
+	}
+}
+
+func TestChaosEverythingAtOnce(t *testing.T) {
+	t.Parallel()
+	// The kitchen sink at low intensity: every probabilistic fault
+	// class active simultaneously.
+	ceRun(t,
+		&chaos.Config{Seed: 91, Drop: 0.02, Dup: 0.05, Reorder: 0.02, Corrupt: 0.02, Reset: 0.01, Jitter: time.Millisecond},
+		&chaos.Config{Seed: 92, Drop: 0.02, Dup: 0.05, Reorder: 0.02, Corrupt: 0.02, Reset: 0.01, Jitter: time.Millisecond})
+}

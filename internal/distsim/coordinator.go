@@ -7,6 +7,8 @@ import (
 	"os"
 	"sort"
 	"time"
+
+	"repro/internal/rng"
 )
 
 // DefaultTimeout is the per-frame receive deadline the coordinator
@@ -14,17 +16,29 @@ import (
 // neither a frame nor a heartbeat for this long is declared dead.
 const DefaultTimeout = 30 * time.Second
 
+// DefaultReconnectWait caps how long the coordinator holds a slot open
+// for the same worker process to reconnect (session resume) before
+// falling back to rollback recovery or failing the run.
+const DefaultReconnectWait = 2 * time.Second
+
+// DefaultMaxReconnects bounds session resumes per run when
+// Coordinator.MaxReconnects is zero.
+const DefaultMaxReconnects = 64
+
 // Coordinator drives a distributed run: it waits for the expected
 // number of workers, verifies that their LP sets partition [0, nLPs),
 // then executes lookahead windows until the horizon.
 //
-// Fault tolerance is opt-in via CheckpointEvery/MaxRecoveries: the
-// coordinator takes a cluster checkpoint at window barriers, and when
-// a worker dies (connection error, or silence past Timeout) it accepts
-// a replacement for the dead worker's LP set, rolls every worker back
-// to the last checkpoint, and re-executes from there. The recovered
-// run is bit-identical to an uninterrupted one; a crash costs at most
-// CheckpointEvery windows of re-execution.
+// Failure handling is layered. The cheap layer is session resume: when
+// a worker's connection breaks (reset, corruption-poisoned stream,
+// sequence gap) but the worker process survives, it reconnects,
+// presents its session id, and both sides replay the unacked tail of
+// sequenced frames — the simulation state never rolls back and the
+// blip costs one round trip. The expensive layer is the PR 3
+// rollback-recovery (opt-in via CheckpointEvery/MaxRecoveries): when
+// the worker process itself is gone, a replacement registers the dead
+// worker's LP set and the whole federation restores the last cluster
+// checkpoint. Both layers preserve bit-identical results.
 type Coordinator struct {
 	NLPs      int
 	Lookahead float64
@@ -36,6 +50,14 @@ type Coordinator struct {
 	// DefaultTimeout; negative disables deadlines entirely (the
 	// pre-fault-tolerance blocking behavior).
 	Timeout time.Duration
+	// ReconnectWait bounds how long a broken slot waits for its worker
+	// to reconnect with session resume. Zero means the effective
+	// Timeout capped at DefaultReconnectWait; negative disables resume
+	// (every failure goes straight to rollback recovery).
+	ReconnectWait time.Duration
+	// MaxReconnects is the session-resume budget for the whole run.
+	// Zero means DefaultMaxReconnects; negative disables resume.
+	MaxReconnects int
 	// CheckpointEvery takes a cluster checkpoint after every k-th
 	// window (plus one before the first). Zero disables checkpointing
 	// unless MaxRecoveries or CheckpointPath ask for it, in which case
@@ -61,7 +83,8 @@ type Coordinator struct {
 	// Results, populated by Serve.
 	Windows      uint64
 	EventsRouted uint64
-	Recoveries   int
+	Recoveries   int // rollback recoveries (worker process replaced)
+	Reconnects   int // session resumes (same process, new connection)
 	WorkerStats  []WorkerStats
 }
 
@@ -85,6 +108,21 @@ func (c *Coordinator) timeout() time.Duration {
 	}
 }
 
+// reconnectWait resolves the session-resume window (0 = disabled).
+func (c *Coordinator) reconnectWait() time.Duration {
+	switch {
+	case c.ReconnectWait > 0:
+		return c.ReconnectWait
+	case c.ReconnectWait < 0:
+		return 0
+	default:
+		if t := c.timeout(); t > 0 && t < DefaultReconnectWait {
+			return t
+		}
+		return DefaultReconnectWait
+	}
+}
+
 // every resolves the effective checkpoint cadence (0 = disabled).
 func (c *Coordinator) every() int {
 	if c.CheckpointEvery > 0 {
@@ -94,6 +132,13 @@ func (c *Coordinator) every() int {
 		return 1
 	}
 	return 0
+}
+
+// sessionID derives the session identity for a slot incarnation. Ids
+// are deterministic in (run seed, slot, epoch) yet unguessable enough
+// that a stale worker from a replaced incarnation cannot resume.
+func (c *Coordinator) sessionID(slot, epoch int) uint64 {
+	return rng.New(c.Seed).Derive(fmt.Sprintf("session:%d:%d", slot, epoch)).Uint64()
 }
 
 // slotError tags a peer failure with the worker slot it happened on,
@@ -108,33 +153,46 @@ func (e *slotError) Error() string {
 }
 func (e *slotError) Unwrap() error { return e.err }
 
+// parkedConn is a registration that arrived while the coordinator was
+// waiting for a session resume: a fresh worker process whose in-memory
+// session is gone. It is handed to rollback recovery instead of being
+// turned away.
+type parkedConn struct {
+	p   *peer
+	ids []int
+}
+
 // session is the mutable state of one Serve call.
 type session struct {
-	ln      net.Listener
-	peers   []*peer
-	keys    []string // per slot: canonical LP-set key
-	lpSets  [][]int  // per slot: owned LPs, sorted
-	pending [][]Event
-	clock   float64
-	ckpt    *clusterCheckpoint
-	every   int
+	ln       net.Listener
+	links    []*link
+	keys     []string // per slot: canonical LP-set key
+	lpSets   [][]int  // per slot: owned LPs, sorted
+	sessions []uint64 // per slot: current session id
+	epochs   []int    // per slot: incarnation counter
+	parked   *parkedConn
+	pending  [][]Event
+	clock    float64
+	ckpt     *clusterCheckpoint
+	every    int
 }
 
 // Serve accepts nWorkers connections on the listener and runs the
 // simulation to completion. It returns after all workers acknowledged
-// the stop frame; with recovery enabled it keeps the listener open to
-// accept replacement workers after a crash. The caller owns the
-// listener.
+// the stop frame; the listener stays open throughout to accept worker
+// reconnects (session resume) and replacement workers (rollback
+// recovery). The caller owns the listener.
 func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 	if nWorkers <= 0 {
 		return fmt.Errorf("distsim: Serve with %d workers", nWorkers)
 	}
 	s := &session{ln: ln, every: c.every(), pending: make([][]Event, nWorkers)}
 	defer func() {
-		for _, p := range s.peers {
-			if p != nil {
-				p.close()
-			}
+		for _, l := range s.links {
+			l.close()
+		}
+		if s.parked != nil {
+			s.parked.p.close()
 		}
 	}()
 
@@ -154,21 +212,41 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 	}
 
 	// Registration: collect LP ownership, check it partitions the ID
-	// space exactly. Peers are tracked immediately so the deferred
-	// close releases workers blocked on their config read when
-	// registration fails.
-	for len(s.peers) < nWorkers {
+	// space exactly. A connection that dies or times out before
+	// delivering a register frame is dropped, not fatal — under a
+	// faulty network the same worker simply dials again.
+	for len(s.links) < nWorkers {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
 		p := newPeer(conn)
 		p.writeTimeout = c.timeout()
-		s.peers = append(s.peers, p)
-		ids, err := c.readRegister(p)
+		f, _, err := p.recvRaw(c.timeout())
 		if err != nil {
-			return err
+			p.close()
+			continue
 		}
+		if f.Kind != frameRegister {
+			return fmt.Errorf("distsim: expected register, got %s", f.Kind)
+		}
+		ids := append([]int(nil), f.LPs...)
+		sort.Ints(ids)
+		key := lpKey(ids)
+		// A re-registration for an already-claimed LP set is either a
+		// worker whose config handshake died (its old connection is
+		// gone — adopt the new one) or a genuinely duplicated worker
+		// (both alive — a configuration error worth failing loudly).
+		if prev := indexOf(s.keys, key); prev >= 0 {
+			if !s.links[prev].p.dead() {
+				p.close()
+				return fmt.Errorf("distsim: LP set %s registered by two live workers", key)
+			}
+			s.links[prev].close()
+			s.links[prev] = newLink(p)
+			continue
+		}
+		s.links = append(s.links, newLink(p))
 		s.lpSets = append(s.lpSets, ids)
 		s.keys = append(s.keys, lpKey(ids))
 	}
@@ -209,24 +287,33 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 		}
 	}
 
-	// Configuration.
-	for wi, p := range s.peers {
-		if err := p.send(c.configFrame()); err != nil {
-			return &slotError{wi, err}
+	// Session identities, then configuration. A config frame lost on
+	// the wire surfaces as the worker re-registering; resumeSlot redoes
+	// the handshake on the same session.
+	s.sessions = make([]uint64, nWorkers)
+	s.epochs = make([]int, nWorkers)
+	for wi := range s.links {
+		s.sessions[wi] = c.sessionID(wi, 0)
+	}
+	for wi := range s.links {
+		if err := s.links[wi].send(c.configFrame(s.sessions[wi])); err != nil {
+			if rerr := c.resumeSlot(s, wi, err); rerr != nil {
+				return &slotError{wi, rerr}
+			}
 		}
 	}
 
 	if resume != nil {
 		// Restore every worker from the persisted checkpoint, then pick
 		// up the window loop at its clock.
-		for wi, p := range s.peers {
-			if err := p.send(&frame{Kind: frameRestore, Data: resume.Snapshots[wi]}); err != nil {
-				return &slotError{wi, err}
+		for wi := range s.links {
+			if err := c.sendSlot(s, wi, &frame{Kind: frameRestore, Data: resume.Snapshots[wi]}); err != nil {
+				return err
 			}
 		}
-		for wi, p := range s.peers {
-			if err := c.awaitRestored(p); err != nil {
-				return &slotError{wi, err}
+		for wi := range s.links {
+			if err := c.awaitRestored(s, wi); err != nil {
+				return err
 			}
 		}
 		s.ckpt = resume
@@ -261,24 +348,189 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 		err = c.runWindows(s, owner)
 	}
 
-	// Shutdown + stats.
-	for wi, p := range s.peers {
-		if err := p.send(&frame{Kind: frameStop}); err != nil {
-			return &slotError{wi, err}
+	// Shutdown + stats + bye. The bye releases the worker: a worker
+	// that sent stats but never hears the bye keeps trying to resume
+	// until its retry budget runs out, in case the stats frame died on
+	// the wire.
+	for wi := range s.links {
+		if err := c.sendSlot(s, wi, &frame{Kind: frameStop}); err != nil {
+			return err
 		}
 	}
 	c.WorkerStats = nil
-	for wi, p := range s.peers {
-		f, err := c.recvFrame(p)
+	for wi := range s.links {
+		f, err := c.recvSlot(s, wi)
 		if err != nil {
-			return &slotError{wi, err}
+			return err
 		}
 		if f.Kind != frameStats {
-			return fmt.Errorf("distsim: expected stats, got %d", f.Kind)
+			return fmt.Errorf("distsim: expected stats, got %s", f.Kind)
 		}
 		c.WorkerStats = append(c.WorkerStats, f.Stats)
+		_ = s.links[wi].send(&frame{Kind: frameBye}) // best effort; see above
 	}
 	return nil
+}
+
+// sendSlot sends a sequenced frame to a slot, transparently riding out
+// a broken connection: the frame is retained before the write, so a
+// successful resume replays it and nothing needs re-sending.
+func (c *Coordinator) sendSlot(s *session, wi int, f *frame) error {
+	if err := s.links[wi].send(f); err != nil {
+		if rerr := c.resumeSlot(s, wi, err); rerr != nil {
+			return &slotError{wi, rerr}
+		}
+	}
+	return nil
+}
+
+// recvSlot receives the next non-heartbeat frame from a slot under the
+// configured deadline (heartbeats re-arm it, so a slow-but-alive
+// worker is never declared dead), resuming the session on transport
+// failures.
+//
+// Heartbeats double as loss detectors: each carries the worker's
+// progress watermarks. A beat proving the worker still hasn't seen a
+// frame we sent (our retention is non-empty even after its ack pruned
+// it) or claims sequenced sends we never received (TCP ordering: a
+// frame written before the beat would have arrived before it) means a
+// frame died between the endpoints while both stayed healthy — the one
+// failure mode a per-frame deadline cannot see, because the beats
+// themselves keep re-arming it. A single stale beat can race the frame
+// it is reporting on (the heartbeat ticker snapshots watermarks
+// concurrently with the serve loop), so only a run of them triggers
+// the forced resume.
+func (c *Coordinator) recvSlot(s *session, wi int) (*frame, error) {
+	const staleLimit = 3
+	stale := 0
+	for {
+		l := s.links[wi]
+		f, err := l.recv(c.timeout())
+		if err != nil {
+			if rerr := c.resumeSlot(s, wi, err); rerr != nil {
+				return nil, &slotError{wi, rerr}
+			}
+			stale = 0
+			continue
+		}
+		switch f.Kind {
+		case frameHeartbeat:
+			if len(l.retained) > 0 || f.SendSeq > l.recvSeq {
+				if stale++; stale >= staleLimit {
+					err := fmt.Errorf("distsim: worker alive but stalled (unacked %d, claims sent %d, got %d)",
+						len(l.retained), f.SendSeq, l.recvSeq)
+					if rerr := c.resumeSlot(s, wi, err); rerr != nil {
+						return nil, &slotError{wi, rerr}
+					}
+					stale = 0
+				}
+			} else {
+				stale = 0
+			}
+			continue
+		case frameHello, frameRegister:
+			// Stray hello/register frames are duplicated handshake traffic
+			// left in the read buffer by a faulty network — noise, not
+			// protocol.
+			continue
+		}
+		return f, nil
+	}
+}
+
+// resumeSlot holds slot wi's seat open for a session resume after a
+// transport failure. It accepts connections until the reconnect window
+// closes; a hello with a live session id rebinds that slot's link
+// (slot wi or any other — concurrent failures heal in whatever order
+// workers redial). A register frame means a worker process lost its
+// session: if this slot's conversation is still fully replayable the
+// handshake is simply redone, otherwise the connection is parked for
+// rollback recovery and the original failure is surfaced.
+func (c *Coordinator) resumeSlot(s *session, wi int, cause error) error {
+	budget := c.MaxReconnects
+	if budget == 0 {
+		budget = DefaultMaxReconnects
+	}
+	wait := c.reconnectWait()
+	if budget < 0 || wait <= 0 || c.Reconnects >= budget {
+		return cause
+	}
+	s.links[wi].close()
+	deadline := time.Now().Add(wait)
+	type deadliner interface{ SetDeadline(time.Time) error }
+	dl, hasDL := s.ln.(deadliner)
+	if hasDL {
+		defer dl.SetDeadline(time.Time{})
+	}
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return cause
+		}
+		if hasDL {
+			_ = dl.SetDeadline(deadline)
+		}
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return cause // window closed (or listener gone)
+		}
+		p := newPeer(conn)
+		p.writeTimeout = c.timeout()
+		f, _, err := p.recvRaw(remaining)
+		if err != nil {
+			p.close()
+			continue
+		}
+		switch f.Kind {
+		case frameHello:
+			slot := -1
+			for j, sid := range s.sessions {
+				if sid == f.Session {
+					slot = j
+					break
+				}
+			}
+			if slot < 0 {
+				p.close() // stale incarnation or unknown session
+				continue
+			}
+			if err := p.sendRaw(&frame{Kind: frameResume, RecvSeq: s.links[slot].recvSeq}, s.links[slot].recvSeq); err != nil {
+				p.close()
+				continue
+			}
+			if err := s.links[slot].rebind(p, f.RecvSeq); err != nil {
+				// Replay died on the fresh connection; the worker will
+				// notice and dial again.
+				continue
+			}
+			c.Reconnects++
+			if slot == wi {
+				return nil
+			}
+		case frameRegister:
+			ids := append([]int(nil), f.LPs...)
+			sort.Ints(ids)
+			if lpKey(ids) == s.keys[wi] && s.links[wi].redoable() {
+				// The worker never got (or never acted on) the config:
+				// redo the handshake, then replay the retained frames on
+				// the same session.
+				if err := p.sendRaw(c.configFrame(s.sessions[wi]), 0); err != nil {
+					p.close()
+					continue
+				}
+				if err := s.links[wi].rebind(p, 0); err != nil {
+					continue
+				}
+				c.Reconnects++
+				return nil
+			}
+			s.parked = &parkedConn{p: p, ids: ids}
+			return cause
+		default:
+			p.close()
+			continue
+		}
+	}
 }
 
 // runWindows executes lookahead windows from s.clock to the horizon.
@@ -292,21 +544,21 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 			windowEnd = c.Horizon
 		}
 		c.Windows++
-		for wi, p := range s.peers {
+		for wi := range s.links {
 			out := s.pending[wi]
 			s.pending[wi] = nil
-			if err := p.send(&frame{Kind: frameWindow, End: windowEnd, Events: out}); err != nil {
-				return &slotError{wi, err}
+			if err := c.sendSlot(s, wi, &frame{Kind: frameWindow, End: windowEnd, Events: out}); err != nil {
+				return err
 			}
 		}
 		var produced []Event
-		for wi, p := range s.peers {
-			f, err := c.recvFrame(p)
+		for wi := range s.links {
+			f, err := c.recvSlot(s, wi)
 			if err != nil {
-				return &slotError{wi, err}
+				return err
 			}
 			if f.Kind != frameDone {
-				return fmt.Errorf("distsim: expected done, got %d (%s)", f.Kind, f.Err)
+				return fmt.Errorf("distsim: expected done, got %s (%s)", f.Kind, f.Err)
 			}
 			produced = append(produced, f.Events...)
 		}
@@ -337,19 +589,19 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 // checkpoint takes a cluster checkpoint at the current window barrier:
 // one snapshot per worker plus the coordinator's routing state.
 func (c *Coordinator) checkpoint(s *session) error {
-	for wi, p := range s.peers {
-		if err := p.send(&frame{Kind: frameCheckpoint}); err != nil {
-			return &slotError{wi, err}
+	for wi := range s.links {
+		if err := c.sendSlot(s, wi, &frame{Kind: frameCheckpoint}); err != nil {
+			return err
 		}
 	}
-	snaps := make([][]byte, len(s.peers))
-	for wi, p := range s.peers {
-		f, err := c.recvFrame(p)
+	snaps := make([][]byte, len(s.links))
+	for wi := range s.links {
+		f, err := c.recvSlot(s, wi)
 		if err != nil {
-			return &slotError{wi, err}
+			return err
 		}
 		if f.Kind != frameSnapshot {
-			return fmt.Errorf("distsim: expected snapshot, got %d", f.Kind)
+			return fmt.Errorf("distsim: expected snapshot, got %s", f.Kind)
 		}
 		if f.Err != "" {
 			// A snapshot failure is a model bug (unserializable events),
@@ -379,50 +631,64 @@ func (c *Coordinator) checkpoint(s *session) error {
 // registers the dead worker's exact LP set, and every worker —
 // survivors included — is restored from its checkpointed snapshot, so
 // the re-executed windows are bit-identical to what the uninterrupted
-// run would have produced.
+// run would have produced. The dead slot gets a fresh session id, so a
+// zombie of the old incarnation can never resume into the run.
 func (c *Coordinator) recoverSlot(s *session, dead int) error {
-	s.peers[dead].close()
-	wait := c.RecoveryWait
-	if wait == 0 {
-		wait = c.timeout()
-	}
-	if d, ok := s.ln.(interface{ SetDeadline(time.Time) error }); ok && wait > 0 {
-		_ = d.SetDeadline(time.Now().Add(wait))
-		defer d.SetDeadline(time.Time{})
-	}
-	conn, err := s.ln.Accept()
-	if err != nil {
-		return fmt.Errorf("waiting for replacement worker: %w", err)
-	}
-	p := newPeer(conn)
-	p.writeTimeout = c.timeout()
-	ids, err := c.readRegister(p)
-	if err != nil {
-		p.close()
-		return err
+	s.links[dead].close()
+	s.epochs[dead]++
+	s.sessions[dead] = c.sessionID(dead, s.epochs[dead])
+
+	var p *peer
+	var ids []int
+	if s.parked != nil {
+		// The replacement already knocked while we were holding the slot
+		// open for a resume.
+		p, ids = s.parked.p, s.parked.ids
+		s.parked = nil
+	} else {
+		wait := c.RecoveryWait
+		if wait == 0 {
+			wait = c.timeout()
+		}
+		if d, ok := s.ln.(interface{ SetDeadline(time.Time) error }); ok && wait > 0 {
+			_ = d.SetDeadline(time.Now().Add(wait))
+			defer d.SetDeadline(time.Time{})
+		}
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("waiting for replacement worker: %w", err)
+		}
+		p = newPeer(conn)
+		p.writeTimeout = c.timeout()
+		ids, err = c.readRegister(p)
+		if err != nil {
+			p.close()
+			return err
+		}
 	}
 	if lpKey(ids) != s.keys[dead] {
 		p.close()
 		return fmt.Errorf("replacement worker registers LPs %v, dead worker owned %s", ids, s.keys[dead])
 	}
-	if err := p.send(c.configFrame()); err != nil {
-		p.close()
+	l := newLink(p)
+	if err := l.send(c.configFrame(s.sessions[dead])); err != nil {
+		l.close()
 		return err
 	}
-	s.peers[dead] = p
+	s.links[dead] = l
 
-	// Rollback-all: every peer (replacement and survivors) restores the
+	// Rollback-all: every slot (replacement and survivors) restores the
 	// checkpointed state. Survivors may still be computing the crashed
 	// window — their stale done/snapshot frames are drained by
 	// awaitRestored.
-	for wi, pp := range s.peers {
-		if err := pp.send(&frame{Kind: frameRestore, Data: s.ckpt.Snapshots[wi]}); err != nil {
-			return &slotError{wi, err}
+	for wi := range s.links {
+		if err := c.sendSlot(s, wi, &frame{Kind: frameRestore, Data: s.ckpt.Snapshots[wi]}); err != nil {
+			return err
 		}
 	}
-	for wi, pp := range s.peers {
-		if err := c.awaitRestored(pp); err != nil {
-			return &slotError{wi, err}
+	for wi := range s.links {
+		if err := c.awaitRestored(s, wi); err != nil {
+			return err
 		}
 	}
 	s.clock = s.ckpt.Clock
@@ -432,86 +698,80 @@ func (c *Coordinator) recoverSlot(s *session, dead int) error {
 	return nil
 }
 
-// awaitRestored reads frames until the peer acknowledges its restore,
+// awaitRestored reads frames until the slot acknowledges its restore,
 // draining whatever the crashed window left in flight (done frames,
 // snapshot replies, heartbeats).
-func (c *Coordinator) awaitRestored(p *peer) error {
+func (c *Coordinator) awaitRestored(s *session, wi int) error {
 	for {
-		f, err := p.recvTimeout(c.timeout())
+		f, err := c.recvSlot(s, wi)
 		if err != nil {
 			return err
 		}
 		switch f.Kind {
 		case frameRestored:
 			return nil
-		case frameDone, frameSnapshot, frameHeartbeat:
+		case frameDone, frameSnapshot:
 			// stale; drop
 		default:
-			return fmt.Errorf("distsim: expected restored, got %d", f.Kind)
+			return fmt.Errorf("distsim: expected restored, got %s", f.Kind)
 		}
 	}
 }
 
-// recvFrame receives the next non-heartbeat frame under the configured
-// deadline; every heartbeat re-arms it, so a slow-but-alive worker is
-// never declared dead.
-func (c *Coordinator) recvFrame(p *peer) (*frame, error) {
-	for {
-		f, err := p.recvTimeout(c.timeout())
-		if err != nil {
-			return nil, err
+// indexOf returns the position of key in keys, or -1.
+func indexOf(keys []string, key string) int {
+	for i, k := range keys {
+		if k == key {
+			return i
 		}
-		if f.Kind == frameHeartbeat {
-			continue
-		}
-		return f, nil
 	}
+	return -1
 }
 
 // readRegister reads and validates a registration frame, returning the
 // worker's sorted LP set.
 func (c *Coordinator) readRegister(p *peer) ([]int, error) {
-	f, err := p.recvTimeout(c.timeout())
+	f, _, err := p.recvRaw(c.timeout())
 	if err != nil {
 		return nil, err
 	}
 	if f.Kind != frameRegister {
-		return nil, fmt.Errorf("distsim: expected register, got %d", f.Kind)
+		return nil, fmt.Errorf("distsim: expected register, got %s", f.Kind)
 	}
 	ids := append([]int(nil), f.LPs...)
 	sort.Ints(ids)
 	return ids, nil
 }
 
-// configFrame builds the run-parameter frame sent to every worker.
-func (c *Coordinator) configFrame() *frame {
+// configFrame builds the run-parameter frame for one slot.
+func (c *Coordinator) configFrame(session uint64) *frame {
 	return &frame{
 		Kind: frameConfig, Lookahead: c.Lookahead, Horizon: c.Horizon, Seed: c.Seed,
-		TimeoutSec: c.timeout().Seconds(),
+		Session: session, TimeoutSec: c.timeout().Seconds(),
 	}
 }
 
-// reorderToSlots permutes the registered peers so that peer i owns the
+// reorderToSlots permutes the registered links so that slot i owns the
 // LP set of checkpoint slot i.
 func (s *session) reorderToSlots(keys []string) error {
 	bySlot := make(map[string]int, len(keys))
 	for i, k := range keys {
 		bySlot[k] = i
 	}
-	peers := make([]*peer, len(keys))
+	links := make([]*link, len(keys))
 	lpSets := make([][]int, len(keys))
 	for i, k := range s.keys {
 		slot, ok := bySlot[k]
 		if !ok {
 			return fmt.Errorf("distsim: worker owning LPs %s has no slot in the checkpoint (want one of %v)", k, keys)
 		}
-		if peers[slot] != nil {
+		if links[slot] != nil {
 			return fmt.Errorf("distsim: two workers registered LP set %s", k)
 		}
-		peers[slot] = s.peers[i]
+		links[slot] = s.links[i]
 		lpSets[slot] = s.lpSets[i]
 	}
-	s.peers = peers
+	s.links = links
 	s.lpSets = lpSets
 	s.keys = append([]string(nil), keys...)
 	return nil

@@ -136,6 +136,7 @@ func TestCoordinatorRejectsBadRegistration(t *testing.T) {
 	errs := make(chan error, 3)
 	mk := func() {
 		w := NewWorker(0)
+		w.ConnectRetries = -1 // rejected for cause: retrying can't help
 		w.Setup = func(w *Worker) { w.LP(0).OnMessage = func(Event) {} }
 		errs <- w.Run(ln.Addr().String())
 	}
@@ -179,7 +180,8 @@ func TestWorkerRequiresSetup(t *testing.T) {
 	}
 	defer ln.Close()
 	c := NewCoordinator(1, 1, 5, 1)
-	w := NewWorker(0) // no Setup
+	c.ReconnectWait = -1 // the broken worker never comes back
+	w := NewWorker(0)    // no Setup
 	errs := make(chan error, 2)
 	go func() { errs <- w.Run(ln.Addr().String()) }()
 	go func() { errs <- c.Serve(ln, 1) }()

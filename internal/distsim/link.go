@@ -1,0 +1,134 @@
+package distsim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// link is the self-healing session layer over a sequence of peer
+// connections. It numbers outbound sequenced frames with a monotonic
+// per-peer counter, suppresses inbound duplicates, detects gaps, and
+// retains every sent-but-unacked sequenced frame so that a reconnect
+// can replay exactly the tail the other side never processed.
+//
+// Acks piggyback on every frame (the ack header field carries the
+// sender's highest processed inbound sequence), so in steady state the
+// retention window holds at most the last window's worth of frames —
+// the protocol is request/response at window granularity, and each
+// response acks the request.
+type sentFrame struct {
+	seq     uint64
+	payload []byte
+}
+
+type link struct {
+	p        *peer
+	sendSeq  uint64 // last sequenced frame sent
+	recvSeq  uint64 // highest sequenced frame processed
+	retained []sentFrame
+
+	// Atomic mirrors of sendSeq/recvSeq for readers outside the owning
+	// goroutine — the worker's heartbeat ticker stamps both watermarks
+	// into every heartbeat so the coordinator can tell an alive worker
+	// that lost a frame from one that is merely slow.
+	sentOut atomic.Uint64
+	ackedIn atomic.Uint64
+}
+
+func newLink(p *peer) *link { return &link{p: p} }
+
+// send marshals and transmits a frame. Sequenced kinds are numbered
+// and retained before the write, so a frame that dies on the wire is
+// still replayable after a reconnect.
+func (l *link) send(f *frame) error {
+	payload := marshalFrame(f)
+	var seq uint64
+	if f.Kind.sequenced() {
+		l.sendSeq++
+		seq = l.sendSeq
+		l.sentOut.Store(l.sendSeq)
+		l.retained = append(l.retained, sentFrame{seq: seq, payload: payload})
+	}
+	return l.p.writeFrame(seq, l.recvSeq, payload)
+}
+
+// recv returns the next frame under an optional deadline, applying the
+// sequence discipline: duplicates (seq <= recvSeq) are dropped
+// silently, in-order frames advance recvSeq, and a gap poisons the
+// peer with ErrFrameGap — the caller reconnects and resumes.
+func (l *link) recv(d time.Duration) (*frame, error) {
+	for {
+		seq, ack, payload, err := l.p.readFrame(d)
+		if err != nil {
+			return nil, err
+		}
+		l.prune(ack)
+		f, err := unmarshalFrame(payload)
+		if err != nil {
+			return nil, l.p.fail(err)
+		}
+		if seq == 0 {
+			return f, nil // handshake/heartbeat: outside the sequence space
+		}
+		switch {
+		case seq <= l.recvSeq:
+			continue // duplicate (retransmission overlap): suppress
+		case seq == l.recvSeq+1:
+			l.recvSeq = seq
+			l.ackedIn.Store(seq)
+			return f, nil
+		default:
+			return nil, l.p.fail(fmt.Errorf("%w: got seq %d, want %d", ErrFrameGap, seq, l.recvSeq+1))
+		}
+	}
+}
+
+// prune drops retained frames the peer has acknowledged.
+func (l *link) prune(ack uint64) {
+	i := 0
+	for i < len(l.retained) && l.retained[i].seq <= ack {
+		i++
+	}
+	if i > 0 {
+		l.retained = append(l.retained[:0], l.retained[i:]...)
+	}
+}
+
+// redoable reports whether this session can be redone from scratch on
+// a fresh connection: the peer has never delivered a sequenced frame
+// (so its externally visible state is nil) and everything we ever sent
+// is still retained (so a full replay reconstructs the conversation).
+// This discriminates a worker that lost the config frame — or died
+// before its first window result was processed — from one whose
+// results are already woven into the run, which only rollback recovery
+// can reconcile.
+func (l *link) redoable() bool {
+	return l.recvSeq == 0 && uint64(len(l.retained)) == l.sendSeq
+}
+
+// rebind adopts a fresh connection for this session and replays every
+// retained frame the peer reports not having processed (peerRecvSeq is
+// the RecvSeq from the hello/resume handshake). The old connection is
+// closed. The peer handed in must be the one the handshake ran on, so
+// no buffered bytes are lost.
+func (l *link) rebind(p *peer, peerRecvSeq uint64) error {
+	if l.p != nil && l.p != p {
+		l.p.close()
+	}
+	p.writeTimeout = l.p.writeTimeout
+	l.p = p
+	l.prune(peerRecvSeq)
+	for _, sf := range l.retained {
+		if err := p.writeFrame(sf.seq, l.recvSeq, sf.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *link) close() {
+	if l.p != nil {
+		l.p.close()
+	}
+}

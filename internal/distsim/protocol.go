@@ -10,10 +10,10 @@
 // (1986) and Fujimoto (1993) — the synchronization cost rarely pays.
 // This package makes that trade-off measurable: the same conservative
 // lookahead-window protocol as package parsim, but with a TCP
-// coordinator/worker topology, gob-encoded event exchange, and
-// per-window barrier round trips. Running it on one host quantifies
-// exactly the overhead the paper's skepticism is about; the protocol
-// is nevertheless a complete, deployable distributed engine.
+// coordinator/worker topology and per-window barrier round trips.
+// Running it on one host quantifies exactly the overhead the paper's
+// skepticism is about; the protocol is nevertheless a complete,
+// deployable distributed engine.
 //
 // Topology: one Coordinator, N Workers. Each worker owns a set of LPs
 // (des.Engine instances). Per lookahead window the coordinator sends
@@ -23,114 +23,209 @@
 // globally ordered by (sending LP, per-LP sequence) before delivery,
 // so a distributed run and a single-process run with equal seeds are
 // bit-identical.
+//
+// Wire hardening (this layer): every frame travels length-prefixed
+// with a CRC32 integrity trailer and a per-peer monotonic sequence
+// number. Corruption and truncation surface as typed errors on the
+// frame they hit; duplicates are suppressed by sequence number; a
+// sequence gap (a frame lost or reordered in transit) poisons the
+// connection and both sides reconnect with a session-resume handshake
+// that replays the unacked tail — so a misbehaving network costs a
+// retry, never a wrong answer. See package chaos for the deterministic
+// fault injector the protocol is validated against.
 package distsim
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"net"
 	"sync"
 	"time"
 )
 
-// Event is one cross-LP message on the wire.
-type Event struct {
-	Time float64 // absolute delivery time
-	From int     // sending LP
-	To   int     // receiving LP
-	Seq  uint64  // per-sender sequence, for deterministic ordering
-	Data []byte  // opaque model payload
-}
-
-// frameKind discriminates protocol frames.
-type frameKind uint8
-
+// Wire frame layout (all big-endian):
+//
+//	length uint32 — payload byte count
+//	seq    uint64 — per-peer monotonic sequence (0 = unsequenced)
+//	ack    uint64 — sender's highest processed inbound sequence
+//	crc    uint32 — CRC32-IEEE over seq | ack | payload
+//	payload []byte — marshalFrame output
 const (
-	frameRegister   frameKind = iota + 1 // worker -> coordinator: LP ownership
-	frameConfig                          // coordinator -> worker: run parameters
-	frameWindow                          // coordinator -> worker: advance + inbound events
-	frameDone                            // worker -> coordinator: window finished + outbound events
-	frameStop                            // coordinator -> worker: run over
-	frameStats                           // worker -> coordinator: final statistics
-	frameCheckpoint                      // coordinator -> worker: snapshot your state
-	frameSnapshot                        // worker -> coordinator: snapshot bytes (or Err)
-	frameRestore                         // coordinator -> worker: overwrite state from snapshot
-	frameRestored                        // worker -> coordinator: restore acknowledged
-	frameHeartbeat                       // worker -> coordinator: liveness while computing
+	wireHeaderLen = 4 + 8 + 8 + 4
+	// maxFrameLen bounds a payload (64 MiB): anything larger is a
+	// corrupt length field, not a real frame.
+	maxFrameLen = 64 << 20
 )
 
-// frame is the single wire message type (gob-encoded).
-type frame struct {
-	Kind       frameKind
-	LPs        []int   // register
-	Lookahead  float64 // config
-	Horizon    float64 // config
-	Seed       uint64  // config: base seed for LP engines
-	TimeoutSec float64 // config: coordinator timeout; worker heartbeats at a third of it
-	End        float64 // window
-	Events     []Event // window (inbound) / done (outbound)
-	Data       []byte  // restore (coordinator -> worker) / snapshot (worker -> coordinator)
-	Stats      WorkerStats
-	Err        string
-}
-
-// WorkerStats is the per-worker outcome returned at shutdown.
-type WorkerStats struct {
-	LPs            []int
-	EventsExecuted uint64
-	Sent           uint64
-	Received       uint64
-	PerLPCounts    map[int]uint64 // model-level counts (filled by the model hook)
-}
-
-// peer wraps a connection with its codecs. Writes are serialized by a
-// mutex because a worker's heartbeat goroutine sends concurrently with
-// its main loop; writeTimeout, when set, bounds each frame write so a
-// peer with a wedged socket surfaces an error instead of blocking
-// forever.
+// peer wraps one connection with framing, integrity checking, and a
+// sticky error. Writes are serialized by a mutex because a worker's
+// heartbeat goroutine sends concurrently with its main loop;
+// writeTimeout, when set, bounds each frame write so a wedged socket
+// surfaces an error instead of blocking forever.
+//
+// The sticky error is the codec-desync guard: after any transport or
+// codec failure the peer refuses further traffic with the original
+// error, so a frame following a corrupt one can never be silently
+// decoded out of what is now an untrustworthy byte stream. Recovery is
+// a new connection (and a new peer), never a retry on the old one.
 type peer struct {
 	conn         net.Conn
-	enc          *gob.Encoder
-	dec          *gob.Decoder
+	br           *bufio.Reader
 	sendMu       sync.Mutex
 	writeTimeout time.Duration
+
+	errMu sync.Mutex
+	err   error
 }
 
 func newPeer(conn net.Conn) *peer {
-	return &peer{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	return &peer{conn: conn, br: bufio.NewReaderSize(conn, 1<<16)}
 }
 
-func (p *peer) send(f *frame) error {
+// fail records the first failure and returns it (or the earlier sticky
+// error if one is already set).
+func (p *peer) fail(err error) error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	if p.err == nil {
+		p.err = err
+	}
+	return p.err
+}
+
+// stickyErr returns the recorded failure, nil while the peer is
+// healthy.
+func (p *peer) stickyErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
+}
+
+// writeFrame sends one framed payload in a single conn.Write (one
+// "message" to the fault injector). The write deadline, when set, is
+// always cleared afterwards — even when the write fails — so a later
+// connection user never inherits a stale deadline.
+func (p *peer) writeFrame(seq, ack uint64, payload []byte) error {
+	if len(payload) > maxFrameLen {
+		return p.fail(fmt.Errorf("%w: oversized send (%d bytes)", ErrCorruptFrame, len(payload)))
+	}
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
+	if err := p.stickyErr(); err != nil {
+		return err
+	}
+	buf := encodeWire(seq, ack, payload)
 	if p.writeTimeout > 0 {
 		_ = p.conn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
 		defer p.conn.SetWriteDeadline(time.Time{})
 	}
-	if err := p.enc.Encode(f); err != nil {
-		return fmt.Errorf("distsim: send %d: %w", f.Kind, err)
+	if _, err := p.conn.Write(buf); err != nil {
+		return p.fail(fmt.Errorf("distsim: send: %w", err))
 	}
 	return nil
 }
 
-func (p *peer) recv() (*frame, error) {
-	var f frame
-	if err := p.dec.Decode(&f); err != nil {
-		return nil, fmt.Errorf("distsim: recv: %w", err)
-	}
-	return &f, nil
+// encodeWire builds the on-the-wire image of one frame: header
+// (length, seq, ack, CRC32 over seq|ack|payload) followed by the
+// payload.
+func encodeWire(seq, ack uint64, payload []byte) []byte {
+	buf := make([]byte, wireHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint64(buf[4:], seq)
+	binary.BigEndian.PutUint64(buf[12:], ack)
+	copy(buf[wireHeaderLen:], payload)
+	crc := crc32.ChecksumIEEE(buf[4:20])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	binary.BigEndian.PutUint32(buf[20:], crc)
+	return buf
 }
 
-// recvTimeout is recv with a read deadline: a peer that sends nothing
-// for d returns a timeout error instead of blocking forever. d <= 0
-// means no deadline. A heartbeat counts as activity — callers that
-// skip heartbeats re-arm the deadline on every frame.
-func (p *peer) recvTimeout(d time.Duration) (*frame, error) {
+// MarshalWindowWire builds the exact bytes the hardened protocol puts
+// on the wire for a window frame carrying evs — marshalled payload,
+// length/sequence header, CRC trailer. Exported for the frame-overhead
+// benchmarks (internal/experiments), which compare it against the gob
+// encoding the protocol used before hardening.
+func MarshalWindowWire(evs []Event, end float64, seq, ack uint64) []byte {
+	return encodeWire(seq, ack, marshalFrame(&frame{Kind: frameWindow, End: end, Events: evs}))
+}
+
+// readFrame receives one framed payload under an optional deadline
+// (d <= 0 blocks). Integrity failures return ErrCorruptFrame; either
+// way the deadline is cleared before returning, so a failed read never
+// leaves the connection armed.
+func (p *peer) readFrame(d time.Duration) (seq, ack uint64, payload []byte, err error) {
+	if err := p.stickyErr(); err != nil {
+		return 0, 0, nil, err
+	}
 	if d > 0 {
 		_ = p.conn.SetReadDeadline(time.Now().Add(d))
 		defer p.conn.SetReadDeadline(time.Time{})
 	}
-	return p.recv()
+	var hdr [wireHeaderLen]byte
+	if _, err := io.ReadFull(p.br, hdr[:]); err != nil {
+		return 0, 0, nil, p.fail(fmt.Errorf("distsim: recv: %w", err))
+	}
+	n := binary.BigEndian.Uint32(hdr[0:])
+	seq = binary.BigEndian.Uint64(hdr[4:])
+	ack = binary.BigEndian.Uint64(hdr[12:])
+	want := binary.BigEndian.Uint32(hdr[20:])
+	if n > maxFrameLen {
+		return 0, 0, nil, p.fail(fmt.Errorf("%w: length %d", ErrCorruptFrame, n))
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(p.br, payload); err != nil {
+		return 0, 0, nil, p.fail(fmt.Errorf("distsim: recv: %w", err))
+	}
+	crc := crc32.ChecksumIEEE(hdr[4:20])
+	crc = crc32.Update(crc, crc32.IEEETable, payload)
+	if crc != want {
+		return 0, 0, nil, p.fail(fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrCorruptFrame, want, crc))
+	}
+	return seq, ack, payload, nil
+}
+
+// sendRaw marshals and sends an unsequenced (handshake) frame carrying
+// the given ack.
+func (p *peer) sendRaw(f *frame, ack uint64) error {
+	return p.writeFrame(0, ack, marshalFrame(f))
+}
+
+// recvRaw receives and parses one frame without sequence bookkeeping —
+// the handshake path, where both sides exchange unsequenced frames
+// before (re)binding a link. Sequenced frames arriving early are
+// returned too; the caller decides what to do with them.
+func (p *peer) recvRaw(d time.Duration) (*frame, uint64, error) {
+	seq, _, payload, err := p.readFrame(d)
+	if err != nil {
+		return nil, 0, err
+	}
+	f, err := unmarshalFrame(payload)
+	if err != nil {
+		return nil, 0, p.fail(err)
+	}
+	return f, seq, nil
+}
+
+// dead probes whether the connection is already closed by the other
+// side, without consuming buffered bytes. It is only meaningful at
+// points where the peer is not expected to be sending (e.g. a worker
+// blocked waiting for its config frame): a short Peek that times out
+// means alive-and-quiet, an immediate EOF/reset means gone.
+func (p *peer) dead() bool {
+	_ = p.conn.SetReadDeadline(time.Now().Add(time.Millisecond))
+	defer p.conn.SetReadDeadline(time.Time{})
+	if _, err := p.br.Peek(1); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return false
+		}
+		return true
+	}
+	return false
 }
 
 func (p *peer) close() { _ = p.conn.Close() }

@@ -1,7 +1,6 @@
 package distsim
 
 import (
-	"encoding/gob"
 	"net"
 	"path/filepath"
 	"testing"
@@ -158,6 +157,7 @@ func TestHungWorkerSurfacesTimeout(t *testing.T) {
 	// A live worker for LP 0, and a raw connection that registers LP 1
 	// and then hangs without ever serving a window.
 	w := NewWorker(0)
+	w.ConnectRetries = -1 // fail fast once the run dies; keeps the test short
 	w.Setup = func(w *Worker) { w.LP(0).OnMessage = func(Event) {} }
 	go func() { _ = w.Run(ln.Addr().String()) }() // will die on EOF; ignored
 
@@ -166,7 +166,7 @@ func TestHungWorkerSurfacesTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer hung.Close()
-	if err := gob.NewEncoder(hung).Encode(&frame{Kind: frameRegister, LPs: []int{1}}); err != nil {
+	if err := newPeer(hung).sendRaw(&frame{Kind: frameRegister, LPs: []int{1}}, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -219,9 +219,15 @@ func TestCoordinatorFileResume(t *testing.T) {
 	}
 	c1 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
 	c1.Timeout = 10 * time.Second
+	c1.ReconnectWait = 200 * time.Millisecond // the killed worker is gone for good
 	c1.CheckpointPath = path
 	c1.ResumePath = path // does not exist yet: fresh start
-	go func() { _ = rtWorker(false, false).Run(ln1.Addr().String()) }()
+	go func() {
+		wA := rtWorker(false, false)
+		wA.ConnectRetries = 2
+		wA.ConnectBackoff = 20 * time.Millisecond
+		_ = wA.Run(ln1.Addr().String()) // dies with the failed run; ignored
+	}()
 	go func() {
 		defer func() { recover() }()
 		_ = rtWorker(true, true).Run(ln1.Addr().String())

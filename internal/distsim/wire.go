@@ -1,0 +1,224 @@
+package distsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/checkpoint"
+)
+
+// This file defines the frame vocabulary of the distsim wire protocol
+// and its codec. Frames were gob-encoded through PR 3; a single
+// corrupted byte could desynchronize the shared gob stream and surface
+// as a decoder panic frames later. The hardened protocol encodes every
+// frame as a self-contained payload with the explicit checkpoint
+// Enc/Dec primitives (uvarint integers, fixed-width floats,
+// length-prefixed bytes — no reflection, no cross-frame state), so a
+// damaged frame is a typed, recoverable error on exactly the frame it
+// hit, and the transport can resynchronize by reconnecting.
+
+// Event is one cross-LP message on the wire.
+type Event struct {
+	Time float64 // absolute delivery time
+	From int     // sending LP
+	To   int     // receiving LP
+	Seq  uint64  // per-sender sequence, for deterministic ordering
+	Data []byte  // opaque model payload
+}
+
+// frameKind discriminates protocol frames.
+type frameKind uint8
+
+const (
+	frameRegister   frameKind = iota + 1 // worker -> coordinator: LP ownership (handshake)
+	frameConfig                          // coordinator -> worker: run parameters + session id (handshake)
+	frameWindow                          // coordinator -> worker: advance + inbound events
+	frameDone                            // worker -> coordinator: window finished + outbound events
+	frameStop                            // coordinator -> worker: run over
+	frameStats                           // worker -> coordinator: final statistics
+	frameCheckpoint                      // coordinator -> worker: snapshot your state
+	frameSnapshot                        // worker -> coordinator: snapshot bytes (or Err)
+	frameRestore                         // coordinator -> worker: overwrite state from snapshot
+	frameRestored                        // worker -> coordinator: restore acknowledged
+	frameHeartbeat                       // worker -> coordinator: liveness while computing (unsequenced)
+	frameHello                           // worker -> coordinator: reconnect with session resume (handshake)
+	frameResume                          // coordinator -> worker: resume accepted, replay past RecvSeq (handshake)
+	frameBye                             // coordinator -> worker: stats received, session over (handshake)
+	frameKindMax                         // sentinel for validation
+)
+
+// sequenced reports whether a frame kind participates in the per-peer
+// monotonic sequence numbering (duplicate suppression + replay on
+// reconnect). Handshake frames and heartbeats ride outside the
+// sequence space: they are either idempotent or answered explicitly.
+func (k frameKind) sequenced() bool {
+	switch k {
+	case frameRegister, frameConfig, frameHeartbeat, frameHello, frameResume, frameBye:
+		return false
+	default:
+		return true
+	}
+}
+
+func (k frameKind) String() string {
+	names := [...]string{"", "register", "config", "window", "done", "stop", "stats",
+		"checkpoint", "snapshot", "restore", "restored", "heartbeat", "hello", "resume", "bye"}
+	if int(k) < len(names) && k > 0 {
+		return names[k]
+	}
+	return fmt.Sprintf("frame(%d)", uint8(k))
+}
+
+// Typed wire errors. ErrCorruptFrame covers integrity failures (CRC
+// mismatch, impossible length); ErrMalformedFrame covers payloads that
+// pass the checksum but do not parse; ErrFrameGap means a sequenced
+// frame skipped ahead (a preceding frame was lost or reordered in
+// transit). All three poison the peer (see peer.fail) and funnel into
+// the reconnect/session-resume path rather than panicking mid-stream.
+var (
+	ErrCorruptFrame   = errors.New("distsim: corrupt frame")
+	ErrMalformedFrame = errors.New("distsim: malformed frame payload")
+	ErrFrameGap       = errors.New("distsim: sequence gap")
+)
+
+// frame is the single wire message type.
+type frame struct {
+	Kind       frameKind
+	LPs        []int   // register/hello: LP ownership (the slot key)
+	Lookahead  float64 // config
+	Horizon    float64 // config
+	Seed       uint64  // config: base seed for LP engines
+	Session    uint64  // config/hello: session identity for resume
+	TimeoutSec float64 // config: coordinator timeout; worker heartbeats at a third of it
+	End        float64 // window
+	Events     []Event // window (inbound) / done (outbound)
+	Data       []byte  // restore (coordinator -> worker) / snapshot (worker -> coordinator)
+	Stats      WorkerStats
+	Err        string
+	RecvSeq    uint64 // hello/resume: highest sequenced frame processed from the peer
+	SendSeq    uint64 // heartbeat: sender's sequenced-send watermark (progress proof)
+}
+
+// WorkerStats is the per-worker outcome returned at shutdown.
+type WorkerStats struct {
+	LPs            []int
+	EventsExecuted uint64
+	Sent           uint64
+	Received       uint64
+	PerLPCounts    map[int]uint64 // model-level counts (filled by the model hook)
+}
+
+// marshalFrame serializes a frame into a self-contained payload. Field
+// order is fixed; every field is always present so the codec has no
+// per-kind branching to get wrong.
+func marshalFrame(f *frame) []byte {
+	var enc checkpoint.Enc
+	enc.Int(int(f.Kind))
+	enc.Int(len(f.LPs))
+	for _, lp := range f.LPs {
+		enc.Int(lp)
+	}
+	enc.F64(f.Lookahead)
+	enc.F64(f.Horizon)
+	enc.U64(f.Seed)
+	enc.U64(f.Session)
+	enc.F64(f.TimeoutSec)
+	enc.F64(f.End)
+	enc.Int(len(f.Events))
+	for i := range f.Events {
+		encEventInto(&enc, &f.Events[i])
+	}
+	enc.Raw(f.Data)
+	enc.Int(len(f.Stats.LPs))
+	for _, lp := range f.Stats.LPs {
+		enc.Int(lp)
+	}
+	enc.U64(f.Stats.EventsExecuted)
+	enc.U64(f.Stats.Sent)
+	enc.U64(f.Stats.Received)
+	ids := make([]int, 0, len(f.Stats.PerLPCounts))
+	for id := range f.Stats.PerLPCounts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	enc.Int(len(ids))
+	for _, id := range ids {
+		enc.Int(id)
+		enc.U64(f.Stats.PerLPCounts[id])
+	}
+	enc.Str(f.Err)
+	enc.U64(f.RecvSeq)
+	enc.U64(f.SendSeq)
+	return enc.Bytes()
+}
+
+// unmarshalFrame parses a payload written by marshalFrame. Any parse
+// failure — truncation, trailing garbage, an unknown kind — returns
+// ErrMalformedFrame; the caller treats the connection as poisoned.
+func unmarshalFrame(payload []byte) (*frame, error) {
+	d := checkpoint.NewDec(payload)
+	var f frame
+	k := d.Int()
+	f.Kind = frameKind(k)
+	if n := d.Int(); n > 0 {
+		f.LPs = make([]int, n)
+		for i := range f.LPs {
+			f.LPs[i] = d.Int()
+		}
+	}
+	f.Lookahead = d.F64()
+	f.Horizon = d.F64()
+	f.Seed = d.U64()
+	f.Session = d.U64()
+	f.TimeoutSec = d.F64()
+	f.End = d.F64()
+	if n := d.Int(); n > 0 {
+		if err := d.Err(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformedFrame, err)
+		}
+		if n > len(payload) { // each event costs >= 1 byte; cheap sanity bound
+			return nil, fmt.Errorf("%w: event count %d exceeds payload", ErrMalformedFrame, n)
+		}
+		f.Events = make([]Event, n)
+		for i := range f.Events {
+			f.Events[i] = decEventFrom(d)
+		}
+	}
+	f.Data = d.Raw()
+	if n := d.Int(); n > 0 {
+		if n > len(payload) {
+			return nil, fmt.Errorf("%w: stats LP count %d exceeds payload", ErrMalformedFrame, n)
+		}
+		f.Stats.LPs = make([]int, n)
+		for i := range f.Stats.LPs {
+			f.Stats.LPs[i] = d.Int()
+		}
+	}
+	f.Stats.EventsExecuted = d.U64()
+	f.Stats.Sent = d.U64()
+	f.Stats.Received = d.U64()
+	if n := d.Int(); n > 0 {
+		if n > len(payload) {
+			return nil, fmt.Errorf("%w: per-LP count %d exceeds payload", ErrMalformedFrame, n)
+		}
+		f.Stats.PerLPCounts = make(map[int]uint64, n)
+		for i := 0; i < n; i++ {
+			id := d.Int()
+			f.Stats.PerLPCounts[id] = d.U64()
+		}
+	}
+	f.Err = d.Str()
+	f.RecvSeq = d.U64()
+	f.SendSeq = d.U64()
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformedFrame, err)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformedFrame, d.Remaining())
+	}
+	if f.Kind == 0 || f.Kind >= frameKindMax {
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrMalformedFrame, k)
+	}
+	return &f, nil
+}

@@ -1,6 +1,7 @@
 package distsim
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -9,6 +10,15 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/des"
 )
+
+// DefaultConnectRetries is how many dial/handshake attempts a worker
+// makes per connect cycle when Worker.ConnectRetries is zero.
+const DefaultConnectRetries = 8
+
+// DefaultHandshakeTimeout bounds each handshake reply wait (config
+// after register, resume after hello, bye after stats) when
+// Worker.HandshakeTimeout is zero.
+const DefaultHandshakeTimeout = 10 * time.Second
 
 // LP is a worker-local logical process.
 type LP struct {
@@ -56,19 +66,45 @@ type localEvent struct {
 }
 
 // Worker owns a subset of LPs and executes windows on command from the
-// coordinator.
+// coordinator. A worker survives connection loss: transport failures
+// trigger a reconnect with capped exponential backoff and a
+// session-resume handshake, so the simulation state it carries — which
+// lives in this process, not in the connection — picks up exactly
+// where the wire broke.
 type Worker struct {
 	lps   map[int]*LP
 	order []*LP // deterministic iteration
+	ids   []int // owned LP IDs, sorted
 
 	lookahead float64
 	horizon   float64
 	seed      uint64
+	session   uint64
 
 	outbox   []Event
 	localBuf []localEvent
 	sent     uint64
 	received uint64
+
+	link         *link
+	ready        bool // engines built, Setup run
+	statsSent    bool
+	writeTimeout time.Duration
+
+	// Dial opens a connection to the coordinator. Worker.Run sets it
+	// from its address argument when nil; tests and chaos harnesses
+	// preset it to inject faulty transports.
+	Dial func() (net.Conn, error)
+	// ConnectRetries is the dial/handshake attempt budget per connect
+	// cycle (initial connect and each reconnect). Zero means
+	// DefaultConnectRetries; negative means a single attempt.
+	ConnectRetries int
+	// ConnectBackoff is the base delay of the capped exponential
+	// backoff between attempts (default 50ms).
+	ConnectBackoff time.Duration
+	// HandshakeTimeout bounds each handshake reply wait. Zero means
+	// DefaultHandshakeTimeout.
+	HandshakeTimeout time.Duration
 
 	// Setup is called once after the config frame arrives, when
 	// engines exist and seeds are known; the model installs OnMessage
@@ -100,6 +136,9 @@ func NewWorker(lpIDs ...int) *Worker {
 		w.order = append(w.order, lp)
 	}
 	sort.Slice(w.order, func(i, j int) bool { return w.order[i].ID < w.order[j].ID })
+	for _, lp := range w.order {
+		w.ids = append(w.ids, lp.ID)
+	}
 	return w
 }
 
@@ -112,41 +151,168 @@ func (w *Worker) LPs() []*LP { return w.order }
 // Lookahead returns the configured lookahead (valid after config).
 func (w *Worker) Lookahead() float64 { return w.lookahead }
 
-// Run connects to the coordinator and serves windows until stopped.
+func (w *Worker) retries() int {
+	switch {
+	case w.ConnectRetries > 0:
+		return w.ConnectRetries
+	case w.ConnectRetries < 0:
+		return 1
+	default:
+		return DefaultConnectRetries
+	}
+}
+
+func (w *Worker) handshakeTimeout() time.Duration {
+	if w.HandshakeTimeout > 0 {
+		return w.HandshakeTimeout
+	}
+	return DefaultHandshakeTimeout
+}
+
+// idSeed derives the worker's backoff-jitter seed from its identity
+// (the LP set), so each worker of a federation jitters differently but
+// deterministically.
+func (w *Worker) idSeed() uint64 {
+	h := uint64(1469598103934665603)
+	for _, id := range w.ids {
+		h ^= uint64(id)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fatalError marks failures no reconnect can fix (model bugs, protocol
+// violations); Worker.Run surfaces them instead of retrying.
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+func fatalf(format string, args ...any) error {
+	return &fatalError{err: fmt.Errorf(format, args...)}
+}
+
+// Run connects to the coordinator (with dial retry, so a worker
+// started before its coordinator waits instead of exiting) and serves
+// windows until stopped, reconnecting with session resume across
+// transient transport failures.
 func (w *Worker) Run(addr string) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
+	if w.Dial == nil {
+		w.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
-	defer conn.Close()
-	return w.serve(newPeer(conn))
+	return w.run(true)
 }
 
-// RunConn is Run over an existing connection (tests use in-memory
-// pipes; cmd/lsnode uses Run).
+// RunConn is Run over a single existing connection (tests use
+// in-memory pipes; cmd/lsnode uses Run). Without a dialer there is no
+// reconnect: the first transport failure is returned.
 func (w *Worker) RunConn(conn net.Conn) error {
-	defer conn.Close()
-	return w.serve(newPeer(conn))
-}
-
-func (w *Worker) serve(p *peer) error {
-	ids := make([]int, 0, len(w.order))
-	for _, lp := range w.order {
-		ids = append(ids, lp.ID)
-	}
-	if err := p.send(&frame{Kind: frameRegister, LPs: ids}); err != nil {
-		return err
-	}
-	cfg, err := p.recv()
+	l := newLink(newPeer(conn))
+	defer l.close()
+	cfg, err := w.register(l)
 	if err != nil {
 		return err
 	}
-	if cfg.Kind != frameConfig {
-		return fmt.Errorf("distsim: expected config, got %d", cfg.Kind)
+	if err := w.applyConfig(cfg); err != nil {
+		return err
 	}
+	w.link = l
+	return w.serveConn()
+}
+
+func (w *Worker) run(reconnect bool) error {
+	bo := newBackoff(w.ConnectBackoff, w.idSeed(), "worker")
+	attempts := w.retries()
+
+	// Establish: dial, register, await config. A lost config frame is
+	// retried by re-registering on a fresh connection — the coordinator
+	// treats a duplicate registration for a virgin session as a redo.
+	var lastErr error
+	for a := 0; ; a++ {
+		if a > 0 {
+			time.Sleep(bo.Delay(a - 1))
+		}
+		conn, err := dialRetry(w.Dial, attempts, bo)
+		if err != nil {
+			return err
+		}
+		l := newLink(newPeer(conn))
+		cfg, err := w.register(l)
+		if err == nil {
+			if err := w.applyConfig(cfg); err != nil {
+				l.close()
+				return err
+			}
+			w.link = l
+			break
+		}
+		l.close()
+		lastErr = err
+		var fe *fatalError
+		if errors.As(err, &fe) {
+			return err
+		}
+		if a+1 >= attempts {
+			return fmt.Errorf("distsim: handshake failed after %d attempts: %w", attempts, lastErr)
+		}
+	}
+	defer w.link.close()
+
+	// Serve, resuming the session across transport failures.
+	for {
+		err := w.serveConn()
+		if err == nil {
+			return nil
+		}
+		var fe *fatalError
+		if errors.As(err, &fe) {
+			return err
+		}
+		if !reconnect {
+			return err
+		}
+		if rerr := w.reconnect(bo); rerr != nil {
+			if w.statsSent {
+				// The stats frame went out at least once and the
+				// coordinator is gone: it finished (or died after the
+				// run was decided). Nothing left to retry.
+				return nil
+			}
+			return fmt.Errorf("distsim: reconnect failed: %w (after %v)", rerr, err)
+		}
+	}
+}
+
+// register sends the registration frame and waits for the config.
+func (w *Worker) register(l *link) (*frame, error) {
+	if err := l.send(&frame{Kind: frameRegister, LPs: w.ids}); err != nil {
+		return nil, err
+	}
+	f, err := l.recv(w.handshakeTimeout())
+	if err != nil {
+		return nil, err
+	}
+	if f.Kind != frameConfig {
+		// Not fatal: under a faulty network this can be a window frame
+		// replayed for a previous incarnation of the handshake. Retrying
+		// re-registers on a fresh connection and the coordinator redoes
+		// the config exchange.
+		return nil, fmt.Errorf("distsim: expected config, got %s", f.Kind)
+	}
+	return f, nil
+}
+
+// applyConfig adopts the run parameters and — exactly once — builds
+// the LP engines and runs the model Setup hook.
+func (w *Worker) applyConfig(cfg *frame) error {
 	w.lookahead = cfg.Lookahead
 	w.horizon = cfg.Horizon
 	w.seed = cfg.Seed
+	w.session = cfg.Session
+	w.writeTimeout = time.Duration(cfg.TimeoutSec * float64(time.Second))
+	if w.ready {
+		return nil
+	}
 	// Engines are seeded exactly as package parsim seeds its LPs, so a
 	// distributed run reproduces a single-process run bit for bit.
 	for _, lp := range w.order {
@@ -161,41 +327,66 @@ func (w *Worker) serve(p *peer) error {
 		})
 	}
 	if w.Setup == nil {
-		return fmt.Errorf("distsim: worker has no Setup hook")
+		return fatalf("distsim: worker has no Setup hook")
 	}
 	w.Setup(w)
 	for _, lp := range w.order {
 		if lp.OnMessage == nil {
-			return fmt.Errorf("distsim: LP %d has no OnMessage handler", lp.ID)
+			return fatalf("distsim: LP %d has no OnMessage handler", lp.ID)
 		}
 	}
+	w.ready = true
+	return nil
+}
+
+// serveConn serves frames on the current connection until a clean
+// shutdown (nil) or a failure. Transport and integrity failures are
+// retryable via reconnect; fatalError is not.
+func (w *Worker) serveConn() error {
+	l := w.link
+	p := l.p
+	p.writeTimeout = w.writeTimeout
 
 	// Heartbeats: while this worker computes (a window, a snapshot), the
 	// coordinator only sees silence. A background ticker at a third of
 	// the coordinator's timeout keeps the connection demonstrably alive,
-	// so a slow worker is distinguishable from a dead one.
-	if cfg.TimeoutSec > 0 {
-		p.writeTimeout = time.Duration(cfg.TimeoutSec * float64(time.Second))
+	// so a slow worker is distinguishable from a dead one. Each beat
+	// carries the worker's progress watermarks — its processed-inbound
+	// ack and its sequenced-send count — so the coordinator can also
+	// tell an alive worker that lost a frame (stale watermarks beat
+	// after beat) from one that is merely slow, and force a resume
+	// instead of waiting forever. The goroutine is bound to this
+	// connection's peer — it dies with the connection and a fresh one
+	// starts after a reconnect.
+	if w.writeTimeout > 0 {
 		stop := make(chan struct{})
 		defer close(stop)
-		go func() {
-			tick := time.NewTicker(time.Duration(cfg.TimeoutSec / 3 * float64(time.Second)))
+		go func(hb *peer) {
+			tick := time.NewTicker(w.writeTimeout / 3)
 			defer tick.Stop()
 			for {
 				select {
 				case <-stop:
 					return
 				case <-tick.C:
-					if p.send(&frame{Kind: frameHeartbeat}) != nil {
+					beat := &frame{Kind: frameHeartbeat, SendSeq: l.sentOut.Load()}
+					if hb.sendRaw(beat, l.ackedIn.Load()) != nil {
 						return // connection gone; main loop will notice
 					}
 				}
 			}
-		}()
+		}(p)
 	}
 
 	for {
-		f, err := p.recv()
+		// After stats are out, the only thing left is the coordinator's
+		// bye: wait for it under a deadline so a lost stats or bye frame
+		// is retried through the reconnect path instead of hanging.
+		var deadline time.Duration
+		if w.statsSent {
+			deadline = w.handshakeTimeout()
+		}
+		f, err := l.recv(deadline)
 		if err != nil {
 			return err
 		}
@@ -211,7 +402,7 @@ func (w *Worker) serve(p *peer) error {
 			}
 			out := w.outbox
 			w.outbox = nil
-			if err := p.send(&frame{Kind: frameDone, Events: out}); err != nil {
+			if err := l.send(&frame{Kind: frameDone, Events: out}); err != nil {
 				return err
 			}
 		case frameCheckpoint:
@@ -219,34 +410,90 @@ func (w *Worker) serve(p *peer) error {
 			if err != nil {
 				// A snapshot failure is a model bug (closure events), not
 				// a crash: report it and keep serving.
-				if serr := p.send(&frame{Kind: frameSnapshot, Err: err.Error()}); serr != nil {
+				if serr := l.send(&frame{Kind: frameSnapshot, Err: err.Error()}); serr != nil {
 					return serr
 				}
 				continue
 			}
-			if err := p.send(&frame{Kind: frameSnapshot, Data: data}); err != nil {
+			if err := l.send(&frame{Kind: frameSnapshot, Data: data}); err != nil {
 				return err
 			}
 		case frameRestore:
 			if err := w.restore(f.Data); err != nil {
-				return fmt.Errorf("distsim: restore: %w", err)
+				return fatalf("distsim: restore: %v", err)
 			}
-			if err := p.send(&frame{Kind: frameRestored}); err != nil {
+			if err := l.send(&frame{Kind: frameRestored}); err != nil {
 				return err
 			}
 		case frameStop:
-			stats := WorkerStats{LPs: ids, Sent: w.sent, Received: w.received}
+			stats := WorkerStats{LPs: w.ids, Sent: w.sent, Received: w.received}
 			for _, lp := range w.order {
 				stats.EventsExecuted += lp.E.Stats().Executed
 			}
 			if w.CountEvents != nil {
 				stats.PerLPCounts = w.CountEvents()
 			}
-			return p.send(&frame{Kind: frameStats, Stats: stats})
+			if err := l.send(&frame{Kind: frameStats, Stats: stats}); err != nil {
+				w.statsSent = true // retained; a reconnect replays it
+				return err
+			}
+			w.statsSent = true
+		case frameBye:
+			return nil
+		case frameConfig, frameResume:
+			// Handshake retransmissions racing the serve loop: harmless.
 		default:
-			return fmt.Errorf("distsim: unexpected frame %d", f.Kind)
+			return fatalf("distsim: unexpected frame %s", f.Kind)
 		}
 	}
+}
+
+// reconnect re-dials the coordinator and resumes the session: it
+// presents the session id and its receive watermark, and on acceptance
+// the link replays every retained frame the coordinator has not
+// processed. Simulation state is untouched — a reconnect is invisible
+// to the model.
+func (w *Worker) reconnect(bo *Backoff) error {
+	attempts := w.retries()
+	if w.statsSent && attempts > 2 {
+		// After stats are out only the coordinator's bye is pending, and
+		// a missing bye usually means the coordinator already finished
+		// and exited. Retry the resume briefly — the coordinator may
+		// still need a stats replay — but don't burn the full budget
+		// against a listener nobody will ever accept from again.
+		attempts = 2
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		time.Sleep(bo.Delay(a))
+		conn, err := w.Dial()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		p := newPeer(conn)
+		p.writeTimeout = w.writeTimeout
+		err = func() error {
+			hello := &frame{Kind: frameHello, Session: w.session, RecvSeq: w.link.recvSeq, LPs: w.ids}
+			if err := p.sendRaw(hello, w.link.recvSeq); err != nil {
+				return err
+			}
+			f, seq, err := p.recvRaw(w.handshakeTimeout())
+			if err != nil {
+				return err
+			}
+			if seq != 0 || f.Kind != frameResume {
+				return fmt.Errorf("distsim: expected resume, got %s", f.Kind)
+			}
+			return w.link.rebind(p, f.RecvSeq)
+		}()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		p.close()
+	}
+	return lastErr
 }
 
 // deliver merges the coordinator's inbound events with the local
@@ -273,7 +520,7 @@ func (w *Worker) deliver(remote []Event) {
 		w.received++
 		// Delivery is op-based so pending deliveries serialize into
 		// snapshots; events on the wire are already encoded, so one more
-		// small encode here is noise next to the gob round trip.
+		// small encode here is noise next to the frame round trip.
 		lp.E.AtOp(ev.Time, lp.msgOp, encodeEvent(&ev))
 	}
 }

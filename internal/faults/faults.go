@@ -15,6 +15,7 @@ package faults
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/des"
 	"repro/internal/rng"
 	"repro/internal/scheduler"
@@ -39,6 +40,9 @@ type Injector struct {
 	cluster *scheduler.Cluster
 	src     *rng.Source
 	stopped bool
+
+	crashOp   des.Op
+	recoverOp des.Op
 }
 
 // NewInjector attaches a failure process to the cluster. Streams are
@@ -82,6 +86,98 @@ func (inj *Injector) Start(horizon float64) {
 
 // Stop ends the loop after the current sleep.
 func (inj *Injector) Stop() { inj.stopped = true }
+
+// StartOps launches the same crash/repair loop as Start, but as
+// registered ops instead of a goroutine process — so every pending
+// crash and repair serializes into an engine checkpoint and the loop
+// survives Engine.Restore. The draw order from the injector's stream
+// is identical to Start's (Weibull time-to-failure, then lognormal
+// repair, repeating), so both variants produce the same failure
+// schedule for the same seed.
+//
+// A restored run calls StartOps again on a fresh engine before
+// Engine.Restore (registration order must match the checkpointed run);
+// the initial crash it schedules is discarded when Restore overwrites
+// the queue, and the checkpointed crash/repair events take over.
+func (inj *Injector) StartOps(horizon float64) {
+	name := inj.cluster.Name()
+	inj.crashOp = inj.e.RegisterOp("faults.crash:"+name, func([]byte) {
+		if inj.stopped {
+			return
+		}
+		if horizon > 0 && inj.e.Now() >= horizon {
+			return
+		}
+		killed := len(inj.cluster.RunningJobs())
+		inj.cluster.Fail()
+		inj.Failures++
+		inj.KilledJobs += uint64(killed)
+		down := inj.src.LogNormal(0, inj.RepairSigma) * inj.RepairMean
+		// The repair duration rides in the op argument: a checkpoint
+		// taken while the cluster is down restores with the downtime
+		// accounting still pending, not lost.
+		var enc checkpoint.Enc
+		enc.F64(down)
+		inj.e.ScheduleOp(down, inj.recoverOp, enc.Bytes())
+	})
+	inj.recoverOp = inj.e.RegisterOp("faults.recover:"+name, func(arg []byte) {
+		d := checkpoint.NewDec(arg)
+		down := d.F64()
+		if err := d.Err(); err != nil {
+			panic(fmt.Sprintf("faults: corrupt recover op argument: %v", err))
+		}
+		inj.Downtime += down
+		inj.cluster.Recover()
+		if inj.stopped {
+			return
+		}
+		inj.e.ScheduleOp(inj.src.Weibull(inj.TTFShape, inj.TTFScale), inj.crashOp, nil)
+	})
+	inj.e.ScheduleOp(inj.src.Weibull(inj.TTFShape, inj.TTFScale), inj.crashOp, nil)
+}
+
+// MarshalState implements checkpoint.Checkpointable: the counters plus
+// the failure stream's exact rng state. The stream state matters —
+// rng.Derive restarts a stream at its origin, so without it a restored
+// injector would replay the run's first failures instead of its next
+// ones.
+func (inj *Injector) MarshalState() ([]byte, error) {
+	st, err := inj.src.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var enc checkpoint.Enc
+	enc.U64(inj.Failures)
+	enc.U64(inj.KilledJobs)
+	enc.F64(inj.Downtime)
+	enc.Bool(inj.stopped)
+	enc.Raw(st)
+	return enc.Bytes(), nil
+}
+
+// UnmarshalState implements checkpoint.Checkpointable.
+func (inj *Injector) UnmarshalState(data []byte) error {
+	d := checkpoint.NewDec(data)
+	failures := d.U64()
+	killed := d.U64()
+	downtime := d.F64()
+	stopped := d.Bool()
+	st := d.Raw()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("faults: corrupt injector state: %w", err)
+	}
+	if n := d.Remaining(); n != 0 {
+		return fmt.Errorf("faults: injector state has %d trailing bytes", n)
+	}
+	if err := inj.src.UnmarshalBinary(st); err != nil {
+		return fmt.Errorf("faults: restoring failure stream: %w", err)
+	}
+	inj.Failures = failures
+	inj.KilledJobs = killed
+	inj.Downtime = downtime
+	inj.stopped = stopped
+	return nil
+}
 
 // RetryHarness resubmits failed jobs to the cluster until they
 // complete or exhaust MaxRetries.

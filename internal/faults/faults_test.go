@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/des"
@@ -175,4 +176,133 @@ func TestInjectorValidation(t *testing.T) {
 		}
 	}()
 	NewInjector(e, c, 0, 1, 1)
+}
+
+// TestStartOpsMatchesProcessLoop pins the contract that makes the
+// op-based loop a drop-in for the goroutine loop: same seed, same
+// failure schedule, same kills — including under a busy cluster with
+// the retry harness resubmitting the carnage.
+func TestStartOpsMatchesProcessLoop(t *testing.T) {
+	run := func(ops bool) (uint64, uint64, float64, uint64, float64) {
+		e := des.NewEngine(des.WithSeed(11))
+		c := scheduler.NewCluster(e, "c", 2, 100, scheduler.FCFS)
+		inj := NewInjector(e, c, 1.0, 40, 5)
+		if ops {
+			inj.StartOps(3000)
+		} else {
+			inj.Start(3000)
+		}
+		r := NewRetryHarness(c, 100, nil)
+		for i := 0; i < 50; i++ {
+			r.Submit(&scheduler.Job{ID: i, Name: "j", Ops: 800})
+		}
+		e.RunUntil(5000)
+		return inj.Failures, inj.KilledJobs, inj.Downtime, r.Retries, e.Now()
+	}
+	f1, k1, d1, r1, n1 := run(false)
+	f2, k2, d2, r2, n2 := run(true)
+	if f1 != f2 || k1 != k2 || d1 != d2 || r1 != r2 || n1 != n2 {
+		t.Fatalf("process loop (%d, %d, %v, %d, %v) != op loop (%d, %d, %v, %d, %v)",
+			f1, k1, d1, r1, n1, f2, k2, d2, r2, n2)
+	}
+	if f1 == 0 || k1 == 0 {
+		t.Fatalf("loop never bit: failures %d, killed %d", f1, k1)
+	}
+}
+
+// TestInjectorCheckpointRestoreMidWindow checkpoints an op-based
+// injector at many points — including instants where a Weibull crash
+// has fired and the cluster sits broken awaiting repair — and requires
+// the restored run to finish with counters and engine state
+// bit-identical to the uninterrupted run. The injector's rng state
+// rides in MarshalState; without it, Derive would restart the failure
+// stream at its origin and the restored run would replay the first
+// crashes instead of continuing to the next ones.
+func TestInjectorCheckpointRestoreMidWindow(t *testing.T) {
+	const (
+		seed    = 7
+		horizon = 200.0
+		shape   = 1.2
+		scale   = 20.0
+		repair  = 8.0
+	)
+	build := func() (*des.Engine, *Injector) {
+		e := des.NewEngine(des.WithSeed(seed))
+		c := scheduler.NewCluster(e, "c", 2, 100, scheduler.FCFS)
+		inj := NewInjector(e, c, shape, scale, repair)
+		inj.StartOps(horizon)
+		return e, inj
+	}
+
+	// Reference: the uninterrupted run.
+	refE, refInj := build()
+	refE.RunUntil(horizon + 100)
+	if refInj.Failures < 3 {
+		t.Fatalf("reference run only failed %d times; pick a harder seed", refInj.Failures)
+	}
+	var refCkpt bytes.Buffer
+	if err := refE.Checkpoint(&refCkpt); err != nil {
+		t.Fatal(err)
+	}
+	refState, err := refInj.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 10.0; cut < horizon; cut += 10 {
+		// Run to the cut, snapshot engine + injector.
+		e1, inj1 := build()
+		e1.RunUntil(cut)
+		var ckpt bytes.Buffer
+		if err := e1.Checkpoint(&ckpt); err != nil {
+			t.Fatalf("cut %v: %v", cut, err)
+		}
+		mid, err := inj1.MarshalState()
+		if err != nil {
+			t.Fatalf("cut %v: %v", cut, err)
+		}
+
+		// Fresh everything; restore; finish.
+		e2, inj2 := build()
+		if err := e2.Restore(&ckpt); err != nil {
+			t.Fatalf("cut %v: restore: %v", cut, err)
+		}
+		if err := inj2.UnmarshalState(mid); err != nil {
+			t.Fatalf("cut %v: restore injector: %v", cut, err)
+		}
+		e2.RunUntil(horizon + 100)
+
+		if inj2.Failures != refInj.Failures || inj2.KilledJobs != refInj.KilledJobs || inj2.Downtime != refInj.Downtime {
+			t.Fatalf("cut %v: restored run (%d, %d, %v) != uninterrupted (%d, %d, %v)",
+				cut, inj2.Failures, inj2.KilledJobs, inj2.Downtime,
+				refInj.Failures, refInj.KilledJobs, refInj.Downtime)
+		}
+		got, err := inj2.MarshalState()
+		if err != nil {
+			t.Fatalf("cut %v: %v", cut, err)
+		}
+		if !bytes.Equal(got, refState) {
+			t.Fatalf("cut %v: restored injector state diverges from uninterrupted run", cut)
+		}
+		var final bytes.Buffer
+		if err := e2.Checkpoint(&final); err != nil {
+			t.Fatalf("cut %v: %v", cut, err)
+		}
+		if !bytes.Equal(final.Bytes(), refCkpt.Bytes()) {
+			t.Fatalf("cut %v: restored engine snapshot diverges from uninterrupted run", cut)
+		}
+	}
+}
+
+// TestInjectorStateRejectsGarbage pins the typed-error contract of
+// UnmarshalState.
+func TestInjectorStateRejectsGarbage(t *testing.T) {
+	e := des.NewEngine()
+	c := scheduler.NewCluster(e, "c", 1, 100, scheduler.FCFS)
+	inj := NewInjector(e, c, 1, 1, 1)
+	for _, bad := range [][]byte{nil, {1}, {0, 0, 0}, make([]byte, 64)} {
+		if err := inj.UnmarshalState(bad); err == nil {
+			t.Fatalf("UnmarshalState(%v) accepted garbage", bad)
+		}
+	}
 }
