@@ -4,7 +4,7 @@ GO ?= go
 TRACE_OUT ?= /tmp/lsds_trace_e5.json
 CKPT_OUT ?= /tmp/lsds_phold.ckpt
 
-.PHONY: all build test tier1 vet race bench benchjson trace-smoke checkpoint-smoke chaos-smoke clean
+.PHONY: all build test tier1 vet race bench benchjson trace-smoke checkpoint-smoke chaos-smoke dist-smoke clean
 
 all: tier1
 
@@ -30,9 +30,10 @@ tier1: build test vet race
 bench:
 	$(GO) test -bench 'E3|PHOLD|Federation|ScheduleExecute' -benchmem -run '^$$' ./...
 
-# Machine-readable hot-path allocation report.
+# Machine-readable hot-path allocation report (includes the PR-6
+# distributed window-throughput cases; see BENCH_4.json).
 benchjson:
-	$(GO) run ./cmd/experiments -benchjson BENCH_1.json
+	$(GO) run ./cmd/experiments -benchjson BENCH_4.json
 
 # trace-smoke runs a quick traced E5 federation and validates the
 # Chrome trace output: ObserveE5 re-reads the written file through a
@@ -63,6 +64,18 @@ chaos-smoke:
 	$(GO) run ./cmd/lssim -sim distphold -horizon 100 \
 		-chaos-seed 4 -chaos-drop 0.05 -chaos-reset-at 9,23 -verify
 	$(GO) test -race -count=1 ./internal/chaos/
+
+# dist-smoke is the end-to-end check of the pipelined window engine:
+# a dense distributed PHOLD run and a sparse one with window skipping
+# enabled, each -verify'd bit-identical against the single-process
+# reference, then the skipping + pooled-wire suites under -race.
+dist-smoke:
+	$(GO) run ./cmd/lssim -sim distphold -horizon 100 -verify
+	$(GO) run ./cmd/lssim -sim distphold -horizon 400 -jobs 2 \
+		-delay-factor 64 -skip-idle -verify
+	$(GO) test -race -count=1 \
+		-run 'TestSparseSkip|TestSkipCheckpointResumeAcrossGap|TestPooledWireZeroAlloc' \
+		./internal/distsim/
 
 clean:
 	$(GO) clean ./...

@@ -45,6 +45,8 @@ func main() {
 	resumeFile := flag.String("resume", "", "coordinator: resume from this cluster checkpoint when it exists")
 	connRetries := flag.Int("connect-retries", 0, "worker: dial/handshake attempts per connect cycle (0 = 8 default, negative = single attempt)")
 	connBackoff := flag.Duration("connect-backoff", 0, "worker: base delay of the capped exponential dial backoff (0 = 50ms default)")
+	skipIdle := flag.Bool("skip-idle", false, "coordinator: jump lookahead windows with no pending event anywhere")
+	delayFactor := flag.Float64("delay-factor", 4, "PHOLD mean event spacing in lookaheads (all nodes must agree)")
 	flag.Parse()
 
 	switch *mode {
@@ -63,11 +65,13 @@ func main() {
 		c.MaxRecoveries = *maxRec
 		c.CheckpointPath = *ckptFile
 		c.ResumePath = *resumeFile
+		c.SkipIdle = *skipIdle
 		if err := c.Serve(ln, *workers); err != nil {
 			fatal(err)
 		}
 		t := metrics.NewTable("Distributed run complete", "metric", "value")
 		t.AddRowf("windows", c.Windows)
+		t.AddRowf("windows skipped", c.WindowsSkipped)
 		t.AddRowf("events routed", c.EventsRouted)
 		t.AddRowf("recoveries", c.Recoveries)
 		var executed, sent uint64
@@ -102,7 +106,7 @@ func main() {
 			ids = append(ids, id)
 		}
 		w := distsim.NewWorker(ids...)
-		distsim.InstallPHOLD(w, *lps, *jobs, *remote, *work)
+		distsim.InstallPHOLDFactor(w, *lps, *jobs, *remote, *work, *delayFactor)
 		// A worker started before its coordinator retries the dial with
 		// capped exponential backoff instead of exiting immediately.
 		w.ConnectRetries = *connRetries

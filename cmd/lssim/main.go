@@ -22,7 +22,9 @@
 // message indices (deterministic reconnect drills); -verify replays
 // the run single-process and requires bit-identical per-LP results —
 // the paper-grade evidence that a hostile network costs retries, never
-// answers.
+// answers. -delay-factor widens the mean event spacing (sparse
+// traffic) and -skip-idle enables coordinator window skipping over the
+// resulting empty windows; -verify still holds in both modes.
 package main
 
 import (
@@ -134,10 +136,13 @@ func runPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, workers 
 // runDistPHOLD executes the distributed PHOLD personality: a
 // coordinator and two TCP workers in one process, with the chaos
 // injector optionally attacking both directions of every connection.
-func runDistPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, ch chaos.Config, resetAt string, verify bool) error {
+func runDistPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, delayFactor float64, skipIdle bool, ch chaos.Config, resetAt string, verify bool) error {
 	jobsPer := pholdJobs
 	if jobs > 0 {
 		jobsPer = jobs
+	}
+	if delayFactor <= 0 {
+		return fmt.Errorf("-delay-factor must be positive, got %v", delayFactor)
 	}
 	forced, err := parseResetAt(resetAt)
 	if err != nil {
@@ -160,6 +165,7 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, ch c
 	}
 
 	c := distsim.NewCoordinator(pholdLPs, pholdLookahead, horizon, seed)
+	c.SkipIdle = skipIdle
 	c.Timeout = 2 * time.Second
 	c.ReconnectWait = 10 * time.Second
 	c.MaxReconnects = 1 << 20
@@ -172,7 +178,7 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, ch c
 			ids = append(ids, lp)
 		}
 		w := distsim.NewWorker(ids...)
-		distsim.InstallPHOLD(w, pholdLPs, jobsPer, pholdRemote, pholdWork)
+		distsim.InstallPHOLDFactor(w, pholdLPs, jobsPer, pholdRemote, pholdWork, delayFactor)
 		w.ConnectBackoff = 10 * time.Millisecond
 		w.ConnectRetries = 100
 		// Short handshake waits: a dropped hello or resume reply must be
@@ -221,6 +227,7 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, ch c
 		}
 	}
 	t.AddRowf("windows", c.Windows)
+	t.AddRowf("windows skipped", c.WindowsSkipped)
 	t.AddRowf("events routed", c.EventsRouted)
 	t.AddRowf("engine events", executed)
 	t.AddRowf("reconnects", c.Reconnects)
@@ -230,7 +237,7 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, ch c
 		return fmt.Errorf("%d scripted resets forced only %d reconnects", len(forced), c.Reconnects)
 	}
 	if verify {
-		ref := parsim.NewPHOLD(pholdLPs, 1, pholdLookahead, jobsPer, pholdRemote, pholdWork, seed)
+		ref := parsim.NewPHOLDFactor(pholdLPs, 1, pholdLookahead, jobsPer, pholdRemote, pholdWork, seed, delayFactor)
 		ref.Run(horizon)
 		want := ref.PerLPEvents()
 		for i := range want {
@@ -274,6 +281,8 @@ func main() {
 	ckptAt := flag.Float64("checkpoint-at", 0, "phold: window barrier to checkpoint at (0 = half the horizon; use a multiple of the lookahead)")
 	resumePath := flag.String("resume", "", "phold: restore this snapshot before running to -horizon")
 	verify := flag.Bool("verify", false, "phold/distphold: replay the run uninterrupted in-process and require identical results")
+	delayFactor := flag.Float64("delay-factor", 4, "distphold: mean event spacing in lookaheads (large values make traffic sparse)")
+	skipIdle := flag.Bool("skip-idle", false, "distphold: let the coordinator jump lookahead windows with no pending event anywhere")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "distphold: fault-injector seed")
 	chaosDrop := flag.Float64("chaos-drop", 0, "distphold: per-message drop probability")
 	chaosDup := flag.Float64("chaos-dup", 0, "distphold: per-message duplication probability")
@@ -403,7 +412,7 @@ func main() {
 			Reorder: *chaosReorder, Corrupt: *chaosCorrupt, Reset: *chaosReset,
 			Delay: *chaosDelay, Jitter: *chaosJitter,
 		}
-		if err := runDistPHOLD(t, *seed, *jobs, *horizon, ch, *chaosResetAt, *verify); err != nil {
+		if err := runDistPHOLD(t, *seed, *jobs, *horizon, *delayFactor, *skipIdle, ch, *chaosResetAt, *verify); err != nil {
 			fmt.Fprintln(os.Stderr, "lssim:", err)
 			os.Exit(1)
 		}

@@ -230,6 +230,12 @@ type Enc struct {
 	b []byte
 }
 
+// NewEnc returns an encoder that appends into buf's storage starting
+// at length zero, so a hot path can reuse one buffer across payloads
+// instead of growing a fresh one each time. The caller must treat buf
+// as owned by the encoder until Bytes is consumed.
+func NewEnc(buf []byte) Enc { return Enc{b: buf[:0]} }
+
 // U64 appends a uvarint-encoded integer.
 func (e *Enc) U64(v uint64) {
 	e.b = binary.AppendUvarint(e.b, v)
@@ -366,6 +372,28 @@ func (d *Dec) Raw() []byte {
 	}
 	out := make([]byte, n)
 	copy(out, d.b[d.off:d.off+int(n)])
+	d.off += int(n)
+	return out
+}
+
+// RawView reads a length-prefixed byte slice without copying: the
+// returned slice aliases the decoder's payload and is only valid until
+// the payload's backing buffer is reused. Hot decode paths use it to
+// stay allocation-free; anything that retains the bytes must use Raw
+// or copy explicitly.
+func (d *Dec) RawView() []byte {
+	n := d.U64()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.b)-d.off) < n {
+		d.fail("bytes")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := d.b[d.off : d.off+int(n) : d.off+int(n)]
 	d.off += int(n)
 	return out
 }

@@ -64,13 +64,17 @@ func decodeEvent(arg []byte) (Event, error) {
 	return ev, d.Err()
 }
 
+// decEventFrom decodes one event. Data is a zero-copy view into the
+// decoder's payload (see checkpoint.Dec.RawView): snapshot and op-arg
+// buffers are owned and never reused, and the frame receive path
+// consumes or copies events before its read buffer turns over.
 func decEventFrom(d *checkpoint.Dec) Event {
 	return Event{
 		Time: d.F64(),
 		From: d.Int(),
 		To:   d.Int(),
 		Seq:  d.U64(),
-		Data: d.Raw(),
+		Data: d.RawView(),
 	}
 }
 
@@ -311,12 +315,19 @@ func loadClusterCheckpoint(path string) (*clusterCheckpoint, error) {
 	return decodeClusterCheckpoint(data)
 }
 
-// copyPending deep-copies the per-slot pending event lists, so that the
-// live routing state and the checkpointed state cannot alias.
+// copyPending deep-copies the per-slot pending event lists — payloads
+// included, because live routed events carry Data views into the
+// coordinator's reusable arena — so that the live routing state and
+// the checkpointed state cannot alias.
 func copyPending(pending [][]Event) [][]Event {
 	out := make([][]Event, len(pending))
 	for i, evs := range pending {
 		out[i] = append([]Event(nil), evs...)
+		for j := range out[i] {
+			if len(out[i][j].Data) > 0 {
+				out[i][j].Data = append([]byte(nil), out[i][j].Data...)
+			}
+		}
 	}
 	return out
 }

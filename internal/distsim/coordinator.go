@@ -3,8 +3,10 @@ package distsim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"os"
+	"slices"
 	"sort"
 	"time"
 
@@ -79,13 +81,27 @@ type Coordinator struct {
 	// A missing file starts a fresh run (first launch of a
 	// crash-restart loop).
 	ResumePath string
+	// SkipIdle enables next-event-time window skipping: every done
+	// frame carries the worker's earliest pending event time, and when
+	// the global minimum (workers plus routed-but-undelivered events)
+	// lies beyond the next window end, the coordinator advances the
+	// clock across the empty windows without a barrier round trip.
+	// Results are bit-identical either way — an empty window executes
+	// nothing and consumes no randomness — but Windows then counts only
+	// executed barriers (see WindowsSkipped). Off by default so runs
+	// that assert exact window counts keep their meaning.
+	SkipIdle bool
 
 	// Results, populated by Serve.
 	Windows      uint64
 	EventsRouted uint64
-	Recoveries   int // rollback recoveries (worker process replaced)
-	Reconnects   int // session resumes (same process, new connection)
-	WorkerStats  []WorkerStats
+	// WindowsSkipped counts lookahead windows skipped by SkipIdle;
+	// Windows + WindowsSkipped equals the fixed window lattice of the
+	// non-skipping run.
+	WindowsSkipped uint64
+	Recoveries     int // rollback recoveries (worker process replaced)
+	Reconnects     int // session resumes (same process, new connection)
+	WorkerStats    []WorkerStats
 }
 
 // NewCoordinator configures a run over nLPs logical processes.
@@ -175,6 +191,121 @@ type session struct {
 	clock    float64
 	ckpt     *clusterCheckpoint
 	every    int
+
+	// Per-slot I/O workers (see Coordinator.slotIO): ioReq carries one
+	// op per slot per barrier, ioRes collects the replies. The channels
+	// double as the memory barrier for link state — a slot's link is
+	// only touched by its I/O goroutine between op send and result
+	// receive, and only by the coordinator goroutine otherwise.
+	ioReq []chan ioOp
+	ioRes chan ioResult
+
+	// Reused window-loop scratch: outbound frame headers, collected
+	// replies, per-slot error slots, the merged produced list (sized by
+	// high-water mark), and the payload arena produced events are
+	// copied into before routing (their decoded Data views die with the
+	// next frame read).
+	wframes  []frame
+	done     []*frame
+	errs     []error
+	produced []Event
+	arena    []byte
+}
+
+// ioOp asks a slot's I/O goroutine to send a frame (when non-nil) and
+// then receive the slot's next non-heartbeat frame (when recv is set).
+type ioOp struct {
+	send *frame
+	recv bool
+}
+
+// ioResult is one slot's outcome for an ioOp.
+type ioResult struct {
+	slot int
+	f    *frame
+	err  error
+}
+
+// slotIO is the persistent per-slot I/O worker: it performs one op per
+// barrier so every slot's send and receive overlap with all the
+// others', making barrier wire latency max-over-workers instead of
+// sum-over-workers. Transport errors are reported, not healed — the
+// coordinator goroutine owns session resume, which serializes on the
+// listener.
+func (c *Coordinator) slotIO(s *session, wi int, req <-chan ioOp) {
+	for op := range req {
+		res := ioResult{slot: wi}
+		if op.send != nil {
+			res.err = s.links[wi].send(op.send)
+		}
+		if res.err == nil && op.recv {
+			res.f, res.err = c.recvFrame(s.links[wi])
+		}
+		s.ioRes <- res
+	}
+}
+
+// startIO spawns one I/O goroutine per registered slot. Must run after
+// the slot order is final (registration and any checkpoint reorder).
+func (s *session) startIO(c *Coordinator) {
+	n := len(s.links)
+	s.ioRes = make(chan ioResult, n)
+	s.ioReq = make([]chan ioOp, n)
+	s.wframes = make([]frame, n)
+	s.done = make([]*frame, n)
+	s.errs = make([]error, n)
+	for wi := range s.links {
+		req := make(chan ioOp)
+		s.ioReq[wi] = req
+		go c.slotIO(s, wi, req)
+	}
+}
+
+// stopIO shuts the I/O goroutines down; no op may be in flight.
+func (s *session) stopIO() {
+	for _, req := range s.ioReq {
+		close(req)
+	}
+	s.ioReq = nil
+}
+
+// exchange runs one barrier: every slot concurrently sends the frame
+// mk builds for it and receives the reply, which lands in out[slot].
+// Slots that fail are healed serially afterwards — session resume
+// replays the retained send, then the receive is retried on the healed
+// link — so the failure semantics match the old serial loop while the
+// happy path pays only the slowest worker's round trip.
+func (c *Coordinator) exchange(s *session, mk func(wi int) *frame, out []*frame) error {
+	for i := range s.errs {
+		s.errs[i] = nil
+	}
+	for wi := range s.links {
+		s.ioReq[wi] <- ioOp{send: mk(wi), recv: true}
+	}
+	for range s.links {
+		r := <-s.ioRes
+		if r.err != nil {
+			s.errs[r.slot] = r.err
+		} else {
+			out[r.slot] = r.f
+		}
+	}
+	for wi := range s.links {
+		err := s.errs[wi]
+		if err == nil {
+			continue
+		}
+		s.errs[wi] = nil
+		if rerr := c.resumeSlot(s, wi, err); rerr != nil {
+			return &slotError{wi, rerr}
+		}
+		f, ferr := c.recvSlot(s, wi)
+		if ferr != nil {
+			return ferr
+		}
+		out[wi] = f
+	}
+	return nil
 }
 
 // Serve accepts nWorkers connections on the listener and runs the
@@ -188,6 +319,7 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 	}
 	s := &session{ln: ln, every: c.every(), pending: make([][]Event, nWorkers)}
 	defer func() {
+		s.stopIO()
 		for _, l := range s.links {
 			l.close()
 		}
@@ -302,6 +434,7 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 			}
 		}
 	}
+	s.startIO(c)
 
 	if resume != nil {
 		// Restore every worker from the persisted checkpoint, then pick
@@ -384,10 +517,11 @@ func (c *Coordinator) sendSlot(s *session, wi int, f *frame) error {
 	return nil
 }
 
-// recvSlot receives the next non-heartbeat frame from a slot under the
+// recvFrame receives the next non-heartbeat frame on a link under the
 // configured deadline (heartbeats re-arm it, so a slow-but-alive
-// worker is never declared dead), resuming the session on transport
-// failures.
+// worker is never declared dead). It is resume-free — safe to run on
+// an I/O goroutine — and reports transport failures and stalls to the
+// caller, who owns the healing.
 //
 // Heartbeats double as loss detectors: each carries the worker's
 // progress watermarks. A beat proving the worker still hasn't seen a
@@ -400,29 +534,20 @@ func (c *Coordinator) sendSlot(s *session, wi int, f *frame) error {
 // it is reporting on (the heartbeat ticker snapshots watermarks
 // concurrently with the serve loop), so only a run of them triggers
 // the forced resume.
-func (c *Coordinator) recvSlot(s *session, wi int) (*frame, error) {
+func (c *Coordinator) recvFrame(l *link) (*frame, error) {
 	const staleLimit = 3
 	stale := 0
 	for {
-		l := s.links[wi]
 		f, err := l.recv(c.timeout())
 		if err != nil {
-			if rerr := c.resumeSlot(s, wi, err); rerr != nil {
-				return nil, &slotError{wi, rerr}
-			}
-			stale = 0
-			continue
+			return nil, err
 		}
 		switch f.Kind {
 		case frameHeartbeat:
 			if len(l.retained) > 0 || f.SendSeq > l.recvSeq {
 				if stale++; stale >= staleLimit {
-					err := fmt.Errorf("distsim: worker alive but stalled (unacked %d, claims sent %d, got %d)",
+					return nil, fmt.Errorf("distsim: worker alive but stalled (unacked %d, claims sent %d, got %d)",
 						len(l.retained), f.SendSeq, l.recvSeq)
-					if rerr := c.resumeSlot(s, wi, err); rerr != nil {
-						return nil, &slotError{wi, rerr}
-					}
-					stale = 0
 				}
 			} else {
 				stale = 0
@@ -432,6 +557,22 @@ func (c *Coordinator) recvSlot(s *session, wi int) (*frame, error) {
 			// Stray hello/register frames are duplicated handshake traffic
 			// left in the read buffer by a faulty network — noise, not
 			// protocol.
+			continue
+		}
+		return f, nil
+	}
+}
+
+// recvSlot is recvFrame plus healing: transport failures and stalls
+// resume the slot's session and retry. It serves the serial phases
+// (registration redo, restore, shutdown) and exchange's repair path.
+func (c *Coordinator) recvSlot(s *session, wi int) (*frame, error) {
+	for {
+		f, err := c.recvFrame(s.links[wi])
+		if err != nil {
+			if rerr := c.resumeSlot(s, wi, err); rerr != nil {
+				return nil, &slotError{wi, rerr}
+			}
 			continue
 		}
 		return f, nil
@@ -537,6 +678,14 @@ func (c *Coordinator) resumeSlot(s *session, wi int, cause error) error {
 // It returns nil when the horizon is reached, a *slotError when a
 // worker fails (recoverable), or a plain error on protocol violations
 // (terminal).
+//
+// Each barrier is one exchange: window frames fan out and done frames
+// fan in across all slots concurrently. The merge then validates,
+// orders, and routes the produced events, and — when SkipIdle is on —
+// uses the piggybacked next-event times to jump the clock over windows
+// no LP has work in. The skip replays the exact repeated-addition
+// window lattice of the non-skipping run, so checkpoint barriers land
+// on the same clock values either way.
 func (c *Coordinator) runWindows(s *session, owner []int) error {
 	for s.clock < c.Horizon {
 		windowEnd := s.clock + c.Lookahead
@@ -544,42 +693,86 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 			windowEnd = c.Horizon
 		}
 		c.Windows++
-		for wi := range s.links {
+		err := c.exchange(s, func(wi int) *frame {
 			out := s.pending[wi]
-			s.pending[wi] = nil
-			if err := c.sendSlot(s, wi, &frame{Kind: frameWindow, End: windowEnd, Events: out}); err != nil {
-				return err
-			}
+			s.pending[wi] = out[:0]
+			s.wframes[wi] = frame{Kind: frameWindow, End: windowEnd, Events: out}
+			return &s.wframes[wi]
+		}, s.done)
+		if err != nil {
+			return err
 		}
-		var produced []Event
-		for wi := range s.links {
-			f, err := c.recvSlot(s, wi)
-			if err != nil {
-				return err
-			}
+		// Merge. Validation runs before any routing effect, so a frame
+		// carrying an unknown LP fails the run without counting its
+		// events. next starts at the workers' piggybacked minima and is
+		// tightened by the routed events below.
+		next := math.Inf(1)
+		produced := s.produced[:0]
+		for wi, f := range s.done {
 			if f.Kind != frameDone {
 				return fmt.Errorf("distsim: expected done, got %s (%s)", f.Kind, f.Err)
 			}
+			for i := range f.Events {
+				if to := f.Events[i].To; to < 0 || to >= c.NLPs {
+					return fmt.Errorf("distsim: worker %d produced event for unknown LP %d (run configured with %d LPs)", wi, to, c.NLPs)
+				}
+			}
 			produced = append(produced, f.Events...)
+			if f.Next < next {
+				next = f.Next
+			}
 		}
 		// Deterministic global order: (sending LP, per-sender seq).
-		sort.Slice(produced, func(i, j int) bool {
-			if produced[i].From != produced[j].From {
-				return produced[i].From < produced[j].From
-			}
-			return produced[i].Seq < produced[j].Seq
-		})
-		for _, ev := range produced {
-			if ev.To < 0 || ev.To >= c.NLPs {
-				return fmt.Errorf("distsim: worker produced event for unknown LP %d (run configured with %d LPs)", ev.To, c.NLPs)
-			}
-			s.pending[owner[ev.To]] = append(s.pending[owner[ev.To]], ev)
-			c.EventsRouted++
+		slices.SortFunc(produced, eventOrder)
+		// Route. Event payloads are views into per-link read buffers
+		// that the next frame on the link overwrites; copy them into
+		// the arena, which lives until these events are marshalled into
+		// the next window's frames.
+		need := 0
+		for i := range produced {
+			need += len(produced[i].Data)
 		}
+		if cap(s.arena) < need {
+			s.arena = make([]byte, 0, need)
+		}
+		s.arena = s.arena[:0]
+		for i := range produced {
+			ev := &produced[i]
+			if len(ev.Data) > 0 {
+				off := len(s.arena)
+				s.arena = append(s.arena, ev.Data...)
+				ev.Data = s.arena[off:len(s.arena):len(s.arena)]
+			}
+			if ev.Time < next {
+				next = ev.Time
+			}
+			s.pending[owner[ev.To]] = append(s.pending[owner[ev.To]], *ev)
+		}
+		c.EventsRouted += uint64(len(produced))
+		s.produced = produced
 		s.clock = windowEnd
 		if s.every > 0 && c.Windows%uint64(s.every) == 0 && s.clock < c.Horizon {
 			if err := c.checkpoint(s); err != nil {
 				return err
+			}
+		}
+		if c.SkipIdle {
+			// Jump empty windows: nothing anywhere in the federation is
+			// due before next (worker engines and local buffers via the
+			// piggybacked minima, routed events via the merge above), so
+			// any window ending strictly before it would execute nothing.
+			// Windows whose end equals next must run: RunUntil is
+			// inclusive at the boundary.
+			for s.clock < c.Horizon {
+				nextEnd := s.clock + c.Lookahead
+				if nextEnd > c.Horizon {
+					nextEnd = c.Horizon
+				}
+				if next <= nextEnd {
+					break
+				}
+				s.clock = nextEnd
+				c.WindowsSkipped++
 			}
 		}
 	}
@@ -587,19 +780,14 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 }
 
 // checkpoint takes a cluster checkpoint at the current window barrier:
-// one snapshot per worker plus the coordinator's routing state.
+// one snapshot per worker plus the coordinator's routing state. The
+// snapshot round trip fans out like a window barrier.
 func (c *Coordinator) checkpoint(s *session) error {
-	for wi := range s.links {
-		if err := c.sendSlot(s, wi, &frame{Kind: frameCheckpoint}); err != nil {
-			return err
-		}
+	if err := c.exchange(s, func(int) *frame { return &frame{Kind: frameCheckpoint} }, s.done); err != nil {
+		return err
 	}
 	snaps := make([][]byte, len(s.links))
-	for wi := range s.links {
-		f, err := c.recvSlot(s, wi)
-		if err != nil {
-			return err
-		}
+	for wi, f := range s.done {
 		if f.Kind != frameSnapshot {
 			return fmt.Errorf("distsim: expected snapshot, got %s", f.Kind)
 		}

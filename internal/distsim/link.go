@@ -28,6 +28,20 @@ type link struct {
 	recvSeq  uint64 // highest sequenced frame processed
 	retained []sentFrame
 
+	// free recycles payload buffers between the retained list and the
+	// marshal path: prune returns acknowledged payloads here, send takes
+	// them back, so the steady-state window exchange marshals into
+	// warmed buffers instead of allocating per frame.
+	free [][]byte
+
+	// rframe/revs are the pooled receive scratch: recv decodes every
+	// frame into rframe, reusing revs as the Events array. The returned
+	// *frame (and any Event.Data views into the peer's read buffer) is
+	// valid until the next recv on this link; all receive loops fully
+	// consume or copy a frame before reading the next one.
+	rframe frame
+	revs   []Event
+
 	// Atomic mirrors of sendSeq/recvSeq for readers outside the owning
 	// goroutine — the worker's heartbeat ticker stamps both watermarks
 	// into every heartbeat so the coordinator can tell an alive worker
@@ -40,17 +54,30 @@ func newLink(p *peer) *link { return &link{p: p} }
 
 // send marshals and transmits a frame. Sequenced kinds are numbered
 // and retained before the write, so a frame that dies on the wire is
-// still replayable after a reconnect.
+// still replayable after a reconnect. Payload buffers cycle through
+// the free list: unsequenced payloads return immediately after the
+// write, sequenced ones when the peer's ack prunes them.
 func (l *link) send(f *frame) error {
-	payload := marshalFrame(f)
+	var buf []byte
+	if n := len(l.free); n > 0 {
+		buf = l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+	}
+	payload := marshalFrameInto(f, buf)
 	var seq uint64
-	if f.Kind.sequenced() {
+	sequenced := f.Kind.sequenced()
+	if sequenced {
 		l.sendSeq++
 		seq = l.sendSeq
 		l.sentOut.Store(l.sendSeq)
 		l.retained = append(l.retained, sentFrame{seq: seq, payload: payload})
 	}
-	return l.p.writeFrame(seq, l.recvSeq, payload)
+	err := l.p.writeFrame(seq, l.recvSeq, payload)
+	if !sequenced {
+		l.free = append(l.free, payload)
+	}
+	return err
 }
 
 // recv returns the next frame under an optional deadline, applying the
@@ -64,8 +91,8 @@ func (l *link) recv(d time.Duration) (*frame, error) {
 			return nil, err
 		}
 		l.prune(ack)
-		f, err := unmarshalFrame(payload)
-		if err != nil {
+		f := &l.rframe
+		if err := unmarshalFrameInto(f, &l.revs, payload); err != nil {
 			return nil, l.p.fail(err)
 		}
 		if seq == 0 {
@@ -84,10 +111,12 @@ func (l *link) recv(d time.Duration) (*frame, error) {
 	}
 }
 
-// prune drops retained frames the peer has acknowledged.
+// prune drops retained frames the peer has acknowledged, recycling
+// their payload buffers into the free list.
 func (l *link) prune(ack uint64) {
 	i := 0
 	for i < len(l.retained) && l.retained[i].seq <= ack {
+		l.free = append(l.free, l.retained[i].payload)
 		i++
 	}
 	if i > 0 {

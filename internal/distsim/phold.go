@@ -24,6 +24,9 @@ type PHOLDModel struct {
 	JobsPerLP  int
 	RemoteProb float64
 	Work       int
+	// DelayFactor is the mean event spacing in lookaheads (the
+	// canonical PHOLD uses 4; large values make traffic sparse).
+	DelayFactor float64
 
 	meanDelay float64
 	events    map[int]uint64
@@ -32,20 +35,33 @@ type PHOLDModel struct {
 }
 
 // InstallPHOLD wires the model into the worker's Setup/CountEvents
-// hooks and attaches it as the worker's checkpointable Model. Call
-// before Worker.Run.
+// hooks and attaches it as the worker's checkpointable Model, with the
+// canonical mean event spacing of 4 lookaheads. Call before
+// Worker.Run.
 func InstallPHOLD(w *Worker, totalLPs, jobsPerLP int, remoteProb float64, work int) *PHOLDModel {
+	return InstallPHOLDFactor(w, totalLPs, jobsPerLP, remoteProb, work, 4)
+}
+
+// InstallPHOLDFactor is InstallPHOLD with an explicit delay factor,
+// mirroring parsim.NewPHOLDFactor draw for draw: large factors produce
+// the sparse traffic that exercises coordinator window skipping while
+// staying bit-comparable to the single-process reference.
+func InstallPHOLDFactor(w *Worker, totalLPs, jobsPerLP int, remoteProb float64, work int, delayFactor float64) *PHOLDModel {
+	if delayFactor <= 0 {
+		panic(fmt.Sprintf("distsim: InstallPHOLDFactor with delay factor %v", delayFactor))
+	}
 	m := &PHOLDModel{
-		TotalLPs:   totalLPs,
-		JobsPerLP:  jobsPerLP,
-		RemoteProb: remoteProb,
-		Work:       work,
-		events:     make(map[int]uint64),
-		sinks:      make(map[int]float64),
-		hopOps:     make(map[int]des.Op),
+		TotalLPs:    totalLPs,
+		JobsPerLP:   jobsPerLP,
+		RemoteProb:  remoteProb,
+		Work:        work,
+		DelayFactor: delayFactor,
+		events:      make(map[int]uint64),
+		sinks:       make(map[int]float64),
+		hopOps:      make(map[int]des.Op),
 	}
 	w.Setup = func(w *Worker) {
-		m.meanDelay = 4 * w.Lookahead()
+		m.meanDelay = m.DelayFactor * w.Lookahead()
 		for _, lp := range w.LPs() {
 			lp := lp
 			lp.OnMessage = func(Event) { m.hop(lp) }

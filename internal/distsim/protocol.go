@@ -78,6 +78,13 @@ type peer struct {
 	sendMu       sync.Mutex
 	writeTimeout time.Duration
 
+	// wbuf/rbuf are the pooled wire buffers: wbuf is the outbound frame
+	// image (guarded by sendMu), rbuf the inbound payload (owned by the
+	// single reader goroutine). Both persist across frames, so a steady
+	// window exchange allocates nothing on the wire path.
+	wbuf []byte
+	rbuf []byte
+
 	errMu sync.Mutex
 	err   error
 }
@@ -118,7 +125,8 @@ func (p *peer) writeFrame(seq, ack uint64, payload []byte) error {
 	if err := p.stickyErr(); err != nil {
 		return err
 	}
-	buf := encodeWire(seq, ack, payload)
+	p.wbuf = appendWire(p.wbuf[:0], seq, ack, payload)
+	buf := p.wbuf
 	if p.writeTimeout > 0 {
 		_ = p.conn.SetWriteDeadline(time.Now().Add(p.writeTimeout))
 		defer p.conn.SetWriteDeadline(time.Time{})
@@ -133,7 +141,21 @@ func (p *peer) writeFrame(seq, ack uint64, payload []byte) error {
 // (length, seq, ack, CRC32 over seq|ack|payload) followed by the
 // payload.
 func encodeWire(seq, ack uint64, payload []byte) []byte {
-	buf := make([]byte, wireHeaderLen+len(payload))
+	return appendWire(nil, seq, ack, payload)
+}
+
+// appendWire appends the wire image to dst, reusing its storage — the
+// pooled variant behind encodeWire and peer.writeFrame.
+func appendWire(dst []byte, seq, ack uint64, payload []byte) []byte {
+	off := len(dst)
+	need := wireHeaderLen + len(payload)
+	if cap(dst)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+need]
+	buf := dst[off:]
 	binary.BigEndian.PutUint32(buf[0:], uint32(len(payload)))
 	binary.BigEndian.PutUint64(buf[4:], seq)
 	binary.BigEndian.PutUint64(buf[12:], ack)
@@ -141,7 +163,7 @@ func encodeWire(seq, ack uint64, payload []byte) []byte {
 	crc := crc32.ChecksumIEEE(buf[4:20])
 	crc = crc32.Update(crc, crc32.IEEETable, payload)
 	binary.BigEndian.PutUint32(buf[20:], crc)
-	return buf
+	return dst
 }
 
 // MarshalWindowWire builds the exact bytes the hardened protocol puts
@@ -157,6 +179,10 @@ func MarshalWindowWire(evs []Event, end float64, seq, ack uint64) []byte {
 // (d <= 0 blocks). Integrity failures return ErrCorruptFrame; either
 // way the deadline is cleared before returning, so a failed read never
 // leaves the connection armed.
+//
+// The returned payload aliases the peer's pooled read buffer: it is
+// valid until the next readFrame on this peer. Callers that retain
+// bytes (frame Data, handshake payloads) copy what they keep.
 func (p *peer) readFrame(d time.Duration) (seq, ack uint64, payload []byte, err error) {
 	if err := p.stickyErr(); err != nil {
 		return 0, 0, nil, err
@@ -176,7 +202,10 @@ func (p *peer) readFrame(d time.Duration) (seq, ack uint64, payload []byte, err 
 	if n > maxFrameLen {
 		return 0, 0, nil, p.fail(fmt.Errorf("%w: length %d", ErrCorruptFrame, n))
 	}
-	payload = make([]byte, n)
+	if uint32(cap(p.rbuf)) < n {
+		p.rbuf = make([]byte, n)
+	}
+	payload = p.rbuf[:n]
 	if _, err := io.ReadFull(p.br, payload); err != nil {
 		return 0, 0, nil, p.fail(fmt.Errorf("distsim: recv: %w", err))
 	}

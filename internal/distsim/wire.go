@@ -1,6 +1,7 @@
 package distsim
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"sort"
@@ -25,6 +26,18 @@ type Event struct {
 	To   int     // receiving LP
 	Seq  uint64  // per-sender sequence, for deterministic ordering
 	Data []byte  // opaque model payload
+}
+
+// eventOrder is the deterministic global delivery order — (sending
+// LP, per-sender sequence) — shared by the coordinator's window merge
+// and the worker's delivery merge. It replaces the reflection-based
+// sort.Slice on both hot paths; TestDistributedPHOLDMatchesSingleProcess
+// pins that the ordering is unchanged.
+func eventOrder(a, b Event) int {
+	if a.From != b.From {
+		return cmp.Compare(a.From, b.From)
+	}
+	return cmp.Compare(a.Seq, b.Seq)
 }
 
 // frameKind discriminates protocol frames.
@@ -96,8 +109,9 @@ type frame struct {
 	Data       []byte  // restore (coordinator -> worker) / snapshot (worker -> coordinator)
 	Stats      WorkerStats
 	Err        string
-	RecvSeq    uint64 // hello/resume: highest sequenced frame processed from the peer
-	SendSeq    uint64 // heartbeat: sender's sequenced-send watermark (progress proof)
+	RecvSeq    uint64  // hello/resume: highest sequenced frame processed from the peer
+	SendSeq    uint64  // heartbeat: sender's sequenced-send watermark (progress proof)
+	Next       float64 // done: earliest pending event time on the worker (+Inf when drained)
 }
 
 // WorkerStats is the per-worker outcome returned at shutdown.
@@ -113,7 +127,14 @@ type WorkerStats struct {
 // order is fixed; every field is always present so the codec has no
 // per-kind branching to get wrong.
 func marshalFrame(f *frame) []byte {
-	var enc checkpoint.Enc
+	return marshalFrameInto(f, nil)
+}
+
+// marshalFrameInto is marshalFrame appending into buf's storage, so
+// the per-link send path reuses one encode buffer per frame slot
+// instead of growing a fresh one every window.
+func marshalFrameInto(f *frame, buf []byte) []byte {
+	enc := checkpoint.NewEnc(buf)
 	enc.Int(int(f.Kind))
 	enc.Int(len(f.LPs))
 	for _, lp := range f.LPs {
@@ -150,6 +171,7 @@ func marshalFrame(f *frame) []byte {
 	enc.Str(f.Err)
 	enc.U64(f.RecvSeq)
 	enc.U64(f.SendSeq)
+	enc.F64(f.Next)
 	return enc.Bytes()
 }
 
@@ -157,8 +179,26 @@ func marshalFrame(f *frame) []byte {
 // failure — truncation, trailing garbage, an unknown kind — returns
 // ErrMalformedFrame; the caller treats the connection as poisoned.
 func unmarshalFrame(payload []byte) (*frame, error) {
+	f := &frame{}
+	var evs []Event
+	if err := unmarshalFrameInto(f, &evs, payload); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// unmarshalFrameInto is unmarshalFrame decoding into a caller-owned
+// frame and Events scratch slice, so the per-link receive path reuses
+// one frame and one event array across windows. On return f.Events is
+// a prefix of *evs (nil when the frame carries no events) and *evs
+// holds the grown scratch for the next call. Decoded Event.Data
+// aliases payload (see Dec.RawView): it is valid until the payload
+// buffer is reused, which the receive paths guarantee by consuming or
+// copying events before the next read on the same connection.
+func unmarshalFrameInto(f *frame, evs *[]Event, payload []byte) error {
+	scratch := *evs
+	*f = frame{}
 	d := checkpoint.NewDec(payload)
-	var f frame
 	k := d.Int()
 	f.Kind = frameKind(k)
 	if n := d.Int(); n > 0 {
@@ -175,20 +215,26 @@ func unmarshalFrame(payload []byte) (*frame, error) {
 	f.End = d.F64()
 	if n := d.Int(); n > 0 {
 		if err := d.Err(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrMalformedFrame, err)
+			return fmt.Errorf("%w: %v", ErrMalformedFrame, err)
 		}
 		if n > len(payload) { // each event costs >= 1 byte; cheap sanity bound
-			return nil, fmt.Errorf("%w: event count %d exceeds payload", ErrMalformedFrame, n)
+			return fmt.Errorf("%w: event count %d exceeds payload", ErrMalformedFrame, n)
 		}
-		f.Events = make([]Event, n)
-		for i := range f.Events {
-			f.Events[i] = decEventFrom(d)
+		if cap(scratch) < n {
+			scratch = make([]Event, n)
+		} else {
+			scratch = scratch[:n]
 		}
+		for i := range scratch {
+			scratch[i] = decEventFrom(d)
+		}
+		f.Events = scratch
+		*evs = scratch
 	}
 	f.Data = d.Raw()
 	if n := d.Int(); n > 0 {
 		if n > len(payload) {
-			return nil, fmt.Errorf("%w: stats LP count %d exceeds payload", ErrMalformedFrame, n)
+			return fmt.Errorf("%w: stats LP count %d exceeds payload", ErrMalformedFrame, n)
 		}
 		f.Stats.LPs = make([]int, n)
 		for i := range f.Stats.LPs {
@@ -200,7 +246,7 @@ func unmarshalFrame(payload []byte) (*frame, error) {
 	f.Stats.Received = d.U64()
 	if n := d.Int(); n > 0 {
 		if n > len(payload) {
-			return nil, fmt.Errorf("%w: per-LP count %d exceeds payload", ErrMalformedFrame, n)
+			return fmt.Errorf("%w: per-LP count %d exceeds payload", ErrMalformedFrame, n)
 		}
 		f.Stats.PerLPCounts = make(map[int]uint64, n)
 		for i := 0; i < n; i++ {
@@ -211,14 +257,15 @@ func unmarshalFrame(payload []byte) (*frame, error) {
 	f.Err = d.Str()
 	f.RecvSeq = d.U64()
 	f.SendSeq = d.U64()
+	f.Next = d.F64()
 	if err := d.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrMalformedFrame, err)
+		return fmt.Errorf("%w: %v", ErrMalformedFrame, err)
 	}
 	if d.Remaining() != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrMalformedFrame, d.Remaining())
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformedFrame, d.Remaining())
 	}
 	if f.Kind == 0 || f.Kind >= frameKindMax {
-		return nil, fmt.Errorf("%w: unknown kind %d", ErrMalformedFrame, k)
+		return fmt.Errorf("%w: unknown kind %d", ErrMalformedFrame, k)
 	}
-	return &f, nil
+	return nil
 }

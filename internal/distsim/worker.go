@@ -1,10 +1,12 @@
 package distsim
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
+	"math"
 	"net"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -83,6 +85,7 @@ type Worker struct {
 
 	outbox   []Event
 	localBuf []localEvent
+	mergeBuf []Event // deliver's reused merge scratch
 	sent     uint64
 	received uint64
 
@@ -135,7 +138,7 @@ func NewWorker(lpIDs ...int) *Worker {
 		w.lps[id] = lp
 		w.order = append(w.order, lp)
 	}
-	sort.Slice(w.order, func(i, j int) bool { return w.order[i].ID < w.order[j].ID })
+	slices.SortFunc(w.order, func(a, b *LP) int { return cmp.Compare(a.ID, b.ID) })
 	for _, lp := range w.order {
 		w.ids = append(w.ids, lp.ID)
 	}
@@ -400,9 +403,14 @@ func (w *Worker) serveConn() error {
 			for _, lp := range w.order {
 				lp.E.RunUntil(f.End)
 			}
+			// The done frame piggybacks the earliest pending event time
+			// across this worker's engines and local buffer, so a
+			// skip-enabled coordinator can jump windows nobody has work
+			// in. The outbox backing array is reusable once the frame is
+			// marshalled (the send retains the payload, not the events).
 			out := w.outbox
-			w.outbox = nil
-			if err := l.send(&frame{Kind: frameDone, Events: out}); err != nil {
+			w.outbox = out[:0]
+			if err := l.send(&frame{Kind: frameDone, Events: out, Next: w.nextEventTime()}); err != nil {
 				return err
 			}
 		case frameCheckpoint:
@@ -498,21 +506,22 @@ func (w *Worker) reconnect(bo *Backoff) error {
 
 // deliver merges the coordinator's inbound events with the local
 // buffer from the previous window and schedules everything in the
-// global (From, Seq) order.
+// global (From, Seq) order. The merge scratch is reused across
+// windows; remote events (whose Data aliases the connection's read
+// buffer) are consumed here, before the next frame can overwrite it.
 func (w *Worker) deliver(remote []Event) {
-	all := make([]Event, 0, len(remote)+len(w.localBuf))
-	all = append(all, remote...)
-	for _, le := range w.localBuf {
-		all = append(all, le.ev)
+	all := w.mergeBuf[:0]
+	if n := len(remote) + len(w.localBuf); cap(all) < n {
+		all = make([]Event, 0, n)
 	}
-	w.localBuf = nil
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].From != all[j].From {
-			return all[i].From < all[j].From
-		}
-		return all[i].Seq < all[j].Seq
-	})
-	for _, ev := range all {
+	all = append(all, remote...)
+	for i := range w.localBuf {
+		all = append(all, w.localBuf[i].ev)
+	}
+	w.localBuf = w.localBuf[:0]
+	slices.SortFunc(all, eventOrder)
+	for i := range all {
+		ev := &all[i]
 		lp := w.lps[ev.To]
 		if lp == nil {
 			panic(fmt.Sprintf("distsim: received event for foreign LP %d", ev.To))
@@ -521,6 +530,26 @@ func (w *Worker) deliver(remote []Event) {
 		// Delivery is op-based so pending deliveries serialize into
 		// snapshots; events on the wire are already encoded, so one more
 		// small encode here is noise next to the frame round trip.
-		lp.E.AtOp(ev.Time, lp.msgOp, encodeEvent(&ev))
+		lp.E.AtOp(ev.Time, lp.msgOp, encodeEvent(ev))
 	}
+	w.mergeBuf = all[:0]
+}
+
+// nextEventTime reports the earliest pending event time anywhere on
+// this worker: the minimum engine PeekTime across owned LPs plus any
+// locally buffered sends the coordinator cannot see. +Inf means fully
+// drained.
+func (w *Worker) nextEventTime() float64 {
+	next := math.Inf(1)
+	for _, lp := range w.order {
+		if t := lp.E.PeekTime(); t < next {
+			next = t
+		}
+	}
+	for i := range w.localBuf {
+		if t := w.localBuf[i].ev.Time; t < next {
+			next = t
+		}
+	}
+	return next
 }

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/des"
@@ -233,6 +235,71 @@ func benchCases() []struct {
 			},
 		})
 	}
+	// DistWindowThroughput prices one lookahead window of the real
+	// TCP-distributed engine (coordinator + two loopback workers), so
+	// ns/op is the per-window barrier cost and allocs/op the
+	// coordinator-side allocations per window. The dense case is the E5
+	// PHOLD mix; the sparse cases leave ~98% of windows empty, and the
+	// skip variant lets the coordinator jump them — the ns/op ratio
+	// between sparse-noskip and sparse-skip is the skipping speedup
+	// (acceptance asks >= 1.5x; see BENCH_4.json). skipped_per_op
+	// reports skipped windows per lattice slot.
+	for _, cfg := range []struct {
+		name   string
+		jobs   int
+		factor float64
+		skip   bool
+	}{
+		{"DistWindowThroughput/dense", 6, 4, false},
+		{"DistWindowThroughput/sparse-noskip", 1, 64, false},
+		{"DistWindowThroughput/sparse-skip", 1, 64, true},
+	} {
+		cfg := cfg
+		cases = append(cases, struct {
+			name string
+			fn   func(b *testing.B)
+		}{
+			name: cfg.name,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				const (
+					lps    = 6
+					la     = 0.5
+					remote = 0.4
+					work   = 5
+					seed   = 1234
+				)
+				c := distsim.NewCoordinator(lps, la, la*float64(b.N), seed)
+				c.SkipIdle = cfg.skip
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ln.Close()
+				workers := []*distsim.Worker{distsim.NewWorker(0, 1, 2), distsim.NewWorker(3, 4, 5)}
+				for _, w := range workers {
+					distsim.InstallPHOLDFactor(w, lps, cfg.jobs, remote, work, cfg.factor)
+				}
+				errs := make(chan error, len(workers))
+				b.ResetTimer()
+				for _, w := range workers {
+					w := w
+					go func() { errs <- w.Run(ln.Addr().String()) }()
+				}
+				if err := c.Serve(ln, len(workers)); err != nil {
+					b.Fatal(err)
+				}
+				for range workers {
+					if err := <-errs; err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(c.WindowsSkipped)/float64(b.N), "skipped_per_op")
+				b.ReportMetric(float64(c.EventsRouted)/float64(b.N), "routed_per_op")
+			},
+		})
+	}
 	return cases
 }
 
@@ -256,6 +323,10 @@ func (c *countWriter) Write(p []byte) (int, error) {
 func RunBenchJSON(path string) ([]BenchResult, error) {
 	var out []BenchResult
 	for _, c := range benchCases() {
+		// Settle the heap between cases: garbage left by an allocating
+		// bench would otherwise tax the GC during its successors and
+		// skew their ns/op (everything shares one process here).
+		runtime.GC()
 		r := testing.Benchmark(c.fn)
 		res := BenchResult{
 			Name:        c.name,

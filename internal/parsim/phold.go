@@ -33,16 +33,31 @@ type PHOLD struct {
 	hopOps []des.Op  // per-LP registered hop op ("phold.hop")
 }
 
-// NewPHOLD builds the benchmark over a fresh federation. The model is
+// NewPHOLD builds the benchmark over a fresh federation with the
+// canonical mean event spacing of 4 lookaheads. The model is
 // checkpointable: jobs are scheduled as registered ops and the per-LP
 // counters ride in federation snapshots, so a PHOLD run can be
 // checkpointed at any window barrier and resumed bit-identically.
 func NewPHOLD(lps, workers int, lookahead float64, jobsPerLP int, remoteProb float64, work int, seed uint64) *PHOLD {
+	return NewPHOLDFactor(lps, workers, lookahead, jobsPerLP, remoteProb, work, seed, 4)
+}
+
+// NewPHOLDFactor is NewPHOLD with an explicit delay factor: the mean
+// event spacing is delayFactor lookaheads. Large factors make the
+// traffic sparse — most lookahead windows hold no event at all — which
+// is the regime the distributed engine's window skipping targets;
+// distsim.InstallPHOLDFactor consumes random draws identically, so a
+// sparse distributed run remains bit-comparable to this single-process
+// reference.
+func NewPHOLDFactor(lps, workers int, lookahead float64, jobsPerLP int, remoteProb float64, work int, seed uint64, delayFactor float64) *PHOLD {
+	if delayFactor <= 0 {
+		panic(fmt.Sprintf("parsim: NewPHOLDFactor with delay factor %v", delayFactor))
+	}
 	fed := NewFederation(lps, lookahead, workers, seed)
 	ph := &PHOLD{
 		Fed:        fed,
 		RemoteProb: remoteProb,
-		MeanDelay:  4 * lookahead,
+		MeanDelay:  delayFactor * lookahead,
 		Work:       work,
 		events:     make([]uint64, lps),
 		sinks:      make([]float64, lps),
