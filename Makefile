@@ -4,7 +4,7 @@ GO ?= go
 TRACE_OUT ?= /tmp/lsds_trace_e5.json
 CKPT_OUT ?= /tmp/lsds_phold.ckpt
 
-.PHONY: all build test tier1 vet race bench benchjson trace-smoke checkpoint-smoke chaos-smoke dist-smoke clean
+.PHONY: all build test tier1 vet race bench benchjson trace-smoke checkpoint-smoke chaos-smoke dist-smoke obs-smoke clean
 
 all: tier1
 
@@ -31,9 +31,10 @@ bench:
 	$(GO) test -bench 'E3|PHOLD|Federation|ScheduleExecute' -benchmem -run '^$$' ./...
 
 # Machine-readable hot-path allocation report (includes the PR-6
-# distributed window-throughput cases; see BENCH_4.json).
+# distributed window-throughput cases and the PR-7 telemetry
+# piggyback; see BENCH_5.json).
 benchjson:
-	$(GO) run ./cmd/experiments -benchjson BENCH_4.json
+	$(GO) run ./cmd/experiments -benchjson BENCH_5.json
 
 # trace-smoke runs a quick traced E5 federation and validates the
 # Chrome trace output: ObserveE5 re-reads the written file through a
@@ -76,6 +77,23 @@ dist-smoke:
 	$(GO) test -race -count=1 \
 		-run 'TestSparseSkip|TestSkipCheckpointResumeAcrossGap|TestPooledWireZeroAlloc' \
 		./internal/distsim/
+
+# obs-smoke is the end-to-end check of cluster observability: a
+# chaos-faulted 4-worker distphold run with full telemetry on —
+# -trace writes the merged Perfetto timeline (validated in-process by
+# the strict re-parser before it hits disk), -metrics-addr brings up
+# the live JSON endpoint (self-probed after the run), -histo prints
+# cluster histograms, and -verify pins the run bit-identical to the
+# fault-free single-process reference — observability changes no
+# output bit. The obs suites then run under -race.
+obs-smoke:
+	$(GO) run ./cmd/lssim -sim distphold -horizon 100 -workers 4 \
+		-chaos-seed 7 -chaos-drop 0.03 -chaos-reset-at 11 \
+		-trace $(TRACE_OUT) -metrics-addr 127.0.0.1:0 -histo -verify
+	rm -f $(TRACE_OUT)
+	$(GO) test -race -count=1 \
+		-run 'TestClusterObs|TestStatsIncomplete|TestObsPiggybackZeroAlloc|TestMergeTracks|TestHistogramDelta|TestServeMetrics' \
+		./internal/distsim/ ./internal/obs/ ./internal/monitoring/
 
 clean:
 	$(GO) clean ./...

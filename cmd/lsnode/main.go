@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/distsim"
 	"repro/internal/metrics"
+	"repro/internal/monitoring"
 )
 
 func main() {
@@ -47,6 +48,10 @@ func main() {
 	connBackoff := flag.Duration("connect-backoff", 0, "worker: base delay of the capped exponential dial backoff (0 = 50ms default)")
 	skipIdle := flag.Bool("skip-idle", false, "coordinator: jump lookahead windows with no pending event anywhere")
 	delayFactor := flag.Float64("delay-factor", 4, "PHOLD mean event spacing in lookaheads (all nodes must agree)")
+	obsEvery := flag.Int("obs-every", 0, "coordinator: collect cluster telemetry, piggybacked every N windows (0 = off)")
+	obsSpans := flag.Int("obs-spans", 0, "coordinator: per-track trace ring capacity (0 = default)")
+	tracePath := flag.String("trace", "", "coordinator: write merged cluster Chrome trace to this file (implies -obs-every 1)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live JSON metrics + pprof on this address (both modes)")
 	flag.Parse()
 
 	switch *mode {
@@ -66,14 +71,54 @@ func main() {
 		c.CheckpointPath = *ckptFile
 		c.ResumePath = *resumeFile
 		c.SkipIdle = *skipIdle
+		if *tracePath != "" && *obsEvery == 0 {
+			*obsEvery = 1
+		}
+		var co *distsim.ClusterObs
+		if *obsEvery > 0 {
+			co = c.EnableObservability(*obsEvery, *obsSpans)
+		}
+		if *metricsAddr != "" {
+			if co == nil {
+				co = c.EnableObservability(4, 0)
+			}
+			ms, err := monitoring.ServeMetrics(*metricsAddr, func() any { return co.Snapshot() })
+			if err != nil {
+				fatal(err)
+			}
+			defer ms.Close()
+			fmt.Printf("lsnode: metrics on http://%s/metrics\n", ms.Addr())
+		}
 		if err := c.Serve(ln, *workers); err != nil {
 			fatal(err)
+		}
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := co.WriteMergedTrace(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("lsnode: merged cluster trace written to %s\n", *tracePath)
 		}
 		t := metrics.NewTable("Distributed run complete", "metric", "value")
 		t.AddRowf("windows", c.Windows)
 		t.AddRowf("windows skipped", c.WindowsSkipped)
 		t.AddRowf("events routed", c.EventsRouted)
 		t.AddRowf("recoveries", c.Recoveries)
+		if c.StatsIncomplete {
+			t.AddRowf("stats incomplete", true)
+		}
+		if co != nil {
+			snap := co.Snapshot()
+			t.AddRowf("frames sent/recv", fmt.Sprintf("%d/%d", snap.CoordWire.FramesSent, snap.CoordWire.FramesRecv))
+			t.AddRowf("barrier wait p99", fmt.Sprintf("%.0fns", snap.BarrierWait.P99Ns))
+			t.AddRowf("spans dropped", snap.SpansDropped)
+		}
 		var executed, sent uint64
 		var counts []uint64
 		perLP := map[int]uint64{}
@@ -111,6 +156,14 @@ func main() {
 		// capped exponential backoff instead of exiting immediately.
 		w.ConnectRetries = *connRetries
 		w.ConnectBackoff = *connBackoff
+		if *metricsAddr != "" {
+			ms, err := monitoring.ServeMetrics(*metricsAddr, func() any { return w.WireSnapshot() })
+			if err != nil {
+				fatal(err)
+			}
+			defer ms.Close()
+			fmt.Printf("lsnode: metrics on http://%s/metrics\n", ms.Addr())
+		}
 		fmt.Printf("lsnode: worker owning LPs %v dialing %s\n", ids, *addr)
 		if err := w.Run(*addr); err != nil {
 			fatal(err)

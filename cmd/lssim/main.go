@@ -15,7 +15,7 @@
 // requires bit-identical results.
 //
 // The distphold personality runs the same benchmark truly distributed:
-// an in-process coordinator plus two workers talking TCP over the
+// an in-process coordinator plus -workers TCP workers talking over the
 // loopback, optionally through the deterministic fault injector
 // (package chaos). The -chaos-* flags attack both directions of the
 // wire; -chaos-reset-at forces connection resets at exact coordinator
@@ -25,9 +25,17 @@
 // answers. -delay-factor widens the mean event spacing (sparse
 // traffic) and -skip-idle enables coordinator window skipping over the
 // resulting empty windows; -verify still holds in both modes.
+//
+// With cluster observability on (-trace, -histo, -metrics-addr, or
+// -obs-every) distphold aggregates worker telemetry shipped over the
+// wire itself: -trace writes one merged, validated Perfetto trace with
+// a track per worker plus the coordinator's window-phase spans, -histo
+// prints cluster-wide latency histograms, and -metrics-addr serves the
+// live JSON snapshot (plus pprof) while the run is in flight.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"net"
@@ -42,6 +50,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/distsim"
 	"repro/internal/metrics"
+	"repro/internal/monitoring"
 	"repro/internal/obs"
 	"repro/internal/parsim"
 	"repro/internal/simulators/bricks"
@@ -134,15 +143,22 @@ func runPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, workers 
 }
 
 // runDistPHOLD executes the distributed PHOLD personality: a
-// coordinator and two TCP workers in one process, with the chaos
+// coordinator and nWorkers TCP workers in one process, with the chaos
 // injector optionally attacking both directions of every connection.
-func runDistPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, delayFactor float64, skipIdle bool, ch chaos.Config, resetAt string, verify bool) error {
+// Cluster observability (obsEvery/tracePath/metricsAddr/histo) flows
+// through the coordinator's ClusterObs — the sequential default
+// observer cannot be used here because the in-process workers run
+// concurrently.
+func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon float64, delayFactor float64, skipIdle bool, ch chaos.Config, resetAt string, verify bool, obsEvery int, tracePath, metricsAddr string, histo bool) error {
 	jobsPer := pholdJobs
 	if jobs > 0 {
 		jobsPer = jobs
 	}
 	if delayFactor <= 0 {
 		return fmt.Errorf("-delay-factor must be positive, got %v", delayFactor)
+	}
+	if nWorkers <= 0 || pholdLPs%nWorkers != 0 {
+		return fmt.Errorf("-workers must divide the %d LPs, got %d", pholdLPs, nWorkers)
 	}
 	forced, err := parseResetAt(resetAt)
 	if err != nil {
@@ -170,8 +186,27 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, dela
 	c.ReconnectWait = 10 * time.Second
 	c.MaxReconnects = 1 << 20
 
-	half := pholdLPs / 2
-	workers := make([]*distsim.Worker, 2)
+	var co *distsim.ClusterObs
+	if obsEvery > 0 || tracePath != "" || metricsAddr != "" || histo {
+		every := obsEvery
+		if every <= 0 {
+			every = 1
+		}
+		co = c.EnableObservability(every, 0)
+	}
+	var ms *monitoring.MetricsServer
+	if metricsAddr != "" {
+		var err error
+		ms, err = monitoring.ServeMetrics(metricsAddr, func() any { return co.Snapshot() })
+		if err != nil {
+			return err
+		}
+		defer ms.Close()
+		t.AddRowf("metrics endpoint", "http://"+ms.Addr()+"/metrics")
+	}
+
+	half := pholdLPs / nWorkers
+	workers := make([]*distsim.Worker, nWorkers)
 	for i := range workers {
 		ids := make([]int, 0, half)
 		for lp := i * half; lp < (i+1)*half; lp++ {
@@ -232,6 +267,50 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, dela
 	t.AddRowf("engine events", executed)
 	t.AddRowf("reconnects", c.Reconnects)
 	t.AddRowf("per-LP events", fmt.Sprint(perLP))
+	if c.StatsIncomplete {
+		t.AddRowf("stats incomplete", true)
+	}
+
+	if co != nil {
+		snap := co.Snapshot()
+		t.AddRowf("coord frames sent/recv", fmt.Sprintf("%d/%d", snap.CoordWire.FramesSent, snap.CoordWire.FramesRecv))
+		t.AddRowf("retransmits", snap.CoordWire.Retransmits)
+		t.AddRowf("session resumes", snap.CoordWire.Resumes)
+		t.AddRowf("corrupt frames seen", snap.CoordWire.CorruptFrames)
+		t.AddRowf("spans dropped", snap.SpansDropped)
+		if histo {
+			exec, dwell, bw, del := co.Histograms()
+			t.AddRowf("cluster event exec", exec.String())
+			t.AddRowf("cluster queue dwell", dwell.String())
+			t.AddRowf("cluster barrier wait", bw.String())
+			t.AddRowf("cluster deliver", del.String())
+		}
+	}
+	if ms != nil {
+		// Self-probe: prove the live endpoint serves the same snapshot a
+		// monitoring scrape would get.
+		body, err := ms.Fetch()
+		if err != nil {
+			return fmt.Errorf("metrics self-probe: %w", err)
+		}
+		t.AddRowf("metrics self-probe", fmt.Sprintf("%d bytes", len(body)))
+	}
+	if tracePath != "" {
+		var buf bytes.Buffer
+		if err := co.WriteMergedTrace(&buf); err != nil {
+			return err
+		}
+		// Strict re-parse before the bytes hit disk: a malformed merged
+		// trace fails the run, not the later Perfetto import.
+		events, tids, err := obs.ValidateChromeTrace(buf.Bytes())
+		if err != nil {
+			return fmt.Errorf("merged trace validation: %w", err)
+		}
+		if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		t.AddRowf("merged trace", fmt.Sprintf("%s (%d events, %d tracks)", tracePath, events, len(tids)))
+	}
 
 	if len(forced) > 0 && c.Reconnects < len(forced) {
 		return fmt.Errorf("%d scripted resets forced only %d reconnects", len(forced), c.Reconnects)
@@ -276,7 +355,7 @@ func main() {
 	histo := flag.Bool("histo", false, "print event-latency histograms after the run")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	horizon := flag.Float64("horizon", 40, "phold: simulation end time")
-	workers := flag.Int("workers", 4, "phold: parallel pool workers")
+	workers := flag.Int("workers", 4, "phold: parallel pool workers; distphold: TCP worker count (must divide the LPs)")
 	ckptPath := flag.String("checkpoint", "", "phold: run to -checkpoint-at, write a snapshot to this file, and exit")
 	ckptAt := flag.Float64("checkpoint-at", 0, "phold: window barrier to checkpoint at (0 = half the horizon; use a multiple of the lookahead)")
 	resumePath := flag.String("resume", "", "phold: restore this snapshot before running to -horizon")
@@ -292,6 +371,8 @@ func main() {
 	chaosDelay := flag.Duration("chaos-delay", 0, "distphold: fixed per-message delay")
 	chaosJitter := flag.Duration("chaos-jitter", 0, "distphold: random per-message delay on top of -chaos-delay")
 	chaosResetAt := flag.String("chaos-reset-at", "", "distphold: comma-separated coordinator message indices to force-reset at")
+	obsEvery := flag.Int("obs-every", 0, "distphold: piggyback cluster telemetry every N windows (0 = off unless -trace/-histo/-metrics-addr)")
+	metricsAddr := flag.String("metrics-addr", "", "distphold: serve live JSON cluster metrics + pprof on this address (e.g. 127.0.0.1:0)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -305,9 +386,12 @@ func main() {
 	// Personalities construct their engines internally, so the trace
 	// recorder and histograms are injected through the engine's default
 	// observer (sequential front-end wiring; see des.SetDefaultObserver).
+	// distphold is the exception: its workers run concurrently in this
+	// process, so it routes telemetry through the coordinator's
+	// ClusterObs instead of a shared sequential recorder.
 	var rec *obs.Recorder
 	var met *obs.Metrics
-	if *trace != "" || *histo {
+	if (*trace != "" || *histo) && *sim != "distphold" {
 		met = &obs.Metrics{}
 		o := &des.Observer{Metrics: met}
 		if *trace != "" {
@@ -412,10 +496,13 @@ func main() {
 			Reorder: *chaosReorder, Corrupt: *chaosCorrupt, Reset: *chaosReset,
 			Delay: *chaosDelay, Jitter: *chaosJitter,
 		}
-		if err := runDistPHOLD(t, *seed, *jobs, *horizon, *delayFactor, *skipIdle, ch, *chaosResetAt, *verify); err != nil {
+		if err := runDistPHOLD(t, *seed, *jobs, *workers, *horizon, *delayFactor, *skipIdle, ch, *chaosResetAt, *verify, *obsEvery, *trace, *metricsAddr, *histo); err != nil {
 			fmt.Fprintln(os.Stderr, "lssim:", err)
 			os.Exit(1)
 		}
+		// The cluster path has already written/validated the merged trace
+		// and printed cluster histograms; suppress the sequential tail.
+		*trace, *histo = "", false
 	default:
 		fmt.Fprintf(os.Stderr, "lssim: unknown personality %q\n", *sim)
 		flag.Usage()

@@ -57,16 +57,21 @@ func (b *Backoff) Delay(attempt int) time.Duration {
 }
 
 // dialRetry attempts dial up to attempts times, sleeping the backoff
-// delay between failures. It returns the first successful connection
-// or the last error. attempts <= 0 means a single attempt.
-func dialRetry(dial func() (net.Conn, error), attempts int, b *Backoff) (net.Conn, error) {
+// delay between failures (counted into stats.BackoffNs when stats is
+// set). It returns the first successful connection or the last error.
+// attempts <= 0 means a single attempt.
+func dialRetry(dial func() (net.Conn, error), attempts int, b *Backoff, stats *WireStats) (net.Conn, error) {
 	if attempts <= 0 {
 		attempts = 1
 	}
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			time.Sleep(b.Delay(a - 1))
+			d := b.Delay(a - 1)
+			if stats != nil {
+				stats.BackoffNs.Add(uint64(d))
+			}
+			time.Sleep(d)
 		}
 		conn, err := dial()
 		if err == nil {

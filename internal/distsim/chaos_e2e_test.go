@@ -217,3 +217,80 @@ func TestChaosEverythingAtOnce(t *testing.T) {
 		&chaos.Config{Seed: 91, Drop: 0.02, Dup: 0.05, Reorder: 0.02, Corrupt: 0.02, Reset: 0.01, Jitter: time.Millisecond},
 		&chaos.Config{Seed: 92, Drop: 0.02, Dup: 0.05, Reorder: 0.02, Corrupt: 0.02, Reset: 0.01, Jitter: time.Millisecond})
 }
+
+// TestChaosFourWorkerConcurrentHeal pins the many-worker healing rule:
+// while one slot resumes, a register from another worker whose config
+// handshake died on the wire must redo that slot's handshake instead
+// of parking a redoable worker and aborting the heal. With four
+// workers under bidirectional drop, concurrent startup failures are
+// near-certain; the run must still finish bit-identical.
+func TestChaosFourWorkerConcurrentHeal(t *testing.T) {
+	t.Parallel()
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	addr := base.Addr().String()
+	coordCfg := chaos.Config{Seed: 7, Drop: 0.03}
+	ln := chaos.New(coordCfg).Listener(base)
+
+	const lps, horizon = 8, 60.0
+	c := NewCoordinator(lps, 1.0, horizon, ceSeed)
+	c.Timeout = ceTimeout
+	c.ReconnectWait = ceReconn
+	c.MaxReconnects = ceMaxReconn
+
+	workers := make([]*Worker, 4)
+	for i := range workers {
+		w := NewWorker(2*i, 2*i+1)
+		InstallPHOLD(w, lps, ceJobs, ceRemote, ceWork)
+		w.HandshakeTimeout = time.Second
+		w.ConnectRetries = ceRetries
+		w.ConnectBackoff = ceBackoff
+		cfg := coordCfg
+		cfg.Seed += uint64(i+1) * 1000003
+		inj := chaos.New(cfg)
+		w.Dial = func() (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return inj.Conn(conn), nil
+		}
+		workers[i] = w
+	}
+
+	errs := make(chan error, len(workers)+1)
+	for _, w := range workers {
+		w := w
+		go func() { errs <- w.Run(addr) }()
+	}
+	go func() { errs <- c.Serve(ln, len(workers)) }()
+	for i := 0; i < len(workers)+1; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("four-worker chaos run failed: %v", err)
+			}
+		case <-time.After(90 * time.Second):
+			t.Fatal("four-worker chaos run wedged")
+		}
+	}
+
+	ref := parsim.NewPHOLD(lps, 1, 1.0, ceJobs, ceRemote, ceWork, ceSeed)
+	ref.Run(horizon)
+	want := ref.PerLPEvents()
+	got := make([]uint64, lps)
+	for _, ws := range c.WorkerStats {
+		for lp, n := range ws.PerLPCounts {
+			got[lp] = n
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LP %d: four-worker chaos run %d events vs fault-free %d\nwant %v\ngot  %v",
+				i, got[i], want[i], want, got)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -92,6 +93,13 @@ type Coordinator struct {
 	// that assert exact window counts keep their meaning.
 	SkipIdle bool
 
+	// Obs, when set (see EnableObservability), aggregates cluster-wide
+	// telemetry: the config frame instructs workers to record and
+	// piggyback snapshots, the coordinator records its window-phase
+	// spans, and worker trace rings fold into one merged timeline. Nil
+	// keeps the whole path at a pointer test per window.
+	Obs *ClusterObs
+
 	// Results, populated by Serve.
 	Windows      uint64
 	EventsRouted uint64
@@ -101,7 +109,11 @@ type Coordinator struct {
 	WindowsSkipped uint64
 	Recoveries     int // rollback recoveries (worker process replaced)
 	Reconnects     int // session resumes (same process, new connection)
-	WorkerStats    []WorkerStats
+	// WorkerStats is slot-indexed. A worker that died between the final
+	// barrier and its stats frame leaves an entry with Incomplete set
+	// (and StatsIncomplete true) instead of failing the completed run.
+	WorkerStats     []WorkerStats
+	StatsIncomplete bool
 }
 
 // NewCoordinator configures a run over nLPs logical processes.
@@ -275,12 +287,25 @@ func (s *session) stopIO() {
 // replays the retained send, then the receive is retried on the healed
 // link — so the failure semantics match the old serial loop while the
 // happy path pays only the slowest worker's round trip.
-func (c *Coordinator) exchange(s *session, mk func(wi int) *frame, out []*frame) error {
+//
+// phase labels the barrier for the coordinator's recorder:
+// KindWindowSend splits into a send span (the fan-out handoff, whose
+// wall time anchors the merged timeline) and an await-barrier span;
+// KindCheckpoint records one covering span; zero records nothing.
+func (c *Coordinator) exchange(s *session, phase obs.Kind, mk func(wi int) *frame, out []*frame) error {
+	co := c.Obs
+	var t0, t1 int64
+	if co != nil {
+		t0 = obs.Now()
+	}
 	for i := range s.errs {
 		s.errs[i] = nil
 	}
 	for wi := range s.links {
 		s.ioReq[wi] <- ioOp{send: mk(wi), recv: true}
+	}
+	if co != nil {
+		t1 = obs.Now()
 	}
 	for range s.links {
 		r := <-s.ioRes
@@ -290,18 +315,35 @@ func (c *Coordinator) exchange(s *session, mk func(wi int) *frame, out []*frame)
 			out[r.slot] = r.f
 		}
 	}
+	if co != nil {
+		t2 := obs.Now()
+		switch phase {
+		case obs.KindWindowSend:
+			co.span(obs.KindWindowSend, t0, t1-t0, c.Windows, s.clock)
+			co.span(obs.KindAwaitBarrier, t1, t2-t1, c.Windows, s.clock)
+		case obs.KindCheckpoint:
+			co.span(obs.KindCheckpoint, t0, t2-t0, c.Windows, s.clock)
+		}
+	}
 	for wi := range s.links {
 		err := s.errs[wi]
 		if err == nil {
 			continue
 		}
 		s.errs[wi] = nil
+		var h0 int64
+		if co != nil {
+			h0 = obs.Now()
+		}
 		if rerr := c.resumeSlot(s, wi, err); rerr != nil {
 			return &slotError{wi, rerr}
 		}
 		f, ferr := c.recvSlot(s, wi)
 		if ferr != nil {
 			return ferr
+		}
+		if co != nil {
+			co.span(obs.KindHeal, h0, obs.Now()-h0, c.Windows, s.clock)
 		}
 		out[wi] = f
 	}
@@ -435,6 +477,7 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 		}
 	}
 	s.startIO(c)
+	s.bindObs(c)
 
 	if resume != nil {
 		// Restore every worker from the persisted checkpoint, then pick
@@ -485,24 +528,64 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 	// that sent stats but never hears the bye keeps trying to resume
 	// until its retry budget runs out, in case the stats frame died on
 	// the wire.
-	for wi := range s.links {
-		if err := c.sendSlot(s, wi, &frame{Kind: frameStop}); err != nil {
-			return err
+	//
+	// The run itself is already decided here — every window executed
+	// and every result routed — so a worker that dies between the final
+	// barrier and its stats frame must not turn a completed run into an
+	// error. Its slot keeps a placeholder entry (the LP assignment,
+	// Incomplete set) and Serve still returns nil; only protocol
+	// violations (a live worker answering with the wrong frame) stay
+	// fatal.
+	c.WorkerStats = make([]WorkerStats, len(s.links))
+	c.StatsIncomplete = false
+	markIncomplete := func(wi int) {
+		c.WorkerStats[wi] = WorkerStats{LPs: slices.Clone(s.lpSets[wi]), Incomplete: true}
+		c.StatsIncomplete = true
+		if c.Obs != nil {
+			c.Obs.noteIncomplete()
 		}
 	}
-	c.WorkerStats = nil
+	failed := make([]bool, len(s.links))
 	for wi := range s.links {
+		if err := c.sendSlot(s, wi, &frame{Kind: frameStop}); err != nil {
+			failed[wi] = true
+		}
+	}
+	for wi := range s.links {
+		if failed[wi] {
+			markIncomplete(wi)
+			continue
+		}
 		f, err := c.recvSlot(s, wi)
 		if err != nil {
-			return err
+			markIncomplete(wi)
+			continue
 		}
 		if f.Kind != frameStats {
 			return fmt.Errorf("distsim: expected stats, got %s", f.Kind)
 		}
-		c.WorkerStats = append(c.WorkerStats, f.Stats)
+		c.WorkerStats[wi] = f.Stats
+		if c.Obs != nil && len(f.Obs) > 0 {
+			if err := c.Obs.fold(wi, f.Obs); err != nil {
+				return err
+			}
+		}
 		_ = s.links[wi].send(&frame{Kind: frameBye}) // best effort; see above
 	}
 	return nil
+}
+
+// bindObs exposes the current per-slot link counters to the cluster
+// snapshot endpoint; re-run whenever a slot's link is replaced.
+func (s *session) bindObs(c *Coordinator) {
+	if c.Obs == nil {
+		return
+	}
+	ws := make([]*WireStats, len(s.links))
+	for i, l := range s.links {
+		ws[i] = l.stats
+	}
+	c.Obs.bind(ws)
 }
 
 // sendSlot sends a sequenced frame to a slot, transparently riding out
@@ -645,25 +728,39 @@ func (c *Coordinator) resumeSlot(s *session, wi int, cause error) error {
 				continue
 			}
 			c.Reconnects++
+			if c.Obs != nil {
+				c.Obs.rec.Record(obs.Span{Wall: obs.Now(), Seq: uint64(slot), Kind: obs.KindResume})
+			}
 			if slot == wi {
 				return nil
 			}
 		case frameRegister:
 			ids := append([]int(nil), f.LPs...)
 			sort.Ints(ids)
-			if lpKey(ids) == s.keys[wi] && s.links[wi].redoable() {
-				// The worker never got (or never acted on) the config:
-				// redo the handshake, then replay the retained frames on
-				// the same session.
-				if err := p.sendRaw(c.configFrame(s.sessions[wi]), 0); err != nil {
+			// A register during healing is a worker that never got (or
+			// never acted on) its config: redo the handshake for
+			// whichever slot owns that LP set, then replay the retained
+			// frames on the same session. The registering worker need
+			// not be the slot being healed — under concurrent failures
+			// (the more workers, the likelier) another slot's config can
+			// die while this one resumes, and parking that redoable
+			// worker would abort a heal both sides could finish.
+			if slot := indexOf(s.keys, lpKey(ids)); slot >= 0 && s.links[slot].redoable() {
+				if err := p.sendRaw(c.configFrame(s.sessions[slot]), 0); err != nil {
 					p.close()
 					continue
 				}
-				if err := s.links[wi].rebind(p, 0); err != nil {
+				if err := s.links[slot].rebind(p, 0); err != nil {
 					continue
 				}
 				c.Reconnects++
-				return nil
+				if c.Obs != nil {
+					c.Obs.rec.Record(obs.Span{Wall: obs.Now(), Seq: uint64(slot), Kind: obs.KindResume})
+				}
+				if slot == wi {
+					return nil
+				}
+				continue
 			}
 			s.parked = &parkedConn{p: p, ids: ids}
 			return cause
@@ -693,10 +790,13 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 			windowEnd = c.Horizon
 		}
 		c.Windows++
-		err := c.exchange(s, func(wi int) *frame {
+		err := c.exchange(s, obs.KindWindowSend, func(wi int) *frame {
 			out := s.pending[wi]
 			s.pending[wi] = out[:0]
-			s.wframes[wi] = frame{Kind: frameWindow, End: windowEnd, Events: out}
+			// WinSeq is the barrier sequence: workers stamp their busy
+			// spans with it, which is what aligns their tracks onto the
+			// coordinator's timeline (obs.MergeTracks).
+			s.wframes[wi] = frame{Kind: frameWindow, End: windowEnd, Events: out, WinSeq: c.Windows}
 			return &s.wframes[wi]
 		}, s.done)
 		if err != nil {
@@ -715,6 +815,13 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 			for i := range f.Events {
 				if to := f.Events[i].To; to < 0 || to >= c.NLPs {
 					return fmt.Errorf("distsim: worker %d produced event for unknown LP %d (run configured with %d LPs)", wi, to, c.NLPs)
+				}
+			}
+			// Piggybacked obs snapshots fold here, before the next read
+			// on the link can overwrite the payload they alias.
+			if c.Obs != nil && len(f.Obs) > 0 {
+				if err := c.Obs.fold(wi, f.Obs); err != nil {
+					return err
 				}
 			}
 			produced = append(produced, f.Events...)
@@ -763,6 +870,7 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 			// any window ending strictly before it would execute nothing.
 			// Windows whose end equals next must run: RunUntil is
 			// inclusive at the boundary.
+			skipped := uint64(0)
 			for s.clock < c.Horizon {
 				nextEnd := s.clock + c.Lookahead
 				if nextEnd > c.Horizon {
@@ -773,7 +881,15 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 				}
 				s.clock = nextEnd
 				c.WindowsSkipped++
+				skipped++
 			}
+			if skipped > 0 && c.Obs != nil {
+				// A skip mark, Seq = how many windows were jumped.
+				c.Obs.rec.Record(obs.Span{Wall: obs.Now(), Time: s.clock, Seq: skipped, Kind: obs.KindSkip})
+			}
+		}
+		if c.Obs != nil {
+			c.Obs.note(c.Windows, c.WindowsSkipped, c.EventsRouted, s.clock, c.Reconnects, c.Recoveries)
 		}
 	}
 	return nil
@@ -783,7 +899,7 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 // one snapshot per worker plus the coordinator's routing state. The
 // snapshot round trip fans out like a window barrier.
 func (c *Coordinator) checkpoint(s *session) error {
-	if err := c.exchange(s, func(int) *frame { return &frame{Kind: frameCheckpoint} }, s.done); err != nil {
+	if err := c.exchange(s, obs.KindCheckpoint, func(int) *frame { return &frame{Kind: frameCheckpoint} }, s.done); err != nil {
 		return err
 	}
 	snaps := make([][]byte, len(s.links))
@@ -822,6 +938,10 @@ func (c *Coordinator) checkpoint(s *session) error {
 // run would have produced. The dead slot gets a fresh session id, so a
 // zombie of the old incarnation can never resume into the run.
 func (c *Coordinator) recoverSlot(s *session, dead int) error {
+	var t0 int64
+	if c.Obs != nil {
+		t0 = obs.Now()
+	}
 	s.links[dead].close()
 	s.epochs[dead]++
 	s.sessions[dead] = c.sessionID(dead, s.epochs[dead])
@@ -883,6 +1003,11 @@ func (c *Coordinator) recoverSlot(s *session, dead int) error {
 	s.pending = copyPending(s.ckpt.Pending)
 	c.Windows = s.ckpt.Windows
 	c.EventsRouted = s.ckpt.EventsRouted
+	s.bindObs(c)
+	if c.Obs != nil {
+		c.Obs.rec.Record(obs.Span{Wall: t0, Dur: obs.Now() - t0, Time: s.clock,
+			Seq: uint64(dead), Kind: obs.KindRecovery})
+	}
 	return nil
 }
 
@@ -931,12 +1056,19 @@ func (c *Coordinator) readRegister(p *peer) ([]int, error) {
 	return ids, nil
 }
 
-// configFrame builds the run-parameter frame for one slot.
+// configFrame builds the run-parameter frame for one slot. When
+// cluster observability is enabled the obs cadence rides along so
+// workers instrument themselves without any per-worker flag plumbing.
 func (c *Coordinator) configFrame(session uint64) *frame {
-	return &frame{
+	f := &frame{
 		Kind: frameConfig, Lookahead: c.Lookahead, Horizon: c.Horizon, Seed: c.Seed,
 		Session: session, TimeoutSec: c.timeout().Seconds(),
 	}
+	if c.Obs != nil {
+		f.ObsEvery = c.Obs.every
+		f.ObsSpans = c.Obs.spanCap
+	}
+	return f
 }
 
 // reorderToSlots permutes the registered links so that slot i owns the

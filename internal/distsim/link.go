@@ -48,9 +48,14 @@ type link struct {
 	// that lost a frame from one that is merely slow.
 	sentOut atomic.Uint64
 	ackedIn atomic.Uint64
+
+	// stats is the session's transport counter set, adopted from the
+	// first peer and carried across rebinds so counts span the whole
+	// session, not one connection.
+	stats *WireStats
 }
 
-func newLink(p *peer) *link { return &link{p: p} }
+func newLink(p *peer) *link { return &link{p: p, stats: p.stats} }
 
 // send marshals and transmits a frame. Sequenced kinds are numbered
 // and retained before the write, so a frame that dies on the wire is
@@ -100,12 +105,14 @@ func (l *link) recv(d time.Duration) (*frame, error) {
 		}
 		switch {
 		case seq <= l.recvSeq:
+			l.stats.DupFrames.Add(1)
 			continue // duplicate (retransmission overlap): suppress
 		case seq == l.recvSeq+1:
 			l.recvSeq = seq
 			l.ackedIn.Store(seq)
 			return f, nil
 		default:
+			l.stats.GapFrames.Add(1)
 			return nil, l.p.fail(fmt.Errorf("%w: got seq %d, want %d", ErrFrameGap, seq, l.recvSeq+1))
 		}
 	}
@@ -146,8 +153,17 @@ func (l *link) rebind(p *peer, peerRecvSeq uint64) error {
 		l.p.close()
 	}
 	p.writeTimeout = l.p.writeTimeout
+	// Fold the fresh connection's counters (handshake traffic) into the
+	// session's, then hand the session counter set to the new peer so
+	// stats keep accumulating in one place across reconnects.
+	if p.stats != l.stats {
+		l.stats.absorb(p.stats)
+		p.stats = l.stats
+	}
 	l.p = p
+	l.stats.Resumes.Add(1)
 	l.prune(peerRecvSeq)
+	l.stats.Retransmits.Add(uint64(len(l.retained)))
 	for _, sf := range l.retained {
 		if err := p.writeFrame(sf.seq, l.recvSeq, sf.payload); err != nil {
 			return err

@@ -1,0 +1,538 @@
+package distsim
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+)
+
+// This file threads internal/obs through the distributed stack:
+// transport counters on every connection, worker-side recording with
+// periodic snapshots piggybacked on done frames, and coordinator-side
+// aggregation into cluster histograms plus a merged timeline.
+//
+// The obs contract of the single-process engine carries over intact:
+// with observability off the only cost anywhere is a nil check, and
+// with it on the steady-state window loop — recording, delta
+// encoding, folding — does not allocate. Transport counters are the
+// one always-on piece: they are plain atomics bumped once per frame
+// (not per event), which is noise next to a TCP round trip, and a
+// link that was never observed still has its story to tell after the
+// fact.
+
+// WireStats counts transport-level traffic and faults on one session.
+// All fields are atomics: a worker's heartbeat goroutine sends
+// concurrently with its main loop, and a metrics endpoint reads
+// concurrently with both.
+type WireStats struct {
+	FramesSent    atomic.Uint64
+	BytesSent     atomic.Uint64
+	FramesRecv    atomic.Uint64
+	BytesRecv     atomic.Uint64
+	Heartbeats    atomic.Uint64 // heartbeat frames sent or received
+	Retransmits   atomic.Uint64 // retained frames replayed on session resume
+	Resumes       atomic.Uint64 // successful session-resume rebinds
+	DupFrames     atomic.Uint64 // sequenced duplicates suppressed
+	GapFrames     atomic.Uint64 // sequence gaps that poisoned a connection
+	CorruptFrames atomic.Uint64 // CRC/length/parse failures (chaos faults observed)
+	ConnFailures  atomic.Uint64 // transport read/write errors
+	BackoffNs     atomic.Uint64 // wall ns slept in dial/reconnect backoff
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (w *WireStats) Snapshot() LinkStats {
+	return LinkStats{
+		FramesSent:    w.FramesSent.Load(),
+		BytesSent:     w.BytesSent.Load(),
+		FramesRecv:    w.FramesRecv.Load(),
+		BytesRecv:     w.BytesRecv.Load(),
+		Heartbeats:    w.Heartbeats.Load(),
+		Retransmits:   w.Retransmits.Load(),
+		Resumes:       w.Resumes.Load(),
+		DupFrames:     w.DupFrames.Load(),
+		GapFrames:     w.GapFrames.Load(),
+		CorruptFrames: w.CorruptFrames.Load(),
+		ConnFailures:  w.ConnFailures.Load(),
+		BackoffNs:     w.BackoffNs.Load(),
+	}
+}
+
+// absorb folds another counter set into w (used when a session link
+// adopts a freshly handshaken connection).
+func (w *WireStats) absorb(o *WireStats) {
+	w.FramesSent.Add(o.FramesSent.Load())
+	w.BytesSent.Add(o.BytesSent.Load())
+	w.FramesRecv.Add(o.FramesRecv.Load())
+	w.BytesRecv.Add(o.BytesRecv.Load())
+	w.Heartbeats.Add(o.Heartbeats.Load())
+	w.Retransmits.Add(o.Retransmits.Load())
+	w.Resumes.Add(o.Resumes.Load())
+	w.DupFrames.Add(o.DupFrames.Load())
+	w.GapFrames.Add(o.GapFrames.Load())
+	w.CorruptFrames.Add(o.CorruptFrames.Load())
+	w.ConnFailures.Add(o.ConnFailures.Load())
+	w.BackoffNs.Add(o.BackoffNs.Load())
+}
+
+// LinkStats is the plain-value (wire/JSON) form of WireStats.
+type LinkStats struct {
+	FramesSent    uint64 `json:"frames_sent"`
+	BytesSent     uint64 `json:"bytes_sent"`
+	FramesRecv    uint64 `json:"frames_recv"`
+	BytesRecv     uint64 `json:"bytes_recv"`
+	Heartbeats    uint64 `json:"heartbeats"`
+	Retransmits   uint64 `json:"retransmits"`
+	Resumes       uint64 `json:"resumes"`
+	DupFrames     uint64 `json:"dup_frames"`
+	GapFrames     uint64 `json:"gap_frames"`
+	CorruptFrames uint64 `json:"corrupt_frames"`
+	ConnFailures  uint64 `json:"conn_failures"`
+	BackoffNs     uint64 `json:"backoff_ns"`
+}
+
+func (s *LinkStats) add(o LinkStats) {
+	s.FramesSent += o.FramesSent
+	s.BytesSent += o.BytesSent
+	s.FramesRecv += o.FramesRecv
+	s.BytesRecv += o.BytesRecv
+	s.Heartbeats += o.Heartbeats
+	s.Retransmits += o.Retransmits
+	s.Resumes += o.Resumes
+	s.DupFrames += o.DupFrames
+	s.GapFrames += o.GapFrames
+	s.CorruptFrames += o.CorruptFrames
+	s.ConnFailures += o.ConnFailures
+	s.BackoffNs += o.BackoffNs
+}
+
+func (s LinkStats) appendTo(enc *checkpoint.Enc) {
+	enc.U64(s.FramesSent)
+	enc.U64(s.BytesSent)
+	enc.U64(s.FramesRecv)
+	enc.U64(s.BytesRecv)
+	enc.U64(s.Heartbeats)
+	enc.U64(s.Retransmits)
+	enc.U64(s.Resumes)
+	enc.U64(s.DupFrames)
+	enc.U64(s.GapFrames)
+	enc.U64(s.CorruptFrames)
+	enc.U64(s.ConnFailures)
+	enc.U64(s.BackoffNs)
+}
+
+func decLinkStats(d *checkpoint.Dec) LinkStats {
+	return LinkStats{
+		FramesSent:    d.U64(),
+		BytesSent:     d.U64(),
+		FramesRecv:    d.U64(),
+		BytesRecv:     d.U64(),
+		Heartbeats:    d.U64(),
+		Retransmits:   d.U64(),
+		Resumes:       d.U64(),
+		DupFrames:     d.U64(),
+		GapFrames:     d.U64(),
+		CorruptFrames: d.U64(),
+		ConnFailures:  d.U64(),
+		BackoffNs:     d.U64(),
+	}
+}
+
+// Obs snapshot payload tags (first uvarint of frame.Obs).
+const (
+	obsDelta = 1 // periodic piggyback: counters + histogram deltas
+	obsFinal = 2 // stats frame: delta plus the full trace rings
+)
+
+// workerObs is the worker-side observability state: one shared metrics
+// set across the worker's LP engines (they run sequentially on the
+// serve goroutine), per-LP trace rings, a worker ring for window-phase
+// spans, and the previous-ship histogram copies behind the delta
+// encoding. Enabled by the coordinator's config frame (ObsEvery > 0)
+// or locally via Worker.EnableObservability.
+type workerObs struct {
+	every  int
+	met    obs.Metrics
+	lpRecs []*obs.Recorder
+	rec    *obs.Recorder
+
+	barrierWait obs.Histogram
+	deliver     obs.Histogram
+
+	prevExec    obs.Histogram
+	prevDwell   obs.Histogram
+	prevBarrier obs.Histogram
+	prevDeliver obs.Histogram
+
+	buf       []byte // reused snapshot encode buffer
+	waitStart int64  // barrier-wait start (0 = not waiting)
+	windows   uint64 // windows executed since enable
+}
+
+func newWorkerObs(every, spanCap, lps int) *workerObs {
+	if every <= 0 {
+		every = 4
+	}
+	if spanCap <= 0 {
+		spanCap = 1 << 12
+	}
+	wo := &workerObs{every: every, rec: obs.NewRecorder(spanCap)}
+	wo.lpRecs = make([]*obs.Recorder, lps)
+	for i := range wo.lpRecs {
+		wo.lpRecs[i] = obs.NewRecorder(spanCap)
+	}
+	return wo
+}
+
+// dropped totals ring overwrites across every recorder this worker
+// owns — the "silent truncation" number the aggregated snapshot
+// surfaces.
+func (wo *workerObs) dropped() uint64 {
+	n := wo.rec.Dropped()
+	for _, r := range wo.lpRecs {
+		n += r.Dropped()
+	}
+	return n
+}
+
+// encode builds one snapshot payload into the reused buffer: transport
+// counters (cumulative), ring-drop total, and the four histogram
+// deltas since the previous ship. The final form appends the trace
+// rings. The delta path allocates nothing once the buffer has warmed
+// up (TestObsPiggybackZeroAlloc).
+func (wo *workerObs) encode(wire *WireStats, ids []int, final bool) []byte {
+	enc := checkpoint.NewEnc(wo.buf)
+	if final {
+		enc.U64(obsFinal)
+	} else {
+		enc.U64(obsDelta)
+	}
+	wire.Snapshot().appendTo(&enc)
+	enc.U64(wo.dropped())
+	wo.met.Exec.AppendDelta(&enc, &wo.prevExec)
+	wo.met.Dwell.AppendDelta(&enc, &wo.prevDwell)
+	wo.barrierWait.AppendDelta(&enc, &wo.prevBarrier)
+	wo.deliver.AppendDelta(&enc, &wo.prevDeliver)
+	wo.prevExec = wo.met.Exec
+	wo.prevDwell = wo.met.Dwell
+	wo.prevBarrier = wo.barrierWait
+	wo.prevDeliver = wo.deliver
+	if final {
+		enc.Int(len(wo.lpRecs) + 1)
+		obs.AppendSpanTrack(&enc, obs.SpanTrack{Name: "worker", TID: 0, Spans: wo.rec.Spans()})
+		for i, r := range wo.lpRecs {
+			name := fmt.Sprintf("lp-%d", ids[i])
+			obs.AppendSpanTrack(&enc, obs.SpanTrack{Name: name, TID: i + 1, Spans: r.Spans()})
+		}
+	}
+	wo.buf = enc.Bytes()
+	return wo.buf
+}
+
+// ClusterObs is the coordinator's aggregation point: cluster-level
+// histograms folded from worker snapshots, per-slot transport
+// counters, the coordinator's own window-phase recorder, and the
+// shipped worker trace rings. The mutex covers everything a live
+// metrics endpoint reads; the recorder itself is written only by the
+// coordinator goroutine and exported only after Serve returns.
+type ClusterObs struct {
+	every   int
+	spanCap int
+	rec     *obs.Recorder
+
+	mu          sync.Mutex
+	exec        obs.Histogram
+	dwell       obs.Histogram
+	barrierWait obs.Histogram
+	deliver     obs.Histogram
+	slots       []slotObs
+	coordLinks  []*WireStats
+	tracks      [][]obs.SpanTrack
+
+	windows         uint64
+	skipped         uint64
+	routed          uint64
+	clock           float64
+	reconnects      int
+	recoveries      int
+	statsIncomplete bool
+}
+
+type slotObs struct {
+	wire         LinkStats // worker-reported cumulative transport counters
+	spansDropped uint64    // worker-reported ring overwrites
+	snapshots    uint64    // obs payloads folded from this slot
+}
+
+// EnableObservability turns on cluster-wide recording for subsequent
+// Serve calls: the coordinator records its window-phase spans, and the
+// config frame instructs every worker to record and to piggyback a
+// snapshot every `every` windows into rings of `spanCap` spans
+// (non-positive arguments pick defaults: every 4 windows, 4096
+// spans). Call before Serve; the returned handle stays valid across
+// runs and is safe to Snapshot concurrently.
+func (c *Coordinator) EnableObservability(every, spanCap int) *ClusterObs {
+	if every <= 0 {
+		every = 4
+	}
+	if spanCap <= 0 {
+		spanCap = 1 << 12
+	}
+	co := &ClusterObs{every: every, spanCap: spanCap, rec: obs.NewRecorder(spanCap)}
+	c.Obs = co
+	return co
+}
+
+// bind sizes the per-slot state and exposes the coordinator-side link
+// counters to the snapshot endpoint.
+func (co *ClusterObs) bind(links []*WireStats) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if len(co.slots) < len(links) {
+		co.slots = append(co.slots, make([]slotObs, len(links)-len(co.slots))...)
+		co.tracks = append(co.tracks, make([][]obs.SpanTrack, len(links)-len(co.tracks))...)
+	}
+	co.coordLinks = links
+}
+
+// span records one coordinator-phase span; coordinator goroutine only.
+func (co *ClusterObs) span(k obs.Kind, wall, dur int64, seq uint64, t float64) {
+	co.rec.Record(obs.Span{Wall: wall, Dur: dur, Time: t, Seq: seq, Kind: k})
+}
+
+// note mirrors the run counters under the mutex so a live endpoint
+// sees window progress without racing the coordinator.
+func (co *ClusterObs) note(windows, skipped, routed uint64, clock float64, reconnects, recoveries int) {
+	co.mu.Lock()
+	co.windows = windows
+	co.skipped = skipped
+	co.routed = routed
+	co.clock = clock
+	co.reconnects = reconnects
+	co.recoveries = recoveries
+	co.mu.Unlock()
+}
+
+func (co *ClusterObs) noteIncomplete() {
+	co.mu.Lock()
+	co.statsIncomplete = true
+	co.mu.Unlock()
+}
+
+// fold merges one worker snapshot payload (frame.Obs) into the
+// cluster aggregates. Counters are cumulative (overwrite), histograms
+// travel as deltas (add). The payload aliases the link's read buffer,
+// so fold runs before the next read — and allocates nothing on the
+// delta path.
+func (co *ClusterObs) fold(slot int, payload []byte) error {
+	d := checkpoint.NewDec(payload)
+	tag := d.U64()
+	if tag != obsDelta && tag != obsFinal {
+		return fmt.Errorf("%w: obs snapshot tag %d", ErrMalformedFrame, tag)
+	}
+	ls := decLinkStats(d)
+	drops := d.U64()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("%w: obs snapshot: %v", ErrMalformedFrame, err)
+	}
+	co.mu.Lock()
+	if slot >= len(co.slots) {
+		co.mu.Unlock()
+		return fmt.Errorf("distsim: obs snapshot for unbound slot %d", slot)
+	}
+	co.slots[slot].wire = ls
+	co.slots[slot].spansDropped = drops
+	co.slots[slot].snapshots++
+	err := co.exec.MergeDelta(d)
+	if err == nil {
+		err = co.dwell.MergeDelta(d)
+	}
+	if err == nil {
+		err = co.barrierWait.MergeDelta(d)
+	}
+	if err == nil {
+		err = co.deliver.MergeDelta(d)
+	}
+	co.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("%w: obs snapshot: %v", ErrMalformedFrame, err)
+	}
+	if tag == obsFinal {
+		n := d.Int()
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: obs snapshot: %v", ErrMalformedFrame, err)
+		}
+		trs := make([]obs.SpanTrack, 0, n)
+		for i := 0; i < n; i++ {
+			tr, err := obs.DecodeSpanTrack(d)
+			if err != nil {
+				return fmt.Errorf("%w: obs snapshot track: %v", ErrMalformedFrame, err)
+			}
+			trs = append(trs, tr)
+		}
+		co.mu.Lock()
+		co.tracks[slot] = trs
+		co.mu.Unlock()
+	}
+	return nil
+}
+
+// HistSummary is the JSON-friendly digest of one cluster histogram.
+type HistSummary struct {
+	Count  uint64  `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P90Ns  float64 `json:"p90_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+func summarize(h *obs.Histogram) HistSummary {
+	return HistSummary{
+		Count:  h.Count(),
+		MeanNs: h.Mean(),
+		P50Ns:  h.Quantile(0.5),
+		P90Ns:  h.Quantile(0.9),
+		P99Ns:  h.Quantile(0.99),
+		MaxNs:  h.Max(),
+	}
+}
+
+// WorkerObsView is one slot's worker-reported state in a snapshot.
+type WorkerObsView struct {
+	Slot         int       `json:"slot"`
+	Wire         LinkStats `json:"wire"`
+	SpansDropped uint64    `json:"spans_dropped"`
+	Snapshots    uint64    `json:"snapshots"`
+}
+
+// ClusterSnapshot is a point-in-time JSON-friendly view of the
+// aggregated cluster state — what the -metrics-addr endpoint serves.
+type ClusterSnapshot struct {
+	Windows         uint64          `json:"windows"`
+	WindowsSkipped  uint64          `json:"windows_skipped"`
+	EventsRouted    uint64          `json:"events_routed"`
+	Clock           float64         `json:"clock"`
+	Reconnects      int             `json:"reconnects"`
+	Recoveries      int             `json:"recoveries"`
+	StatsIncomplete bool            `json:"stats_incomplete"`
+	Exec            HistSummary     `json:"exec"`
+	Dwell           HistSummary     `json:"dwell"`
+	BarrierWait     HistSummary     `json:"barrier_wait"`
+	Deliver         HistSummary     `json:"deliver"`
+	CoordWire       LinkStats       `json:"coord_wire"`
+	CoordDropped    uint64          `json:"coord_spans_dropped"`
+	SpansDropped    uint64          `json:"spans_dropped"` // workers + coordinator
+	Workers         []WorkerObsView `json:"workers"`
+}
+
+// Snapshot digests the current aggregates. Safe to call from any
+// goroutine while a run is in progress.
+func (co *ClusterObs) Snapshot() ClusterSnapshot {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	s := ClusterSnapshot{
+		Windows:         co.windows,
+		WindowsSkipped:  co.skipped,
+		EventsRouted:    co.routed,
+		Clock:           co.clock,
+		Reconnects:      co.reconnects,
+		Recoveries:      co.recoveries,
+		StatsIncomplete: co.statsIncomplete,
+		Exec:            summarize(&co.exec),
+		Dwell:           summarize(&co.dwell),
+		BarrierWait:     summarize(&co.barrierWait),
+		Deliver:         summarize(&co.deliver),
+		CoordDropped:    co.rec.Dropped(),
+	}
+	for _, ws := range co.coordLinks {
+		s.CoordWire.add(ws.Snapshot())
+	}
+	s.SpansDropped = s.CoordDropped
+	for i := range co.slots {
+		s.SpansDropped += co.slots[i].spansDropped
+		s.Workers = append(s.Workers, WorkerObsView{
+			Slot:         i,
+			Wire:         co.slots[i].wire,
+			SpansDropped: co.slots[i].spansDropped,
+			Snapshots:    co.slots[i].snapshots,
+		})
+	}
+	return s
+}
+
+// Histograms returns copies of the four cluster histograms (exec,
+// dwell, barrier wait, deliver) for report tables.
+func (co *ClusterObs) Histograms() (exec, dwell, barrierWait, deliver obs.Histogram) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.exec, co.dwell, co.barrierWait, co.deliver
+}
+
+// WriteMergedTrace exports the whole cluster as one Chrome/Perfetto
+// trace: the coordinator's window-phase track plus every shipped
+// worker ring, aligned onto the coordinator's clock by window barrier
+// sequence (see obs.MergeTracks). Worker tracks are namespaced
+// "w<slot>/..." with tid 1000*(slot+1)+local. Call after Serve
+// returns (the coordinator recorder is single-writer).
+func (co *ClusterObs) WriteMergedTrace(w io.Writer) error {
+	co.mu.Lock()
+	groups := make([][]obs.SpanTrack, 0, len(co.tracks))
+	for s, trs := range co.tracks {
+		if len(trs) == 0 {
+			continue
+		}
+		g := make([]obs.SpanTrack, len(trs))
+		for i, tr := range trs {
+			g[i] = obs.SpanTrack{
+				Name:  fmt.Sprintf("w%d/%s", s, tr.Name),
+				TID:   1000*(s+1) + tr.TID,
+				Spans: tr.Spans,
+			}
+		}
+		groups = append(groups, g)
+	}
+	co.mu.Unlock()
+	ref := []obs.SpanTrack{{Name: "coordinator", TID: 0, Spans: co.rec.Spans()}}
+	merged := obs.MergeTracks(ref, groups...)
+	return obs.WriteChromeTraceSpans(w, merged...)
+}
+
+// ObsPiggybackBench drives one steady-state snapshot cycle — worker
+// delta encode plus coordinator fold — in isolation. Exported for the
+// benchjson harness (internal/experiments) and the zero-alloc test;
+// not part of the simulation API.
+type ObsPiggybackBench struct {
+	wo   *workerObs
+	wire WireStats
+	co   *ClusterObs
+}
+
+func NewObsPiggybackBench() *ObsPiggybackBench {
+	pb := &ObsPiggybackBench{
+		wo: newWorkerObs(1, 1<<10, 3),
+		co: &ClusterObs{every: 1, spanCap: 1 << 10, rec: obs.NewRecorder(1 << 10)},
+	}
+	pb.co.bind([]*WireStats{&pb.wire})
+	return pb
+}
+
+// Cycle observes a plausible window's worth of samples, encodes the
+// delta, and folds it; it returns the payload size. The first call
+// warms the encode buffer; thereafter the cycle is allocation-free.
+func (pb *ObsPiggybackBench) Cycle() (int, error) {
+	pb.wire.FramesSent.Add(2)
+	pb.wire.BytesSent.Add(512)
+	pb.wire.FramesRecv.Add(2)
+	pb.wire.BytesRecv.Add(512)
+	pb.wo.met.Exec.Observe(1500)
+	pb.wo.met.Exec.Observe(8200)
+	pb.wo.met.Dwell.Observe(1 << 20)
+	pb.wo.barrierWait.Observe(45000)
+	pb.wo.deliver.Observe(3200)
+	payload := pb.wo.encode(&pb.wire, []int{0, 1, 2}, false)
+	return len(payload), pb.co.fold(0, payload)
+}

@@ -1,0 +1,374 @@
+package distsim
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+	"repro/internal/parsim"
+)
+
+// The cluster-observability suite pins the PR-2 contract extended to
+// the distributed stack: enabling full telemetry — per-window
+// histogram piggybacks, trace rings, transport counters, merged trace
+// export — changes no simulation output bit, in the dense regime, in
+// the sparse skip-idle regime, and under chaos faults. It also pins
+// the steady-state piggyback path at zero allocations and the
+// partial-stats semantics when a worker dies at shutdown.
+
+// obsCeRun mirrors ceRun (chaos_e2e_test.go) with cluster
+// observability enabled at the given cadence.
+func obsCeRun(t *testing.T, every int, coordCfg, workerCfg *chaos.Config) (*Coordinator, *ClusterObs) {
+	t.Helper()
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	addr := base.Addr().String()
+
+	var ln net.Listener = base
+	if coordCfg != nil {
+		ln = chaos.New(*coordCfg).Listener(base)
+	}
+
+	c := NewCoordinator(cePLPs, ceLA, ceHorizon, ceSeed)
+	c.Timeout = ceTimeout
+	c.ReconnectWait = ceReconn
+	c.MaxReconnects = ceMaxReconn
+	co := c.EnableObservability(every, 1<<10)
+
+	workers := []*Worker{NewWorker(0, 1, 2), NewWorker(3, 4, 5)}
+	for i, w := range workers {
+		InstallPHOLD(w, cePLPs, ceJobs, ceRemote, ceWork)
+		w.HandshakeTimeout = ceHS
+		w.ConnectRetries = ceRetries
+		w.ConnectBackoff = ceBackoff
+		if workerCfg != nil {
+			cfg := *workerCfg
+			cfg.Seed += uint64(i) * 1000003
+			inj := chaos.New(cfg)
+			w.Dial = func() (net.Conn, error) {
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					return nil, err
+				}
+				return inj.Conn(conn), nil
+			}
+		}
+	}
+
+	errs := make(chan error, len(workers)+1)
+	for _, w := range workers {
+		w := w
+		go func() { errs <- w.Run(addr) }()
+	}
+	go func() { errs <- c.Serve(ln, len(workers)) }()
+	for i := 0; i < len(workers)+1; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("observed run failed: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("observed run wedged")
+		}
+	}
+	return c, co
+}
+
+// TestClusterObsBitIdentical is the core contract: a dense run with
+// full observability on (cadence 1, so every window piggybacks) is
+// bit-identical to the fault-free single-process reference, the
+// aggregated exec histogram accounts for every engine event, and the
+// merged Perfetto trace survives the strict re-parser.
+func TestClusterObsBitIdentical(t *testing.T) {
+	t.Parallel()
+	c, co := obsCeRun(t, 1, nil, nil)
+
+	want := ceReference()
+	got := make([]uint64, cePLPs)
+	var executed uint64
+	for _, ws := range c.WorkerStats {
+		executed += ws.EventsExecuted
+		for lp, n := range ws.PerLPCounts {
+			got[lp] = n
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LP %d: observed run %d events vs reference %d\nwant %v\ngot  %v",
+				i, got[i], want[i], want, got)
+		}
+	}
+	if c.StatsIncomplete {
+		t.Fatal("clean run flagged incomplete stats")
+	}
+
+	snap := co.Snapshot()
+	if snap.Windows == 0 || snap.Windows != uint64(c.Windows) {
+		t.Fatalf("snapshot windows %d, coordinator %d", snap.Windows, c.Windows)
+	}
+	if snap.Exec.Count != executed {
+		t.Fatalf("cluster exec histogram has %d samples, workers executed %d events",
+			snap.Exec.Count, executed)
+	}
+	if snap.BarrierWait.Count == 0 || snap.Deliver.Count == 0 {
+		t.Fatalf("empty phase histograms: barrier %d deliver %d",
+			snap.BarrierWait.Count, snap.Deliver.Count)
+	}
+	if snap.CoordWire.FramesSent == 0 || snap.CoordWire.FramesRecv == 0 {
+		t.Fatal("coordinator wire counters did not move")
+	}
+	for _, wv := range snap.Workers {
+		if wv.Snapshots == 0 {
+			t.Fatalf("slot %d shipped no telemetry snapshots", wv.Slot)
+		}
+		if wv.Wire.FramesSent == 0 {
+			t.Fatalf("slot %d wire counters did not move", wv.Slot)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := co.WriteMergedTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, tids, err := obs.ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("merged trace does not re-parse: %v", err)
+	}
+	// Coordinator track + per worker: worker track + 3 LP tracks.
+	if wantTracks := 1 + 2*4; len(tids) != wantTracks {
+		t.Fatalf("merged trace has %d tracks, want %d", len(tids), wantTracks)
+	}
+	if events == 0 {
+		t.Fatal("merged trace is empty")
+	}
+}
+
+// TestClusterObsBitIdenticalUnderChaos repeats the contract with the
+// fault injector attacking both directions of the wire: telemetry
+// piggybacks ride the same sequenced frames as simulation traffic, so
+// retransmissions and session resumes must not double-count or drop
+// histogram deltas.
+func TestClusterObsBitIdenticalUnderChaos(t *testing.T) {
+	t.Parallel()
+	c, co := obsCeRun(t, 2,
+		&chaos.Config{Seed: 71, Drop: 0.03, Dup: 0.05, Corrupt: 0.02},
+		&chaos.Config{Seed: 72, Drop: 0.03, Dup: 0.05, Corrupt: 0.02})
+
+	want := ceReference()
+	got := make([]uint64, cePLPs)
+	var executed uint64
+	for _, ws := range c.WorkerStats {
+		executed += ws.EventsExecuted
+		for lp, n := range ws.PerLPCounts {
+			got[lp] = n
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LP %d: chaos+obs run %d events vs reference %d\nwant %v\ngot  %v",
+				i, got[i], want[i], want, got)
+		}
+	}
+	snap := co.Snapshot()
+	// Deltas ride sequenced frames: exactly-once folding even when the
+	// wire duplicated or dropped the carrier.
+	if snap.Exec.Count != executed {
+		t.Fatalf("cluster exec histogram has %d samples, workers executed %d events",
+			snap.Exec.Count, executed)
+	}
+	var buf bytes.Buffer
+	if err := co.WriteMergedTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("merged chaos trace does not re-parse: %v", err)
+	}
+}
+
+// TestClusterObsSparseSkipBitIdentical runs the sparse skip-idle
+// regime with observability on: per-LP counts stay bit-identical to
+// the single-process reference and the coordinator records skip marks.
+func TestClusterObsSparseSkipBitIdentical(t *testing.T) {
+	t.Parallel()
+	ref := parsim.NewPHOLDFactor(skLPs, 1, skLA, skJobs, skRemote, skWork, skSeed, skFactor)
+	ref.Run(skHorizon)
+	want := ref.PerLPEvents()
+
+	c := NewCoordinator(skLPs, skLA, skHorizon, skSeed)
+	c.SkipIdle = true
+	co := c.EnableObservability(1, 1<<10)
+	launch(t, c, []*Worker{skWorker(false, false), skWorker(true, false)})
+
+	got := skCounts(c.WorkerStats)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LP %d: skip+obs run %d events vs reference %d\nwant %v\ngot  %v",
+				i, got[i], want[i], want, got)
+		}
+	}
+	if c.WindowsSkipped == 0 {
+		t.Fatal("sparse observed run skipped no windows")
+	}
+	snap := co.Snapshot()
+	if snap.WindowsSkipped != uint64(c.WindowsSkipped) {
+		t.Fatalf("snapshot skipped %d, coordinator %d", snap.WindowsSkipped, c.WindowsSkipped)
+	}
+	var buf bytes.Buffer
+	if err := co.WriteMergedTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("merged sparse trace does not re-parse: %v", err)
+	}
+}
+
+// fakeWorker speaks just enough of the protocol to drive a run from
+// the test: register, answer every window with an empty done frame,
+// and at stop either return proper stats or vanish (the satellite-2
+// scenario — a worker dying between its last barrier and the stats
+// exchange).
+func fakeWorker(addr string, lps []int, sendStats bool) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	p := newPeer(conn)
+	l := newLink(p)
+	defer l.close()
+	if err := l.send(&frame{Kind: frameRegister, LPs: lps}); err != nil {
+		return err
+	}
+	for {
+		f, err := l.recv(10 * time.Second)
+		if err != nil {
+			return err
+		}
+		switch f.Kind {
+		case frameConfig:
+			// run parameters acknowledged implicitly by the first done
+		case frameWindow:
+			if err := l.send(&frame{Kind: frameDone, Next: math.Inf(1)}); err != nil {
+				return err
+			}
+		case frameStop:
+			if !sendStats {
+				return nil // die silently: no stats frame, no bye
+			}
+			st := WorkerStats{LPs: lps, EventsExecuted: 7, PerLPCounts: map[int]uint64{lps[0]: 7}}
+			if err := l.send(&frame{Kind: frameStats, Stats: st}); err != nil {
+				return err
+			}
+		case frameBye:
+			return nil
+		}
+	}
+}
+
+// TestStatsIncomplete pins the satellite-2 contract: when a worker
+// dies between the final barrier and the stats exchange, Serve still
+// returns nil, the surviving worker's stats are aggregated, and the
+// dead slot carries an explicit Incomplete placeholder instead of
+// poisoning the whole result.
+func TestStatsIncomplete(t *testing.T) {
+	t.Parallel()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	c := NewCoordinator(2, 1.0, 5, 99)
+	co := c.EnableObservability(1, 1<<8)
+
+	errs := make(chan error, 3)
+	go func() { errs <- fakeWorker(addr, []int{0}, true) }()
+	go func() { errs <- fakeWorker(addr, []int{1}, false) }()
+	go func() { errs <- c.Serve(ln, 2) }()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("run failed: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("run wedged")
+		}
+	}
+
+	if !c.StatsIncomplete {
+		t.Fatal("coordinator did not flag incomplete stats")
+	}
+	if len(c.WorkerStats) != 2 {
+		t.Fatalf("got %d worker stats slots, want 2", len(c.WorkerStats))
+	}
+	var sawComplete, sawIncomplete bool
+	for _, ws := range c.WorkerStats {
+		if ws.Incomplete {
+			sawIncomplete = true
+			if len(ws.LPs) != 1 {
+				t.Fatalf("incomplete placeholder lost its LP set: %v", ws.LPs)
+			}
+			if ws.EventsExecuted != 0 {
+				t.Fatalf("incomplete placeholder carries stats: %+v", ws)
+			}
+		} else {
+			sawComplete = true
+			if ws.EventsExecuted != 7 {
+				t.Fatalf("surviving worker stats mangled: %+v", ws)
+			}
+		}
+	}
+	if !sawComplete || !sawIncomplete {
+		t.Fatalf("want one complete and one incomplete slot, got %+v", c.WorkerStats)
+	}
+	if snap := co.Snapshot(); !snap.StatsIncomplete {
+		t.Fatal("cluster snapshot did not mirror the incomplete flag")
+	}
+}
+
+// TestObsPiggybackZeroAlloc pins the steady-state piggyback cycle —
+// observe samples, delta-encode into the reused buffer, fold into the
+// cluster aggregates — at zero heap allocations per window.
+func TestObsPiggybackZeroAlloc(t *testing.T) {
+	pb := NewObsPiggybackBench()
+	// Warm-up: size the encode buffer and touch every histogram bucket
+	// the steady state will use.
+	for i := 0; i < 64; i++ {
+		if _, err := pb.Cycle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := pb.Cycle(); err != nil {
+			panic(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state obs piggyback allocates %.1f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkObsPiggyback measures the full worker-side encode +
+// coordinator-side fold cycle and reports the piggyback payload size.
+func BenchmarkObsPiggyback(b *testing.B) {
+	pb := NewObsPiggybackBench()
+	var bytesOut int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := pb.Cycle()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytesOut = n
+	}
+	b.ReportMetric(float64(bytesOut), "payload-bytes")
+}

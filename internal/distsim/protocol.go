@@ -85,12 +85,18 @@ type peer struct {
 	wbuf []byte
 	rbuf []byte
 
+	// stats counts frames, bytes, and faults crossing this connection.
+	// Always non-nil; a link adopts the pointer so counters survive
+	// reconnects, and a worker shares one WireStats across every
+	// connection it ever dials.
+	stats *WireStats
+
 	errMu sync.Mutex
 	err   error
 }
 
 func newPeer(conn net.Conn) *peer {
-	return &peer{conn: conn, br: bufio.NewReaderSize(conn, 1<<16)}
+	return &peer{conn: conn, br: bufio.NewReaderSize(conn, 1<<16), stats: &WireStats{}}
 }
 
 // fail records the first failure and returns it (or the earlier sticky
@@ -132,8 +138,11 @@ func (p *peer) writeFrame(seq, ack uint64, payload []byte) error {
 		defer p.conn.SetWriteDeadline(time.Time{})
 	}
 	if _, err := p.conn.Write(buf); err != nil {
+		p.stats.ConnFailures.Add(1)
 		return p.fail(fmt.Errorf("distsim: send: %w", err))
 	}
+	p.stats.FramesSent.Add(1)
+	p.stats.BytesSent.Add(uint64(len(buf)))
 	return nil
 }
 
@@ -193,6 +202,7 @@ func (p *peer) readFrame(d time.Duration) (seq, ack uint64, payload []byte, err 
 	}
 	var hdr [wireHeaderLen]byte
 	if _, err := io.ReadFull(p.br, hdr[:]); err != nil {
+		p.stats.ConnFailures.Add(1)
 		return 0, 0, nil, p.fail(fmt.Errorf("distsim: recv: %w", err))
 	}
 	n := binary.BigEndian.Uint32(hdr[0:])
@@ -200,6 +210,7 @@ func (p *peer) readFrame(d time.Duration) (seq, ack uint64, payload []byte, err 
 	ack = binary.BigEndian.Uint64(hdr[12:])
 	want := binary.BigEndian.Uint32(hdr[20:])
 	if n > maxFrameLen {
+		p.stats.CorruptFrames.Add(1)
 		return 0, 0, nil, p.fail(fmt.Errorf("%w: length %d", ErrCorruptFrame, n))
 	}
 	if uint32(cap(p.rbuf)) < n {
@@ -207,13 +218,17 @@ func (p *peer) readFrame(d time.Duration) (seq, ack uint64, payload []byte, err 
 	}
 	payload = p.rbuf[:n]
 	if _, err := io.ReadFull(p.br, payload); err != nil {
+		p.stats.ConnFailures.Add(1)
 		return 0, 0, nil, p.fail(fmt.Errorf("distsim: recv: %w", err))
 	}
 	crc := crc32.ChecksumIEEE(hdr[4:20])
 	crc = crc32.Update(crc, crc32.IEEETable, payload)
 	if crc != want {
+		p.stats.CorruptFrames.Add(1)
 		return 0, 0, nil, p.fail(fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrCorruptFrame, want, crc))
 	}
+	p.stats.FramesRecv.Add(1)
+	p.stats.BytesRecv.Add(uint64(wireHeaderLen) + uint64(n))
 	return seq, ack, payload, nil
 }
 
@@ -234,6 +249,7 @@ func (p *peer) recvRaw(d time.Duration) (*frame, uint64, error) {
 	}
 	f, err := unmarshalFrame(payload)
 	if err != nil {
+		p.stats.CorruptFrames.Add(1)
 		return nil, 0, p.fail(err)
 	}
 	return f, seq, nil

@@ -112,6 +112,10 @@ type frame struct {
 	RecvSeq    uint64  // hello/resume: highest sequenced frame processed from the peer
 	SendSeq    uint64  // heartbeat: sender's sequenced-send watermark (progress proof)
 	Next       float64 // done: earliest pending event time on the worker (+Inf when drained)
+	WinSeq     uint64  // window: the coordinator's window barrier sequence (trace anchor)
+	ObsEvery   int     // config: piggyback an obs snapshot every N windows (0 = obs off)
+	ObsSpans   int     // config: worker trace-ring capacity when obs is on
+	Obs        []byte  // done/stats: obs snapshot payload (see distsim obs codec)
 }
 
 // WorkerStats is the per-worker outcome returned at shutdown.
@@ -121,6 +125,10 @@ type WorkerStats struct {
 	Sent           uint64
 	Received       uint64
 	PerLPCounts    map[int]uint64 // model-level counts (filled by the model hook)
+	// Incomplete marks a slot whose worker died between the final
+	// barrier and its stats frame: the run itself completed, but this
+	// entry holds only the LP assignment, not the worker's counts.
+	Incomplete bool
 }
 
 // marshalFrame serializes a frame into a self-contained payload. Field
@@ -172,6 +180,11 @@ func marshalFrameInto(f *frame, buf []byte) []byte {
 	enc.U64(f.RecvSeq)
 	enc.U64(f.SendSeq)
 	enc.F64(f.Next)
+	enc.U64(f.WinSeq)
+	enc.Int(f.ObsEvery)
+	enc.Int(f.ObsSpans)
+	enc.Bool(f.Stats.Incomplete)
+	enc.Raw(f.Obs)
 	return enc.Bytes()
 }
 
@@ -258,6 +271,13 @@ func unmarshalFrameInto(f *frame, evs *[]Event, payload []byte) error {
 	f.RecvSeq = d.U64()
 	f.SendSeq = d.U64()
 	f.Next = d.F64()
+	f.WinSeq = d.U64()
+	f.ObsEvery = d.Int()
+	f.ObsSpans = d.Int()
+	f.Stats.Incomplete = d.Bool()
+	// Obs aliases the payload buffer (same lifetime rule as Event.Data):
+	// receive paths fold or copy the snapshot before the next read.
+	f.Obs = d.RawView()
 	if err := d.Err(); err != nil {
 		return fmt.Errorf("%w: %v", ErrMalformedFrame, err)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/des"
+	"repro/internal/obs"
 )
 
 // DefaultConnectRetries is how many dial/handshake attempts a worker
@@ -94,6 +95,16 @@ type Worker struct {
 	statsSent    bool
 	writeTimeout time.Duration
 
+	// wire accumulates transport counters across every connection this
+	// worker ever dials (shared with each peer; see newWorkerLink).
+	wire WireStats
+	// obs is the worker-side recording state, nil unless enabled by the
+	// coordinator's config (ObsEvery > 0) or EnableObservability.
+	obs *workerObs
+	// obsEvery/obsSpans hold a local EnableObservability request made
+	// before engines exist; applyConfig honors them over the config.
+	obsEvery, obsSpans int
+
 	// Dial opens a connection to the coordinator. Worker.Run sets it
 	// from its address argument when nil; tests and chaos harnesses
 	// preset it to inject faulty transports.
@@ -143,6 +154,36 @@ func NewWorker(lpIDs ...int) *Worker {
 		w.ids = append(w.ids, lp.ID)
 	}
 	return w
+}
+
+// EnableObservability requests worker-side recording regardless of
+// what the coordinator's config says: per-LP trace rings and shared
+// latency histograms, piggybacked to the coordinator every `every`
+// windows (non-positive picks the defaults: every 4, 4096 spans).
+// Normally the coordinator drives this through the config frame
+// (Coordinator.EnableObservability); call before Run.
+func (w *Worker) EnableObservability(every, spanCap int) {
+	if every <= 0 {
+		every = 4
+	}
+	if spanCap <= 0 {
+		spanCap = 1 << 12
+	}
+	w.obsEvery, w.obsSpans = every, spanCap
+}
+
+// WireSnapshot returns the worker's cumulative transport counters —
+// every connection it dialed, including handshake and heartbeat
+// traffic. Safe to call from any goroutine (a metrics endpoint) while
+// the worker runs.
+func (w *Worker) WireSnapshot() LinkStats { return w.wire.Snapshot() }
+
+// newWorkerLink wraps a connection with the worker's shared transport
+// counters, so stats span reconnects instead of dying with each peer.
+func (w *Worker) newWorkerLink(conn net.Conn) *link {
+	p := newPeer(conn)
+	p.stats = &w.wire
+	return newLink(p)
 }
 
 // LP returns the worker-local LP by ID (nil when not owned).
@@ -210,7 +251,7 @@ func (w *Worker) Run(addr string) error {
 // in-memory pipes; cmd/lsnode uses Run). Without a dialer there is no
 // reconnect: the first transport failure is returned.
 func (w *Worker) RunConn(conn net.Conn) error {
-	l := newLink(newPeer(conn))
+	l := w.newWorkerLink(conn)
 	defer l.close()
 	cfg, err := w.register(l)
 	if err != nil {
@@ -233,13 +274,13 @@ func (w *Worker) run(reconnect bool) error {
 	var lastErr error
 	for a := 0; ; a++ {
 		if a > 0 {
-			time.Sleep(bo.Delay(a - 1))
+			w.sleep(bo.Delay(a - 1))
 		}
-		conn, err := dialRetry(w.Dial, attempts, bo)
+		conn, err := dialRetry(w.Dial, attempts, bo, &w.wire)
 		if err != nil {
 			return err
 		}
-		l := newLink(newPeer(conn))
+		l := w.newWorkerLink(conn)
 		cfg, err := w.register(l)
 		if err == nil {
 			if err := w.applyConfig(cfg); err != nil {
@@ -329,6 +370,21 @@ func (w *Worker) applyConfig(cfg *frame) error {
 			lp.OnMessage(ev)
 		})
 	}
+	// Observability: the coordinator's config can switch on recording
+	// for the whole cluster; a local EnableObservability call (made
+	// before engines existed) takes precedence. Observers attach before
+	// Setup so even initial scheduling is on the record.
+	every, spans := w.obsEvery, w.obsSpans
+	if every == 0 && cfg.ObsEvery > 0 {
+		every, spans = cfg.ObsEvery, cfg.ObsSpans
+	}
+	if every > 0 {
+		wo := newWorkerObs(every, spans, len(w.order))
+		w.obs = wo
+		for i, lp := range w.order {
+			lp.E.SetObserver(des.Observer{Recorder: wo.lpRecs[i], Metrics: &wo.met, Track: lp.ID})
+		}
+	}
 	if w.Setup == nil {
 		return fatalf("distsim: worker has no Setup hook")
 	}
@@ -376,6 +432,7 @@ func (w *Worker) serveConn() error {
 					if hb.sendRaw(beat, l.ackedIn.Load()) != nil {
 						return // connection gone; main loop will notice
 					}
+					l.stats.Heartbeats.Add(1)
 				}
 			}
 		}(p)
@@ -395,11 +452,32 @@ func (w *Worker) serveConn() error {
 		}
 		switch f.Kind {
 		case frameWindow:
+			// Observability bookkeeping brackets the window: close the
+			// barrier-wait span opened when the previous done frame went
+			// out, time the deliver merge, and record the whole busy
+			// stretch with the frame's barrier sequence as the anchor
+			// MergeTracks aligns on. All nil-guarded: with obs off this
+			// case costs one pointer test.
+			var t0 int64
+			if wo := w.obs; wo != nil {
+				t0 = obs.Now()
+				if wo.waitStart != 0 {
+					wo.barrierWait.Observe(t0 - wo.waitStart)
+					wo.rec.Record(obs.Span{Wall: wo.waitStart, Dur: t0 - wo.waitStart,
+						Time: f.End, Seq: f.WinSeq, Kind: obs.KindBarrierWait})
+					wo.waitStart = 0
+				}
+			}
 			// Merge the coordinator's inbound events with the events
 			// buffered locally at the previous barrier, restoring the
 			// single global (From, Seq) order package parsim uses, so
 			// equal-time ties break identically in both engines.
 			w.deliver(f.Events)
+			if wo := w.obs; wo != nil {
+				d := obs.Now() - t0
+				wo.deliver.Observe(d)
+				wo.rec.Record(obs.Span{Wall: t0, Dur: d, Time: f.End, Seq: f.WinSeq, Kind: obs.KindDeliver})
+			}
 			for _, lp := range w.order {
 				lp.E.RunUntil(f.End)
 			}
@@ -410,8 +488,20 @@ func (w *Worker) serveConn() error {
 			// marshalled (the send retains the payload, not the events).
 			out := w.outbox
 			w.outbox = out[:0]
-			if err := l.send(&frame{Kind: frameDone, Events: out, Next: w.nextEventTime()}); err != nil {
+			done := frame{Kind: frameDone, Events: out, Next: w.nextEventTime()}
+			if wo := w.obs; wo != nil {
+				now := obs.Now()
+				wo.rec.Record(obs.Span{Wall: t0, Dur: now - t0, Time: f.End, Seq: f.WinSeq, Kind: obs.KindWindowBusy})
+				wo.windows++
+				if wo.windows%uint64(wo.every) == 0 {
+					done.Obs = wo.encode(&w.wire, w.ids, false)
+				}
+			}
+			if err := l.send(&done); err != nil {
 				return err
+			}
+			if wo := w.obs; wo != nil {
+				wo.waitStart = obs.Now()
 			}
 		case frameCheckpoint:
 			data, err := w.snapshot()
@@ -441,7 +531,14 @@ func (w *Worker) serveConn() error {
 			if w.CountEvents != nil {
 				stats.PerLPCounts = w.CountEvents()
 			}
-			if err := l.send(&frame{Kind: frameStats, Stats: stats}); err != nil {
+			final := frame{Kind: frameStats, Stats: stats}
+			if wo := w.obs; wo != nil {
+				// The final snapshot ships whatever histogram tail the
+				// piggyback cadence missed, plus the full trace rings for
+				// the merged cluster timeline.
+				final.Obs = wo.encode(&w.wire, w.ids, true)
+			}
+			if err := l.send(&final); err != nil {
 				w.statsSent = true // retained; a reconnect replays it
 				return err
 			}
@@ -473,13 +570,14 @@ func (w *Worker) reconnect(bo *Backoff) error {
 	}
 	var lastErr error
 	for a := 0; a < attempts; a++ {
-		time.Sleep(bo.Delay(a))
+		w.sleep(bo.Delay(a))
 		conn, err := w.Dial()
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		p := newPeer(conn)
+		p.stats = &w.wire
 		p.writeTimeout = w.writeTimeout
 		err = func() error {
 			hello := &frame{Kind: frameHello, Session: w.session, RecvSeq: w.link.recvSeq, LPs: w.ids}
@@ -496,12 +594,22 @@ func (w *Worker) reconnect(bo *Backoff) error {
 			return w.link.rebind(p, f.RecvSeq)
 		}()
 		if err == nil {
+			if wo := w.obs; wo != nil {
+				wo.rec.Record(obs.Span{Wall: obs.Now(), Kind: obs.KindResume})
+			}
 			return nil
 		}
 		lastErr = err
 		p.close()
 	}
 	return lastErr
+}
+
+// sleep pauses for d, counting the pause into the backoff-time
+// transport counter.
+func (w *Worker) sleep(d time.Duration) {
+	w.wire.BackoffNs.Add(uint64(d))
+	time.Sleep(d)
 }
 
 // deliver merges the coordinator's inbound events with the local

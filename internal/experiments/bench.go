@@ -300,6 +300,38 @@ func benchCases() []struct {
 			},
 		})
 	}
+	// ObsPiggyback prices one telemetry piggyback cycle — the worker
+	// delta-encodes its histograms and counters, the coordinator folds
+	// the payload into the cluster aggregates. This rides every K-th
+	// done frame of an observed distributed run, so allocs/op must be 0
+	// (the PR-7 zero-steady-state-allocation claim) and payload_bytes is
+	// the wire cost added per piggyback.
+	cases = append(cases, struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		name: "ObsPiggyback",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			pb := distsim.NewObsPiggybackBench()
+			var payload int
+			for i := 0; i < 64; i++ { // warm the encode buffer + buckets
+				if _, err := pb.Cycle(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err := pb.Cycle()
+				if err != nil {
+					b.Fatal(err)
+				}
+				payload = n
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(payload), "payload_bytes")
+		},
+	})
 	return cases
 }
 

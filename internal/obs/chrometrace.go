@@ -20,13 +20,36 @@ type Track struct {
 	Rec *Recorder
 }
 
+// SpanTrack is a named timeline over an explicit span slice — the form
+// tracks take after crossing a process boundary (shipped in a stats
+// frame) or after MergeTracks aligned them onto a shared clock.
+type SpanTrack struct {
+	// Name labels the track ("coordinator", "w0/lp-3").
+	Name string
+	// TID is the Chrome-trace thread id; distinct per track.
+	TID int
+	// Spans holds the track's records, oldest first.
+	Spans []Span
+}
+
+// SpanTrackOf snapshots a live Track into its exportable form.
+func SpanTrackOf(tr Track) SpanTrack {
+	st := SpanTrack{Name: tr.Name, TID: tr.TID}
+	if tr.Rec != nil {
+		st.Spans = tr.Rec.Spans()
+	}
+	return st
+}
+
 // WriteChromeTrace renders tracks in the Chrome trace-event JSON
 // format (the {"traceEvents": [...]} object form), loadable in
 // Perfetto and chrome://tracing:
 //
-//   - exec / barrier-wait / window-busy spans become complete ("X")
-//     events with wall-clock ts/dur in microseconds,
-//   - schedule / cancel marks become instant ("i") events,
+//   - duration kinds (exec, barrier-wait, window-busy, deliver, the
+//     coordinator window phases, heal/checkpoint/recovery) become
+//     complete ("X") events with wall-clock ts/dur in microseconds,
+//   - point kinds (schedule, cancel, skip, resume) become instant
+//     ("i") events,
 //   - the pending-queue depth carried by exec and schedule records
 //     becomes a per-track counter ("C") series,
 //   - simulation time and event seq ride along in args, so a span can
@@ -34,6 +57,16 @@ type Track struct {
 //
 // All tracks share pid 0; each gets a thread_name metadata record.
 func WriteChromeTrace(w io.Writer, tracks ...Track) error {
+	sts := make([]SpanTrack, len(tracks))
+	for i, tr := range tracks {
+		sts[i] = SpanTrackOf(tr)
+	}
+	return WriteChromeTraceSpans(w, sts...)
+}
+
+// WriteChromeTraceSpans is WriteChromeTrace over pre-extracted span
+// tracks; see there for the emitted event vocabulary.
+func WriteChromeTraceSpans(w io.Writer, tracks ...SpanTrack) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
 		return err
@@ -51,21 +84,19 @@ func WriteChromeTrace(w io.Writer, tracks ...Track) error {
 			tr.TID, strconv.Quote(tr.Name)))
 	}
 	for _, tr := range tracks {
-		if tr.Rec == nil {
-			continue
-		}
 		counter := strconv.Quote("queue:" + tr.Name)
-		for _, s := range tr.Rec.Spans() {
+		for _, s := range tr.Spans {
 			name := s.Label
 			if name == "" {
 				name = s.Kind.String()
 			}
 			ts := float64(s.Wall) / 1e3 // ns → µs
 			switch s.Kind {
-			case KindExec, KindBarrierWait, KindWindowBusy:
+			case KindExec, KindBarrierWait, KindWindowBusy, KindDeliver,
+				KindWindowSend, KindAwaitBarrier, KindHeal, KindCheckpoint, KindRecovery:
 				emit(fmt.Sprintf(`{"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"name":%s,"cat":%q,"args":{"t":%g,"seq":%d}}`,
 					tr.TID, ts, float64(s.Dur)/1e3, strconv.Quote(name), s.Kind, s.Time, s.Seq))
-			case KindSchedule, KindCancel:
+			case KindSchedule, KindCancel, KindSkip, KindResume:
 				emit(fmt.Sprintf(`{"ph":"i","s":"t","pid":0,"tid":%d,"ts":%.3f,"name":%s,"cat":%q,"args":{"t":%g,"seq":%d}}`,
 					tr.TID, ts, strconv.Quote(name), s.Kind, s.Time, s.Seq))
 			}

@@ -1,0 +1,72 @@
+package obs
+
+import "testing"
+
+// TestMergeTracksAlignsByBarrier pins the causal alignment rule: each
+// group shifts by the max over common window seqs of (coordinator
+// anchor wall − worker anchor wall), so every worker window lands at
+// or after the coordinator frame that started it.
+func TestMergeTracksAlignsByBarrier(t *testing.T) {
+	ref := []SpanTrack{{Name: "coordinator", TID: 0, Spans: []Span{
+		{Wall: 1000, Dur: 10, Seq: 1, Kind: KindWindowSend},
+		{Wall: 2000, Dur: 10, Seq: 2, Kind: KindWindowSend},
+	}}}
+	// Worker epoch starts near zero: its window 1 began at wall 5,
+	// window 2 at wall 900. Offsets per anchor: 1000-5=995, 2000-900=1100;
+	// causality demands the max, 1100.
+	worker := []SpanTrack{{Name: "worker", TID: 1, Spans: []Span{
+		{Wall: 5, Dur: 100, Seq: 1, Kind: KindWindowBusy},
+		{Wall: 900, Dur: 100, Seq: 2, Kind: KindWindowBusy},
+		{Wall: 950, Dur: 5, Seq: 2, Kind: KindExec},
+	}}}
+
+	merged := MergeTracks(ref, worker)
+	if len(merged) != 2 {
+		t.Fatalf("got %d tracks, want 2", len(merged))
+	}
+	if merged[0].Spans[0].Wall != 1000 {
+		t.Fatal("reference track was shifted")
+	}
+	got := merged[1].Spans
+	if got[0].Wall != 5+1100 || got[1].Wall != 900+1100 || got[2].Wall != 950+1100 {
+		t.Fatalf("worker spans shifted wrong: %+v", got)
+	}
+	// Inputs must not be mutated.
+	if worker[0].Spans[0].Wall != 5 {
+		t.Fatal("input spans mutated")
+	}
+}
+
+// TestMergeTracksRecoveryDup pins the repeat-seq rule: after rollback
+// recovery the same window seq appears twice; the first occurrence of
+// each anchor stays authoritative on both sides.
+func TestMergeTracksRecoveryDup(t *testing.T) {
+	ref := []SpanTrack{{Name: "coordinator", TID: 0, Spans: []Span{
+		{Wall: 100, Seq: 1, Kind: KindWindowSend},
+		{Wall: 500, Seq: 1, Kind: KindWindowSend}, // re-sent after rollback
+	}}}
+	worker := []SpanTrack{{Name: "worker", TID: 1, Spans: []Span{
+		{Wall: 50, Seq: 1, Kind: KindWindowBusy},
+		{Wall: 450, Seq: 1, Kind: KindWindowBusy},
+	}}}
+	merged := MergeTracks(ref, worker)
+	// First occurrences anchor: offset = 100 - 50 = 50.
+	if got := merged[1].Spans[0].Wall; got != 100 {
+		t.Fatalf("first-occurrence offset wrong: wall %d, want 100", got)
+	}
+}
+
+// TestMergeTracksNoCommonAnchor pins the fallback: a group with no
+// matching barrier anchor merges unshifted rather than being dropped.
+func TestMergeTracksNoCommonAnchor(t *testing.T) {
+	ref := []SpanTrack{{Name: "coordinator", TID: 0, Spans: []Span{
+		{Wall: 100, Seq: 1, Kind: KindWindowSend},
+	}}}
+	worker := []SpanTrack{{Name: "worker", TID: 1, Spans: []Span{
+		{Wall: 7, Seq: 99, Kind: KindExec}, // no anchors at all
+	}}}
+	merged := MergeTracks(ref, worker)
+	if got := merged[1].Spans[0].Wall; got != 7 {
+		t.Fatalf("anchorless group shifted to %d, want 7", got)
+	}
+}

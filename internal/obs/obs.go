@@ -70,6 +70,32 @@ const (
 	// KindWindowBusy is a federation worker's busy portion of one
 	// synchronization window (claiming and running LPs).
 	KindWindowBusy
+	// KindDeliver is a distributed worker merging a window's remote
+	// events into its engines (sort + schedule), nested at the start of
+	// the window-busy span.
+	KindDeliver
+	// KindWindowSend is the coordinator fanning one window frame out to
+	// every worker. Its Seq is the window barrier sequence — the anchor
+	// MergeTracks aligns worker tracks against.
+	KindWindowSend
+	// KindAwaitBarrier is the coordinator blocked collecting done
+	// frames for one window barrier.
+	KindAwaitBarrier
+	// KindHeal is the coordinator re-admitting a reconnecting worker
+	// (session resume + retained-frame replay) inside a barrier.
+	KindHeal
+	// KindCheckpoint is one cluster checkpoint round (snapshot barrier
+	// plus persistence).
+	KindCheckpoint
+	// KindSkip marks the coordinator jumping idle lookahead windows;
+	// Seq carries how many windows were skipped.
+	KindSkip
+	// KindResume marks a successful session-resume handshake (worker or
+	// coordinator side).
+	KindResume
+	// KindRecovery is a rollback-recovery round: restoring the cluster
+	// from the last checkpoint after a worker loss.
+	KindRecovery
 )
 
 // String returns the Chrome-trace event name for the kind.
@@ -85,6 +111,22 @@ func (k Kind) String() string {
 		return "barrier-wait"
 	case KindWindowBusy:
 		return "window-busy"
+	case KindDeliver:
+		return "deliver"
+	case KindWindowSend:
+		return "window-send"
+	case KindAwaitBarrier:
+		return "await-barrier"
+	case KindHeal:
+		return "heal"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindSkip:
+		return "skip"
+	case KindResume:
+		return "resume"
+	case KindRecovery:
+		return "recovery"
 	}
 	return "?"
 }

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// This file is the wire half of cluster observability: compact codecs
+// for shipping histograms and trace spans across a process boundary
+// with checkpoint.Enc/Dec. The histogram codec is delta-based — a
+// worker piggybacking a snapshot every K windows sends only the
+// buckets that changed since the last ship — so the steady-state
+// payload stays tens of bytes and the encode path allocation-free.
+
+// AppendDelta appends the difference between h and prev (an earlier
+// copy of the same histogram) to enc. Samples are non-negative and a
+// histogram only accumulates, so every delta field is itself a
+// non-negative uvarint: deltaN, deltaSum, current min and max, then
+// the changed buckets as (index, deltaCount) pairs.
+func (h *Histogram) AppendDelta(enc *checkpoint.Enc, prev *Histogram) {
+	enc.U64(h.n - prev.n)
+	enc.U64(uint64(h.sum - prev.sum))
+	enc.U64(uint64(h.min))
+	enc.U64(uint64(h.max))
+	changed := 0
+	for i := range h.counts {
+		if h.counts[i] != prev.counts[i] {
+			changed++
+		}
+	}
+	enc.Int(changed)
+	for i := range h.counts {
+		if d := h.counts[i] - prev.counts[i]; d != 0 {
+			enc.Int(i)
+			enc.U64(d)
+		}
+	}
+}
+
+// MergeDelta folds one AppendDelta payload into h. The sender's min
+// and max are cumulative over its whole run, so folding them with
+// min/max keeps h's bounds exact even though only deltas travel.
+func (h *Histogram) MergeDelta(d *checkpoint.Dec) error {
+	dn := d.U64()
+	dsum := int64(d.U64())
+	mn := int64(d.U64())
+	mx := int64(d.U64())
+	changed := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if changed < 0 || changed > len(h.counts) {
+		return fmt.Errorf("obs: histogram delta with %d changed buckets", changed)
+	}
+	for k := 0; k < changed; k++ {
+		i := d.Int()
+		c := d.U64()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if i < 0 || i >= len(h.counts) {
+			return fmt.Errorf("obs: histogram delta bucket %d out of range", i)
+		}
+		h.counts[i] += c
+	}
+	if dn > 0 {
+		if h.n == 0 || mn < h.min {
+			h.min = mn
+		}
+		if mx > h.max {
+			h.max = mx
+		}
+		h.n += dn
+		h.sum += dsum
+	}
+	return d.Err()
+}
+
+// AppendSpan appends one span to enc. Wall and Dur are non-negative
+// by construction (Observe-style clamping happens at record time), and
+// Track/Queue are non-negative indices, so everything but Time rides
+// as a uvarint.
+func AppendSpan(enc *checkpoint.Enc, s *Span) {
+	enc.U64(uint64(s.Wall))
+	enc.U64(uint64(s.Dur))
+	enc.F64(s.Time)
+	enc.U64(s.Seq)
+	enc.Str(s.Label)
+	enc.Int(int(s.Track))
+	enc.Int(int(s.Queue))
+	enc.Int(int(s.Kind))
+}
+
+// DecodeSpan reads one AppendSpan record; check d.Err afterwards.
+func DecodeSpan(d *checkpoint.Dec) Span {
+	var s Span
+	s.Wall = int64(d.U64())
+	s.Dur = int64(d.U64())
+	s.Time = d.F64()
+	s.Seq = d.U64()
+	s.Label = d.Str()
+	s.Track = int32(d.Int())
+	s.Queue = int32(d.Int())
+	s.Kind = Kind(d.Int())
+	return s
+}
+
+// AppendSpanTrack appends a whole named track (used by the final stats
+// frame, which ships each worker's trace rings to the coordinator).
+func AppendSpanTrack(enc *checkpoint.Enc, tr SpanTrack) {
+	enc.Str(tr.Name)
+	enc.Int(tr.TID)
+	enc.Int(len(tr.Spans))
+	for i := range tr.Spans {
+		AppendSpan(enc, &tr.Spans[i])
+	}
+}
+
+// DecodeSpanTrack reads one AppendSpanTrack record.
+func DecodeSpanTrack(d *checkpoint.Dec) (SpanTrack, error) {
+	var tr SpanTrack
+	tr.Name = d.Str()
+	tr.TID = d.Int()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return tr, err
+	}
+	if n < 0 || n > d.Remaining() {
+		return tr, fmt.Errorf("obs: span track %q claims %d spans with %d bytes left", tr.Name, n, d.Remaining())
+	}
+	tr.Spans = make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		tr.Spans = append(tr.Spans, DecodeSpan(d))
+		if err := d.Err(); err != nil {
+			return tr, err
+		}
+	}
+	return tr, nil
+}
