@@ -4,7 +4,7 @@ GO ?= go
 TRACE_OUT ?= /tmp/lsds_trace_e5.json
 CKPT_OUT ?= /tmp/lsds_phold.ckpt
 
-.PHONY: all build test tier1 vet race bench benchjson trace-smoke checkpoint-smoke chaos-smoke dist-smoke obs-smoke clean
+.PHONY: all build test tier1 vet race bench benchjson trace-smoke checkpoint-smoke chaos-smoke dist-smoke obs-smoke balance-smoke clean
 
 all: tier1
 
@@ -18,10 +18,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the packages with real concurrency: the parallel
-# federation, the TCP-distributed engine, the fault injector, and the
-# engine they drive.
+# federation, the TCP-distributed engine, the fault injector, the
+# engine they drive, and the optimistic/checkpoint layers they build
+# on.
 race:
-	$(GO) test -race ./internal/parsim/... ./internal/des/... ./internal/distsim/... ./internal/chaos/...
+	$(GO) test -race ./internal/parsim/... ./internal/des/... ./internal/distsim/... ./internal/chaos/... ./internal/optsim/... ./internal/checkpoint/...
 
 # tier1 is the acceptance gate: build + full tests, plus vet and the
 # race detector over the concurrent packages.
@@ -30,11 +31,11 @@ tier1: build test vet race
 bench:
 	$(GO) test -bench 'E3|PHOLD|Federation|ScheduleExecute' -benchmem -run '^$$' ./...
 
-# Machine-readable hot-path allocation report (includes the PR-6
-# distributed window-throughput cases and the PR-7 telemetry
-# piggyback; see BENCH_5.json).
+# Machine-readable hot-path allocation report (includes the PR-8
+# migration-cost and skewed-window rebalancing cases; see
+# BENCH_6.json).
 benchjson:
-	$(GO) run ./cmd/experiments -benchjson BENCH_5.json
+	$(GO) run ./cmd/experiments -benchjson BENCH_6.json
 
 # trace-smoke runs a quick traced E5 federation and validates the
 # Chrome trace output: ObserveE5 re-reads the written file through a
@@ -94,6 +95,24 @@ obs-smoke:
 	$(GO) test -race -count=1 \
 		-run 'TestClusterObs|TestStatsIncomplete|TestObsPiggybackZeroAlloc|TestMergeTracks|TestHistogramDelta|TestServeMetrics' \
 		./internal/distsim/ ./internal/obs/ ./internal/monitoring/
+
+# balance-smoke is the end-to-end check of adaptive partitioning: a
+# skewed distributed PHOLD run (both hot LPs start on worker 0) with
+# -rebalance must migrate LPs mid-run yet stay -verify'd bit-identical
+# to the single-process reference; the same run then repeats with two
+# scripted connection resets, forcing session resume to replay
+# migration frames under chaos. The e2e suites cover rollback recovery
+# across a migration and checkpoint file resume into the migrated
+# layout, under -race.
+balance-smoke:
+	$(GO) run ./cmd/lssim -sim distphold -horizon 24 \
+		-skew-hot 2 -skew 4 -rebalance -rebalance-every 2 -verify
+	$(GO) run ./cmd/lssim -sim distphold -horizon 24 \
+		-skew-hot 2 -skew 4 -rebalance -rebalance-every 2 \
+		-chaos-seed 4 -chaos-reset-at 9,23 -verify
+	$(GO) test -race -count=1 \
+		-run 'TestRebalanceUnderChaos|TestRebalanceRecoveryAcrossMigration|TestRebalanceFileResumeAcrossMigration' \
+		./internal/distsim/
 
 clean:
 	$(GO) clean ./...

@@ -25,6 +25,7 @@ import (
 	"repro/internal/distsim"
 	"repro/internal/metrics"
 	"repro/internal/monitoring"
+	"repro/internal/partition"
 )
 
 func main() {
@@ -52,6 +53,12 @@ func main() {
 	obsSpans := flag.Int("obs-spans", 0, "coordinator: per-track trace ring capacity (0 = default)")
 	tracePath := flag.String("trace", "", "coordinator: write merged cluster Chrome trace to this file (implies -obs-every 1)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live JSON metrics + pprof on this address (both modes)")
+	rebalance := flag.Bool("rebalance", false, "coordinator: adaptively migrate LPs between workers when load skews")
+	rebalanceEvery := flag.Int("rebalance-every", 0, "coordinator: rebalance planning cadence in executed windows (0 = 16 default)")
+	imbalanceThresh := flag.Float64("imbalance-thresh", 0, "coordinator: migrate only when max worker load > thresh * mean (0 = 1.25 default)")
+	skewHot := flag.Int("skew-hot", 0, "PHOLD: make the lowest N LPs hot (all nodes must agree)")
+	skewFactor := flag.Float64("skew", 1, "PHOLD: hot LPs fire this many times as often (all nodes must agree)")
+	hotHoldNs := flag.Int("hot-hold-ns", 0, "worker: extra wall ns a hot LP holds its worker per event (load shaping only)")
 	flag.Parse()
 
 	switch *mode {
@@ -71,6 +78,10 @@ func main() {
 		c.CheckpointPath = *ckptFile
 		c.ResumePath = *resumeFile
 		c.SkipIdle = *skipIdle
+		if *rebalance {
+			c.Rebalance = &partition.Greedy{Threshold: *imbalanceThresh}
+			c.RebalanceEvery = *rebalanceEvery
+		}
 		if *tracePath != "" && *obsEvery == 0 {
 			*obsEvery = 1
 		}
@@ -110,6 +121,9 @@ func main() {
 		t.AddRowf("windows skipped", c.WindowsSkipped)
 		t.AddRowf("events routed", c.EventsRouted)
 		t.AddRowf("recoveries", c.Recoveries)
+		if *rebalance {
+			t.AddRowf("migrations", c.Migrations)
+		}
 		if c.StatsIncomplete {
 			t.AddRowf("stats incomplete", true)
 		}
@@ -151,7 +165,7 @@ func main() {
 			ids = append(ids, id)
 		}
 		w := distsim.NewWorker(ids...)
-		distsim.InstallPHOLDFactor(w, *lps, *jobs, *remote, *work, *delayFactor)
+		distsim.InstallPHOLDSkew(w, *lps, *jobs, *remote, *work, *delayFactor, *skewHot, *skewFactor, *hotHoldNs)
 		// A worker started before its coordinator retries the dial with
 		// capped exponential backoff instead of exiting immediately.
 		w.ConnectRetries = *connRetries

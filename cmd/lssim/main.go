@@ -25,6 +25,12 @@
 // answers. -delay-factor widens the mean event spacing (sparse
 // traffic) and -skip-idle enables coordinator window skipping over the
 // resulting empty windows; -verify still holds in both modes.
+// -skew-hot/-skew make the lowest LPs hot (they fire -skew times as
+// often), and -rebalance turns on adaptive partitioning: the
+// coordinator watches per-LP load and live-migrates LPs between
+// workers at window barriers (cadence -rebalance-every, hysteresis
+// -imbalance-thresh). -verify still holds — migration never changes
+// results, only where the work runs.
 //
 // With cluster observability on (-trace, -histo, -metrics-addr, or
 // -obs-every) distphold aggregates worker telemetry shipped over the
@@ -53,6 +59,7 @@ import (
 	"repro/internal/monitoring"
 	"repro/internal/obs"
 	"repro/internal/parsim"
+	"repro/internal/partition"
 	"repro/internal/simulators/bricks"
 	"repro/internal/simulators/chicsim"
 	"repro/internal/simulators/gridsim"
@@ -149,7 +156,7 @@ func runPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, workers 
 // through the coordinator's ClusterObs — the sequential default
 // observer cannot be used here because the in-process workers run
 // concurrently.
-func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon float64, delayFactor float64, skipIdle bool, ch chaos.Config, resetAt string, verify bool, obsEvery int, tracePath, metricsAddr string, histo bool) error {
+func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon float64, delayFactor float64, skipIdle bool, ch chaos.Config, resetAt string, verify bool, obsEvery int, tracePath, metricsAddr string, histo bool, rebalance bool, rebalanceEvery int, imbalanceThresh float64, skewHot int, skewFactor float64) error {
 	jobsPer := pholdJobs
 	if jobs > 0 {
 		jobsPer = jobs
@@ -182,6 +189,12 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon flo
 
 	c := distsim.NewCoordinator(pholdLPs, pholdLookahead, horizon, seed)
 	c.SkipIdle = skipIdle
+	if rebalance {
+		// Event-count weights keep the CLI's planning deterministic for
+		// a given seed; the busy-ns signal is available through the API.
+		c.Rebalance = &partition.Greedy{Threshold: imbalanceThresh, UseEvents: true}
+		c.RebalanceEvery = rebalanceEvery
+	}
 	c.Timeout = 2 * time.Second
 	c.ReconnectWait = 10 * time.Second
 	c.MaxReconnects = 1 << 20
@@ -213,7 +226,7 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon flo
 			ids = append(ids, lp)
 		}
 		w := distsim.NewWorker(ids...)
-		distsim.InstallPHOLDFactor(w, pholdLPs, jobsPer, pholdRemote, pholdWork, delayFactor)
+		distsim.InstallPHOLDSkew(w, pholdLPs, jobsPer, pholdRemote, pholdWork, delayFactor, skewHot, skewFactor, 0)
 		w.ConnectBackoff = 10 * time.Millisecond
 		w.ConnectRetries = 100
 		// Short handshake waits: a dropped hello or resume reply must be
@@ -266,6 +279,9 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon flo
 	t.AddRowf("events routed", c.EventsRouted)
 	t.AddRowf("engine events", executed)
 	t.AddRowf("reconnects", c.Reconnects)
+	if rebalance {
+		t.AddRowf("migrations", c.Migrations)
+	}
 	t.AddRowf("per-LP events", fmt.Sprint(perLP))
 	if c.StatsIncomplete {
 		t.AddRowf("stats incomplete", true)
@@ -315,8 +331,11 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon flo
 	if len(forced) > 0 && c.Reconnects < len(forced) {
 		return fmt.Errorf("%d scripted resets forced only %d reconnects", len(forced), c.Reconnects)
 	}
+	if rebalance && skewHot > 0 && c.Migrations == 0 {
+		return fmt.Errorf("rebalance: the skewed run migrated nothing (imbalance never crossed the threshold)")
+	}
 	if verify {
-		ref := parsim.NewPHOLDFactor(pholdLPs, 1, pholdLookahead, jobsPer, pholdRemote, pholdWork, seed, delayFactor)
+		ref := parsim.NewPHOLDSkew(pholdLPs, 1, pholdLookahead, jobsPer, pholdRemote, pholdWork, seed, delayFactor, skewHot, skewFactor)
 		ref.Run(horizon)
 		want := ref.PerLPEvents()
 		for i := range want {
@@ -373,6 +392,11 @@ func main() {
 	chaosResetAt := flag.String("chaos-reset-at", "", "distphold: comma-separated coordinator message indices to force-reset at")
 	obsEvery := flag.Int("obs-every", 0, "distphold: piggyback cluster telemetry every N windows (0 = off unless -trace/-histo/-metrics-addr)")
 	metricsAddr := flag.String("metrics-addr", "", "distphold: serve live JSON cluster metrics + pprof on this address (e.g. 127.0.0.1:0)")
+	rebalance := flag.Bool("rebalance", false, "distphold: adaptively migrate LPs between workers when load skews")
+	rebalanceEvery := flag.Int("rebalance-every", 0, "distphold: planning cadence in executed windows (0 = 16 default)")
+	imbalanceThresh := flag.Float64("imbalance-thresh", 0, "distphold: migrate only when max worker load > thresh * mean (0 = 1.25 default)")
+	skewHot := flag.Int("skew-hot", 0, "distphold: make the lowest N LPs hot")
+	skewFactor := flag.Float64("skew", 1, "distphold: hot LPs fire this many times as often")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -496,7 +520,7 @@ func main() {
 			Reorder: *chaosReorder, Corrupt: *chaosCorrupt, Reset: *chaosReset,
 			Delay: *chaosDelay, Jitter: *chaosJitter,
 		}
-		if err := runDistPHOLD(t, *seed, *jobs, *workers, *horizon, *delayFactor, *skipIdle, ch, *chaosResetAt, *verify, *obsEvery, *trace, *metricsAddr, *histo); err != nil {
+		if err := runDistPHOLD(t, *seed, *jobs, *workers, *horizon, *delayFactor, *skipIdle, ch, *chaosResetAt, *verify, *obsEvery, *trace, *metricsAddr, *histo, *rebalance, *rebalanceEvery, *imbalanceThresh, *skewHot, *skewFactor); err != nil {
 			fmt.Fprintln(os.Stderr, "lssim:", err)
 			os.Exit(1)
 		}

@@ -216,13 +216,14 @@ func SelfProfile() *taxonomy.Profile {
 		DESKinds: []taxonomy.DESKind{
 			taxonomy.DESEventDriven, taxonomy.DESTimeDriven, taxonomy.DESTraceDriven,
 		},
-		Execution:     taxonomy.ExecDistributed,
-		MultiThreaded: true,
-		Queue:         taxonomy.QueueO1,
-		JobMapping:    "goroutine active objects; pooled LP workers",
-		Spec:          []taxonomy.SpecStyle{taxonomy.SpecLibrary},
-		Inputs:        []taxonomy.InputKind{taxonomy.InputGenerator, taxonomy.InputMonitored},
-		Outputs:       []taxonomy.OutputKind{taxonomy.OutTextual, taxonomy.OutGraphical},
-		Validation:    taxonomy.ValidationBothKind,
+		Execution:        taxonomy.ExecDistributed,
+		MultiThreaded:    true,
+		DynamicBalancing: true,
+		Queue:            taxonomy.QueueO1,
+		JobMapping:       "goroutine active objects; pooled LP workers",
+		Spec:             []taxonomy.SpecStyle{taxonomy.SpecLibrary},
+		Inputs:           []taxonomy.InputKind{taxonomy.InputGenerator, taxonomy.InputMonitored},
+		Outputs:          []taxonomy.OutputKind{taxonomy.OutTextual, taxonomy.OutGraphical},
+		Validation:       taxonomy.ValidationBothKind,
 	}
 }

@@ -1,0 +1,136 @@
+package distsim
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestBackoffDefaults pins the documented defaults newBackoff fills
+// in for a zero base.
+func TestBackoffDefaults(t *testing.T) {
+	b := newBackoff(0, 1, "test")
+	if b.Base != 50*time.Millisecond || b.Max != 5*time.Second || b.Factor != 2 || b.Jitter != 0.25 {
+		t.Fatalf("defaults = {%v %v %v %v}", b.Base, b.Max, b.Factor, b.Jitter)
+	}
+}
+
+// TestBackoffCapSaturation verifies that large attempt numbers clamp
+// to Max — including the jitter, which must never push a delay past
+// the cap — and that saturation does not loop attempt-many times.
+func TestBackoffCapSaturation(t *testing.T) {
+	b := newBackoff(time.Millisecond, 7, "cap")
+	for attempt := 0; attempt < 64; attempt++ {
+		if d := b.Delay(attempt); d > b.Max {
+			t.Fatalf("Delay(%d) = %v exceeds cap %v", attempt, d, b.Max)
+		}
+	}
+	// 1ms doubling crosses the 5s cap well before attempt 62; with an
+	// unbroken loop the multiply would overflow float precision into
+	// garbage rather than the cap.
+	if d := b.Delay(62); d != b.Max {
+		t.Fatalf("saturated Delay(62) = %v, want exactly %v", d, b.Max)
+	}
+}
+
+// TestBackoffGrowth verifies the exponential shape below the cap:
+// with jitter disabled each delay is Factor times the previous one.
+func TestBackoffGrowth(t *testing.T) {
+	b := newBackoff(10*time.Millisecond, 7, "growth")
+	b.Jitter = 0
+	for attempt := 0; attempt < 5; attempt++ {
+		want := 10 * time.Millisecond << attempt
+		if d := b.Delay(attempt); d != want {
+			t.Fatalf("Delay(%d) = %v, want %v", attempt, d, want)
+		}
+	}
+}
+
+// TestBackoffDeterministicJitter is the replayability property: two
+// Backoffs built from the same seed and name draw the same jitter
+// sequence, while a different stream name draws a different one.
+func TestBackoffDeterministicJitter(t *testing.T) {
+	a := newBackoff(10*time.Millisecond, 42, "worker:[0 1]")
+	b := newBackoff(10*time.Millisecond, 42, "worker:[0 1]")
+	other := newBackoff(10*time.Millisecond, 42, "worker:[2 3]")
+	same, differs := true, false
+	for attempt := 0; attempt < 16; attempt++ {
+		da, db, dc := a.Delay(attempt), b.Delay(attempt), other.Delay(attempt)
+		if da != db {
+			same = false
+		}
+		if da != dc {
+			differs = true
+		}
+		if attempt < 8 { // past that the 5s cap clamps below the raw exponent
+			if da < 10*time.Millisecond<<attempt {
+				t.Fatalf("Delay(%d) = %v below the jitter-free floor", attempt, da)
+			}
+		}
+	}
+	if !same {
+		t.Fatal("equal seed+name produced different delay sequences")
+	}
+	if !differs {
+		t.Fatal("different stream names never diverged in 16 draws")
+	}
+}
+
+// TestBackoffNilSourceJitterFree covers the zero-value Backoff (no
+// rng stream): jitter is skipped rather than panicking.
+func TestBackoffNilSourceJitterFree(t *testing.T) {
+	b := &Backoff{Base: time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.25}
+	if d := b.Delay(3); d != 8*time.Millisecond {
+		t.Fatalf("Delay(3) = %v, want 8ms", d)
+	}
+}
+
+// TestDialRetryZeroAttempts pins the attempts<=0 contract: exactly
+// one attempt, no sleeping, and the error wraps the dial failure.
+func TestDialRetryZeroAttempts(t *testing.T) {
+	for _, attempts := range []int{0, -3} {
+		calls := 0
+		boom := errors.New("boom")
+		start := time.Now()
+		_, err := dialRetry(func() (net.Conn, error) {
+			calls++
+			return nil, boom
+		}, attempts, newBackoff(time.Second, 1, "zero"), nil)
+		if calls != 1 {
+			t.Fatalf("attempts=%d dialed %d times, want 1", attempts, calls)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("error %v does not wrap the dial failure", err)
+		}
+		if time.Since(start) > 500*time.Millisecond {
+			t.Fatal("single-attempt dialRetry slept")
+		}
+	}
+}
+
+// TestDialRetryCountsBackoff verifies retries succeed mid-budget and
+// that every slept delay lands in WireStats.BackoffNs.
+func TestDialRetryCountsBackoff(t *testing.T) {
+	var stats WireStats
+	calls := 0
+	conn, err := dialRetry(func() (net.Conn, error) {
+		calls++
+		if calls < 3 {
+			return nil, errors.New("not yet")
+		}
+		c, s := net.Pipe()
+		s.Close()
+		return c, nil
+	}, 5, newBackoff(time.Microsecond, 1, "count"), &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if calls != 3 {
+		t.Fatalf("dialed %d times, want 3", calls)
+	}
+	if stats.BackoffNs.Load() == 0 {
+		t.Fatal("BackoffNs never counted the sleeps")
+	}
+}

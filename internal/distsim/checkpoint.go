@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
 
 	"repro/internal/checkpoint"
 )
@@ -123,9 +124,14 @@ func (w *Worker) snapshot() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// restore overwrites the worker's state from a snapshot produced by a
-// worker owning the same LP set (engines must exist: restore happens
-// after config and Setup).
+// restore overwrites the worker's state from a snapshot (engines must
+// exist: restore happens after config and Setup). The snapshot's LP
+// set may differ from the worker's current one — live migration can
+// move LPs between the checkpointed barrier and a rollback — in which
+// case ownership is reconciled first: LPs the snapshot does not cover
+// are dropped, LPs it covers but the worker lacks are built fresh
+// (which requires the model to implement Migrator, for the per-LP
+// install hook).
 func (w *Worker) restore(data []byte) error {
 	snap, err := checkpoint.Read(bytes.NewReader(data))
 	if err != nil {
@@ -140,23 +146,18 @@ func (w *Worker) restore(data []byte) error {
 	sent := d.U64()
 	received := d.U64()
 	nLocal := d.Int()
-	local := make([]localEvent, 0, nLocal)
+	// Local-buffer events bind to LP structs only after ownership is
+	// reconciled below.
+	raw := make([]Event, 0, nLocal)
 	for i := 0; i < nLocal; i++ {
 		ev := decEventFrom(d)
 		if err := d.Err(); err != nil {
 			return err
 		}
-		lp := w.lps[ev.To]
-		if lp == nil {
-			return fmt.Errorf("snapshot buffers an event for foreign LP %d", ev.To)
-		}
-		local = append(local, localEvent{ev: ev, lp: lp})
+		raw = append(raw, ev)
 	}
 	if err := d.Err(); err != nil {
 		return err
-	}
-	if n != len(w.order) {
-		return fmt.Errorf("snapshot has %d LPs, worker owns %d", n, len(w.order))
 	}
 	lpSecs := snap.All(secLP)
 	if len(lpSecs) != n {
@@ -170,27 +171,97 @@ func (w *Worker) restore(data []byte) error {
 		return fmt.Errorf("snapshot has no model state but the worker has a Model")
 	}
 
+	// Snapshot sections were written in the donor's ID-sorted LP order,
+	// so after reconciliation they line up positionally with w.order.
+	type lpSnap struct {
+		id      int
+		sendSeq uint64
+		eng     []byte
+	}
+	snaps := make([]lpSnap, n)
+	want := make(map[int]bool, n)
 	for i, payload := range lpSecs {
 		ld := checkpoint.NewDec(payload)
-		id := ld.Int()
-		sendSeq := ld.U64()
-		engSnap := ld.Raw()
+		snaps[i] = lpSnap{id: ld.Int(), sendSeq: ld.U64(), eng: ld.Raw()}
 		if err := ld.Err(); err != nil {
 			return err
 		}
+		want[snaps[i].id] = true
+	}
+	differs := n != len(w.order)
+	if !differs {
+		for i, lp := range w.order {
+			if snaps[i].id != lp.ID {
+				differs = true
+				break
+			}
+		}
+	}
+	if differs {
+		mig, err := w.migrator()
+		if err != nil {
+			return fmt.Errorf("snapshot LP set differs from owned set: %w", err)
+		}
+		for i := len(w.order) - 1; i >= 0; i-- {
+			lp := w.order[i]
+			if want[lp.ID] {
+				continue
+			}
+			delete(w.lps, lp.ID)
+			w.order = slices.Delete(w.order, i, i+1)
+			w.ids = slices.Delete(w.ids, i, i+1)
+			if wo := w.obs; wo != nil {
+				wo.removeLP(i)
+			}
+		}
+		for _, s := range snaps {
+			if _, owned := w.lps[s.id]; owned {
+				continue
+			}
+			lp := &LP{ID: s.id, w: w}
+			w.initLP(lp)
+			pos, _ := slices.BinarySearch(w.ids, s.id)
+			if wo := w.obs; wo != nil {
+				wo.insertLP(pos, lp)
+			}
+			mig.InstallLP(lp)
+			if lp.OnMessage == nil {
+				return fmt.Errorf("model InstallLP left LP %d without an OnMessage handler", s.id)
+			}
+			w.lps[s.id] = lp
+			w.order = slices.Insert(w.order, pos, lp)
+			w.ids = slices.Insert(w.ids, pos, s.id)
+		}
+	}
+
+	for i, s := range snaps {
 		lp := w.order[i]
-		if id != lp.ID {
-			return fmt.Errorf("snapshot LP section %d is for LP %d, worker has LP %d", i, id, lp.ID)
+		if s.id != lp.ID {
+			return fmt.Errorf("snapshot LP section %d is for LP %d, worker has LP %d", i, s.id, lp.ID)
 		}
-		if err := lp.E.Restore(bytes.NewReader(engSnap)); err != nil {
-			return fmt.Errorf("LP %d: %w", id, err)
+		if err := lp.E.Restore(bytes.NewReader(s.eng)); err != nil {
+			return fmt.Errorf("LP %d: %w", s.id, err)
 		}
-		lp.sendSeq = sendSeq
+		lp.sendSeq = s.sendSeq
+		// Load-signal watermarks restart from the restored counters so
+		// the next delta cannot underflow.
+		lp.prevExec = lp.E.Stats().Executed
+		lp.busyNs = 0
 	}
 	if w.Model != nil {
+		// UnmarshalState replaces the model's whole state, including any
+		// per-LP slices a reconcile touched above.
 		if err := w.Model.UnmarshalState(modelState); err != nil {
 			return fmt.Errorf("model state: %w", err)
 		}
+	}
+	local := make([]localEvent, 0, len(raw))
+	for _, ev := range raw {
+		lp := w.lps[ev.To]
+		if lp == nil {
+			return fmt.Errorf("snapshot buffers an event for foreign LP %d", ev.To)
+		}
+		local = append(local, localEvent{ev: ev, lp: lp})
 	}
 	w.sent = sent
 	w.received = received
@@ -205,8 +276,19 @@ type clusterCheckpoint struct {
 	Windows      uint64
 	EventsRouted uint64
 	Keys         []string  // per slot: canonical LP-set key (see lpKey)
+	LPSets       [][]int   // per slot: owned LP ids (the live assignment at the cut)
 	Snapshots    [][]byte  // per slot: worker snapshot
 	Pending      [][]Event // per slot: routed, not-yet-delivered events
+}
+
+// cloneLPSets deep-copies a per-slot LP assignment, so checkpointed
+// assignments cannot alias the live one a later migration mutates.
+func cloneLPSets(sets [][]int) [][]int {
+	out := make([][]int, len(sets))
+	for i, ids := range sets {
+		out[i] = slices.Clone(ids)
+	}
+	return out
 }
 
 // lpKey is the canonical identity of a worker slot: its sorted LP-id
@@ -232,6 +314,13 @@ func (ck *clusterCheckpoint) encode() ([]byte, error) {
 		se.Int(len(ck.Pending[i]))
 		for j := range ck.Pending[i] {
 			encEventInto(&se, &ck.Pending[i][j])
+		}
+		// The slot's LP assignment at the cut: a resume after live
+		// migration must restart with the migrated layout, not the
+		// registration-time one.
+		se.Int(len(ck.LPSets[i]))
+		for _, id := range ck.LPSets[i] {
+			se.Int(id)
 		}
 		if err := cw.Section(secSlot, se.Bytes()); err != nil {
 			return nil, err
@@ -279,6 +368,15 @@ func decodeClusterCheckpoint(data []byte) (*clusterCheckpoint, error) {
 			return nil, err
 		}
 		ck.Pending = append(ck.Pending, evs)
+		ni := sd.Int()
+		ids := make([]int, 0, ni)
+		for j := 0; j < ni; j++ {
+			ids = append(ids, sd.Int())
+		}
+		if err := sd.Err(); err != nil {
+			return nil, err
+		}
+		ck.LPSets = append(ck.LPSets, ids)
 	}
 	return ck, nil
 }

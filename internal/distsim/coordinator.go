@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/partition"
 	"repro/internal/rng"
 )
 
@@ -93,6 +94,19 @@ type Coordinator struct {
 	// that assert exact window counts keep their meaning.
 	SkipIdle bool
 
+	// Rebalance, when set, turns on adaptive partitioning: workers
+	// report per-LP load deltas on every done frame, and every
+	// RebalanceEvery executed windows the coordinator hands the
+	// accumulated loads to the policy and executes whatever moves it
+	// plans through live LP migration at the barrier. Results stay
+	// bit-identical to the static run — migration relocates an LP's
+	// whole engine between quiescent barriers, and the global delivery
+	// order is placement-independent. Nil keeps everything static.
+	Rebalance partition.Policy
+	// RebalanceEvery is the planning cadence in executed windows
+	// (default 16). Loads accumulate between planning rounds.
+	RebalanceEvery int
+
 	// Obs, when set (see EnableObservability), aggregates cluster-wide
 	// telemetry: the config frame instructs workers to record and
 	// piggyback snapshots, the coordinator records its window-phase
@@ -107,8 +121,10 @@ type Coordinator struct {
 	// Windows + WindowsSkipped equals the fixed window lattice of the
 	// non-skipping run.
 	WindowsSkipped uint64
-	Recoveries     int // rollback recoveries (worker process replaced)
-	Reconnects     int // session resumes (same process, new connection)
+	// Migrations counts live LP migrations executed by the rebalancer.
+	Migrations uint64
+	Recoveries int // rollback recoveries (worker process replaced)
+	Reconnects int // session resumes (same process, new connection)
 	// WorkerStats is slot-indexed. A worker that died between the final
 	// barrier and its stats frame leaves an entry with Incomplete set
 	// (and StatsIncomplete true) instead of failing the completed run.
@@ -149,6 +165,15 @@ func (c *Coordinator) reconnectWait() time.Duration {
 		}
 		return DefaultReconnectWait
 	}
+}
+
+// rebalanceEvery resolves the planning cadence (meaningful only when
+// Rebalance is set).
+func (c *Coordinator) rebalanceEvery() int {
+	if c.RebalanceEvery > 0 {
+		return c.RebalanceEvery
+	}
+	return 16
 }
 
 // every resolves the effective checkpoint cadence (0 = disabled).
@@ -194,12 +219,14 @@ type parkedConn struct {
 type session struct {
 	ln       net.Listener
 	links    []*link
-	keys     []string // per slot: canonical LP-set key
+	keys     []string // per slot: canonical LP-set key (tracks live migration)
+	regKeys  []string // per slot: the key the slot's worker registered with
 	lpSets   [][]int  // per slot: owned LPs, sorted
 	sessions []uint64 // per slot: current session id
 	epochs   []int    // per slot: incarnation counter
 	parked   *parkedConn
 	pending  [][]Event
+	loads    []partition.Load // per LP: accumulated load since the last plan (nil = rebalance off)
 	clock    float64
 	ckpt     *clusterCheckpoint
 	every    int
@@ -422,7 +449,8 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 		}
 		s.links = append(s.links, newLink(p))
 		s.lpSets = append(s.lpSets, ids)
-		s.keys = append(s.keys, lpKey(ids))
+		s.keys = append(s.keys, key)
+		s.regKeys = append(s.regKeys, key)
 	}
 	owner := make([]int, c.NLPs) // LP -> worker slot
 	for i := range owner {
@@ -446,11 +474,15 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 	}
 
 	// Resuming: reorder peers into the checkpoint's slot order, so
-	// slot i's snapshot lands on a worker owning slot i's LP set.
+	// slot i's snapshot lands on a worker owning slot i's LP set. The
+	// checkpointed assignment (which live migration may have moved away
+	// from the workers' static registration) wins: restore reconciles
+	// each worker's LP set to its snapshot.
 	if resume != nil {
 		if err := s.reorderToSlots(resume.Keys); err != nil {
 			return err
 		}
+		s.lpSets = cloneLPSets(resume.LPSets)
 		for i := range owner {
 			owner[i] = -1
 		}
@@ -458,6 +490,12 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 			for _, lp := range ids {
 				owner[lp] = wi
 			}
+		}
+	}
+	if c.Rebalance != nil {
+		s.loads = make([]partition.Load, c.NLPs)
+		for i := range s.loads {
+			s.loads[i].LP = i
 		}
 	}
 
@@ -513,7 +551,7 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 			return err
 		}
 		c.Recoveries++
-		if rerr := c.recoverSlot(s, se.slot); rerr != nil {
+		if rerr := c.recoverSlot(s, owner, se.slot); rerr != nil {
 			var cascade *slotError
 			if errors.As(rerr, &cascade) {
 				err = rerr // another worker died mid-recovery; recover it too
@@ -744,8 +782,15 @@ func (c *Coordinator) resumeSlot(s *session, wi int, cause error) error {
 			// not be the slot being healed — under concurrent failures
 			// (the more workers, the likelier) another slot's config can
 			// die while this one resumes, and parking that redoable
-			// worker would abort a heal both sides could finish.
-			if slot := indexOf(s.keys, lpKey(ids)); slot >= 0 && s.links[slot].redoable() {
+			// worker would abort a heal both sides could finish. The
+			// registered set is matched against the registration-time
+			// keys too: after a -resume into a migrated layout, a virgin
+			// worker still presents its static LP set.
+			slot := indexOf(s.keys, lpKey(ids))
+			if slot < 0 {
+				slot = indexOf(s.regKeys, lpKey(ids))
+			}
+			if slot >= 0 && s.links[slot].redoable() {
 				if err := p.sendRaw(c.configFrame(s.sessions[slot]), 0); err != nil {
 					p.close()
 					continue
@@ -824,6 +869,15 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 					return err
 				}
 			}
+			// Per-LP load deltas accumulate until the next planning round.
+			if s.loads != nil {
+				for i := range f.Loads {
+					if lp := f.Loads[i].LP; lp >= 0 && lp < len(s.loads) {
+						s.loads[lp].Events += f.Loads[i].Events
+						s.loads[lp].BusyNs += f.Loads[i].BusyNs
+					}
+				}
+			}
 			produced = append(produced, f.Events...)
 			if f.Next < next {
 				next = f.Next
@@ -858,6 +912,13 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 		c.EventsRouted += uint64(len(produced))
 		s.produced = produced
 		s.clock = windowEnd
+		// Rebalance before any checkpoint this window, so the checkpoint
+		// captures the post-migration assignment and snapshots.
+		if c.Rebalance != nil && c.Windows%uint64(c.rebalanceEvery()) == 0 && s.clock < c.Horizon {
+			if err := c.rebalance(s, owner); err != nil {
+				return err
+			}
+		}
 		if s.every > 0 && c.Windows%uint64(s.every) == 0 && s.clock < c.Horizon {
 			if err := c.checkpoint(s); err != nil {
 				return err
@@ -889,8 +950,98 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 			}
 		}
 		if c.Obs != nil {
-			c.Obs.note(c.Windows, c.WindowsSkipped, c.EventsRouted, s.clock, c.Reconnects, c.Recoveries)
+			c.Obs.note(c.Windows, c.WindowsSkipped, c.EventsRouted, c.Migrations, s.clock, c.Reconnects, c.Recoveries)
 		}
+	}
+	return nil
+}
+
+// rebalance runs one planning round: the accumulated per-LP loads go
+// to the policy, and the moves it plans execute serially as live
+// migrations at the current (quiescent) barrier. Loads reset either
+// way, so each round reacts to fresh signals, not the whole history.
+func (c *Coordinator) rebalance(s *session, owner []int) error {
+	moves := c.Rebalance.Plan(s.loads, owner, len(s.links))
+	for i := range s.loads {
+		s.loads[i].Events = 0
+		s.loads[i].BusyNs = 0
+	}
+	for _, mv := range moves {
+		if err := c.migrate(s, owner, mv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrate executes one live LP migration: the donor serializes and
+// drops the LP (engine snapshot, model state, undelivered local
+// events), the receiver installs it, and the coordinator commits the
+// new assignment — ownership map, slot LP sets and keys, and any
+// already-routed pending events for the LP. All four frames are
+// sequenced, so a connection blip mid-migration heals by session
+// resume and replay like any other frame; a worker death rolls the
+// whole federation back to the last checkpoint, whose restore
+// reconciles every worker to the checkpointed assignment.
+func (c *Coordinator) migrate(s *session, owner []int, mv partition.Move) error {
+	if mv.LP < 0 || mv.LP >= len(owner) ||
+		mv.From < 0 || mv.From >= len(s.links) ||
+		mv.To < 0 || mv.To >= len(s.links) ||
+		mv.From == mv.To || owner[mv.LP] != mv.From ||
+		len(s.lpSets[mv.From]) <= 1 {
+		return fmt.Errorf("distsim: policy %s planned invalid move LP %d: %d -> %d", c.Rebalance.Name(), mv.LP, mv.From, mv.To)
+	}
+	var t0 int64
+	if c.Obs != nil {
+		t0 = obs.Now()
+	}
+	if err := c.sendSlot(s, mv.From, &frame{Kind: frameMigrateOut, LPs: []int{mv.LP}}); err != nil {
+		return err
+	}
+	f, err := c.recvSlot(s, mv.From)
+	if err != nil {
+		return err
+	}
+	if f.Kind != frameLPState {
+		return fmt.Errorf("distsim: expected lp-state, got %s", f.Kind)
+	}
+	if f.Err != "" {
+		// Like a snapshot failure: a model that cannot serialize the LP
+		// is a bug recovery cannot fix.
+		return fmt.Errorf("distsim: worker %d cannot donate LP %d: %s", mv.From, mv.LP, f.Err)
+	}
+	if err := c.sendSlot(s, mv.To, &frame{Kind: frameMigrateIn, LPs: []int{mv.LP}, Data: f.Data}); err != nil {
+		return err
+	}
+	ack, err := c.recvSlot(s, mv.To)
+	if err != nil {
+		return err
+	}
+	if ack.Kind != frameMigrated {
+		return fmt.Errorf("distsim: expected migrated, got %s", ack.Kind)
+	}
+	// Commit the new assignment.
+	owner[mv.LP] = mv.To
+	if i := slices.Index(s.lpSets[mv.From], mv.LP); i >= 0 {
+		s.lpSets[mv.From] = slices.Delete(s.lpSets[mv.From], i, i+1)
+	}
+	pos, _ := slices.BinarySearch(s.lpSets[mv.To], mv.LP)
+	s.lpSets[mv.To] = slices.Insert(s.lpSets[mv.To], pos, mv.LP)
+	s.keys[mv.From] = lpKey(s.lpSets[mv.From])
+	s.keys[mv.To] = lpKey(s.lpSets[mv.To])
+	// Events already routed to the donor for this LP follow it.
+	keep := s.pending[mv.From][:0]
+	for _, ev := range s.pending[mv.From] {
+		if ev.To == mv.LP {
+			s.pending[mv.To] = append(s.pending[mv.To], ev)
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	s.pending[mv.From] = keep
+	c.Migrations++
+	if c.Obs != nil {
+		c.Obs.span(obs.KindMigrate, t0, obs.Now()-t0, uint64(mv.LP), s.clock)
 	}
 	return nil
 }
@@ -914,11 +1065,15 @@ func (c *Coordinator) checkpoint(s *session) error {
 		}
 		snaps[wi] = f.Data
 	}
+	// Keys and LPSets are cloned because live migration mutates the
+	// session's copies in place; the checkpoint must pin the assignment
+	// as of this barrier so -resume restarts with the migrated layout.
 	s.ckpt = &clusterCheckpoint{
 		Clock:        s.clock,
 		Windows:      c.Windows,
 		EventsRouted: c.EventsRouted,
-		Keys:         s.keys,
+		Keys:         slices.Clone(s.keys),
+		LPSets:       cloneLPSets(s.lpSets),
 		Snapshots:    snaps,
 		Pending:      copyPending(s.pending),
 	}
@@ -937,7 +1092,13 @@ func (c *Coordinator) checkpoint(s *session) error {
 // the re-executed windows are bit-identical to what the uninterrupted
 // run would have produced. The dead slot gets a fresh session id, so a
 // zombie of the old incarnation can never resume into the run.
-func (c *Coordinator) recoverSlot(s *session, dead int) error {
+//
+// The replacement may register the slot's current (migrated) LP set,
+// the checkpointed one, or the set the dead worker originally
+// registered — a relaunched worker only knows its static command line.
+// Whatever it brings, restore reconciles it to the checkpointed
+// assignment, which rollback reinstates cluster-wide.
+func (c *Coordinator) recoverSlot(s *session, owner []int, dead int) error {
 	var t0 int64
 	if c.Obs != nil {
 		t0 = obs.Now()
@@ -974,10 +1135,11 @@ func (c *Coordinator) recoverSlot(s *session, dead int) error {
 			return err
 		}
 	}
-	if lpKey(ids) != s.keys[dead] {
+	if key := lpKey(ids); key != s.keys[dead] && key != s.ckpt.Keys[dead] && key != s.regKeys[dead] {
 		p.close()
 		return fmt.Errorf("replacement worker registers LPs %v, dead worker owned %s", ids, s.keys[dead])
 	}
+	s.regKeys[dead] = lpKey(ids)
 	l := newLink(p)
 	if err := l.send(c.configFrame(s.sessions[dead])); err != nil {
 		l.close()
@@ -1003,6 +1165,24 @@ func (c *Coordinator) recoverSlot(s *session, dead int) error {
 	s.pending = copyPending(s.ckpt.Pending)
 	c.Windows = s.ckpt.Windows
 	c.EventsRouted = s.ckpt.EventsRouted
+	// Rollback reinstates the checkpointed LP assignment everywhere:
+	// migrations executed after the checkpoint are undone (restore
+	// reconciled each worker's set), so routing must match again.
+	s.keys = slices.Clone(s.ckpt.Keys)
+	s.lpSets = cloneLPSets(s.ckpt.LPSets)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for wi, ids := range s.lpSets {
+		for _, lp := range ids {
+			owner[lp] = wi
+		}
+	}
+	// Load signals from the rolled-back windows are stale; replan fresh.
+	for i := range s.loads {
+		s.loads[i].Events = 0
+		s.loads[i].BusyNs = 0
+	}
 	s.bindObs(c)
 	if c.Obs != nil {
 		c.Obs.rec.Record(obs.Span{Wall: t0, Dur: obs.Now() - t0, Time: s.clock,
@@ -1023,8 +1203,8 @@ func (c *Coordinator) awaitRestored(s *session, wi int) error {
 		switch f.Kind {
 		case frameRestored:
 			return nil
-		case frameDone, frameSnapshot:
-			// stale; drop
+		case frameDone, frameSnapshot, frameLPState, frameMigrated:
+			// stale (a crash can interrupt a migration round trip); drop
 		default:
 			return fmt.Errorf("distsim: expected restored, got %s", f.Kind)
 		}
@@ -1068,11 +1248,18 @@ func (c *Coordinator) configFrame(session uint64) *frame {
 		f.ObsEvery = c.Obs.every
 		f.ObsSpans = c.Obs.spanCap
 	}
+	if c.Rebalance != nil {
+		f.RebalanceEvery = c.rebalanceEvery()
+	}
 	return f
 }
 
 // reorderToSlots permutes the registered links so that slot i owns the
-// LP set of checkpoint slot i.
+// LP set of checkpoint slot i. Exact key matches claim their slots
+// first; workers whose registered set matches no checkpoint slot (the
+// checkpoint holds a migrated layout, the workers were relaunched with
+// their static command lines) fill the leftover slots in order —
+// restore then reconciles each worker's LP set to its snapshot.
 func (s *session) reorderToSlots(keys []string) error {
 	bySlot := make(map[string]int, len(keys))
 	for i, k := range keys {
@@ -1080,19 +1267,40 @@ func (s *session) reorderToSlots(keys []string) error {
 	}
 	links := make([]*link, len(keys))
 	lpSets := make([][]int, len(keys))
+	regKeys := make([]string, len(keys))
+	taken := make([]bool, len(s.links))
 	for i, k := range s.keys {
 		slot, ok := bySlot[k]
 		if !ok {
-			return fmt.Errorf("distsim: worker owning LPs %s has no slot in the checkpoint (want one of %v)", k, keys)
+			continue
 		}
 		if links[slot] != nil {
 			return fmt.Errorf("distsim: two workers registered LP set %s", k)
 		}
 		links[slot] = s.links[i]
 		lpSets[slot] = s.lpSets[i]
+		regKeys[slot] = s.regKeys[i]
+		taken[i] = true
+	}
+	slot := 0
+	for i := range s.links {
+		if taken[i] {
+			continue
+		}
+		for slot < len(links) && links[slot] != nil {
+			slot++
+		}
+		if slot >= len(links) {
+			return fmt.Errorf("distsim: no free checkpoint slot for worker owning LPs %s", s.keys[i])
+		}
+		links[slot] = s.links[i]
+		lpSets[slot] = s.lpSets[i]
+		regKeys[slot] = s.regKeys[i]
+		slot++
 	}
 	s.links = links
 	s.lpSets = lpSets
+	s.regKeys = regKeys
 	s.keys = append([]string(nil), keys...)
 	return nil
 }

@@ -1,0 +1,184 @@
+package distsim
+
+import (
+	"bytes"
+	"fmt"
+	"slices"
+
+	"repro/internal/checkpoint"
+)
+
+// This file is the worker half of live LP migration. The coordinator
+// decides moves (see coordinator.go rebalance); the mechanism here
+// extracts one LP's complete state from its donor — engine snapshot,
+// send sequence, the model's per-LP slice, and any locally buffered
+// events addressed to it — and grafts it onto the receiver before the
+// next window opens. Because the transfer happens at a window barrier
+// (all engines quiescent at the same clock) and an LP's engine seed,
+// random streams, and pending events move as a unit, the relocated LP
+// executes the exact event sequence it would have executed at home:
+// migration changes wall time, never output.
+
+// Migrator is the model-side contract for live migration. A worker
+// model (Worker.Model) must implement it for its LPs to be donated or
+// adopted mid-run:
+//
+//   - InstallLP prepares a freshly adopted LP the way Setup prepared
+//     the initial set: set OnMessage and register the model's named
+//     ops on lp.E — but schedule nothing; the LP's pending events
+//     arrive via engine restore.
+//   - MarshalLP extracts the model's per-LP state for one departing
+//     LP and removes it from the local bookkeeping.
+//   - UnmarshalLP installs that state for an adopted LP.
+//
+// Worker.restore also relies on Migrator when rolling back to a
+// checkpoint taken under a different LP assignment than the worker
+// currently holds.
+type Migrator interface {
+	InstallLP(lp *LP)
+	MarshalLP(id int) ([]byte, error)
+	UnmarshalLP(id int, data []byte) error
+}
+
+// migrator returns the worker's model as a Migrator, or an error when
+// the model cannot migrate. Migration without any model is refused
+// too: there is no hook to give an adopted LP an OnMessage handler.
+func (w *Worker) migrator() (Migrator, error) {
+	if w.Model == nil {
+		return nil, fmt.Errorf("worker has no Model; LPs cannot migrate")
+	}
+	mig, ok := w.Model.(Migrator)
+	if !ok {
+		return nil, fmt.Errorf("model %T does not implement distsim.Migrator", w.Model)
+	}
+	return mig, nil
+}
+
+// migrateOut extracts LP id for transfer and removes it from this
+// worker. Nothing is mutated until every fallible step has succeeded,
+// so a refused migration leaves the worker exactly as it was.
+func (w *Worker) migrateOut(id int) ([]byte, error) {
+	lp := w.lps[id]
+	if lp == nil {
+		return nil, fmt.Errorf("LP %d is not owned by this worker", id)
+	}
+	if len(w.order) <= 1 {
+		return nil, fmt.Errorf("LP %d is this worker's last; refusing to donate it", id)
+	}
+	mig, err := w.migrator()
+	if err != nil {
+		return nil, err
+	}
+	var eng bytes.Buffer
+	if err := lp.E.Checkpoint(&eng); err != nil {
+		return nil, fmt.Errorf("LP %d engine: %w", id, err)
+	}
+	state, err := mig.MarshalLP(id)
+	if err != nil {
+		return nil, fmt.Errorf("LP %d model state: %w", id, err)
+	}
+
+	// Locally buffered events addressed to the departing LP travel with
+	// it — on the receiver they are local-buffer events again, so the
+	// next window's deliver merge sees the identical event population.
+	kept := w.localBuf[:0]
+	var moved []Event
+	for _, le := range w.localBuf {
+		if le.ev.To == id {
+			moved = append(moved, le.ev)
+		} else {
+			kept = append(kept, le)
+		}
+	}
+	w.localBuf = kept
+
+	var enc checkpoint.Enc
+	enc.Int(id)
+	enc.U64(lp.sendSeq)
+	enc.Raw(eng.Bytes())
+	enc.Raw(state)
+	enc.Int(len(moved))
+	for i := range moved {
+		encEventInto(&enc, &moved[i])
+	}
+
+	pos := slices.Index(w.ids, id)
+	delete(w.lps, id)
+	w.order = slices.Delete(w.order, pos, pos+1)
+	w.ids = slices.Delete(w.ids, pos, pos+1)
+	if wo := w.obs; wo != nil {
+		wo.removeLP(pos)
+	}
+	return enc.Bytes(), nil
+}
+
+// adoptLP installs a migrated LP from a payload built by migrateOut on
+// the donor. Adoption is idempotent on the LP id: a payload for an LP
+// this worker already owns is ignored (the link layer suppresses
+// duplicate frames, so this only fires on a coordinator bug — but a
+// silent no-op beats corrupting live state).
+func (w *Worker) adoptLP(id int, data []byte) error {
+	if _, owned := w.lps[id]; owned {
+		return nil
+	}
+	mig, err := w.migrator()
+	if err != nil {
+		return err
+	}
+	d := checkpoint.NewDec(data)
+	gotID := d.Int()
+	sendSeq := d.U64()
+	engRaw := d.Raw()
+	state := d.Raw()
+	n := d.Int()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if gotID != id {
+		return fmt.Errorf("payload is for LP %d", gotID)
+	}
+	if n < 0 || n > len(data) {
+		return fmt.Errorf("implausible buffered-event count %d", n)
+	}
+	events := make([]Event, n)
+	for i := range events {
+		events[i] = decEventFrom(d)
+		// The payload aliases the connection's read buffer; buffered
+		// events outlive this frame, so their payloads must not.
+		events[i].Data = append([]byte(nil), events[i].Data...)
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+
+	lp := &LP{ID: id, w: w}
+	w.initLP(lp)
+	pos, _ := slices.BinarySearch(w.ids, id)
+	if wo := w.obs; wo != nil {
+		wo.insertLP(pos, lp)
+	}
+	// Model ops must exist before Restore resolves the snapshot's
+	// pending ops by name; the engine seed is identity-derived, so the
+	// restored random streams continue exactly where the donor left
+	// them.
+	mig.InstallLP(lp)
+	if err := lp.E.Restore(bytes.NewReader(engRaw)); err != nil {
+		return fmt.Errorf("engine restore: %w", err)
+	}
+	if err := mig.UnmarshalLP(id, state); err != nil {
+		return fmt.Errorf("model state: %w", err)
+	}
+	if lp.OnMessage == nil {
+		return fmt.Errorf("model InstallLP left LP %d without an OnMessage handler", id)
+	}
+	lp.sendSeq = sendSeq
+	lp.prevExec = lp.E.Stats().Executed
+
+	w.lps[id] = lp
+	w.order = slices.Insert(w.order, pos, lp)
+	w.ids = slices.Insert(w.ids, pos, id)
+	for i := range events {
+		w.localBuf = append(w.localBuf, localEvent{ev: events[i], lp: lp})
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package distsim
+
+import "testing"
+
+// BenchmarkMigrationCost prices one live LP migration round trip (two
+// extract+adopt transfers; divide ns/op by migrations_per_op for the
+// per-migration cost). state_bytes is the serialized LP payload a
+// migration puts on the wire.
+func BenchmarkMigrationCost(b *testing.B) {
+	mb := NewMigrationBench()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := mb.Cycle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(mb.StateBytes), "state_bytes")
+	b.ReportMetric(2, "migrations_per_op")
+}

@@ -3,11 +3,14 @@ package distsim
 import (
 	"fmt"
 	"io"
+	"slices"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/checkpoint"
+	"repro/internal/des"
 	"repro/internal/obs"
+	"repro/internal/partition"
 )
 
 // This file threads internal/obs through the distributed stack:
@@ -154,10 +157,11 @@ const (
 // encoding. Enabled by the coordinator's config frame (ObsEvery > 0)
 // or locally via Worker.EnableObservability.
 type workerObs struct {
-	every  int
-	met    obs.Metrics
-	lpRecs []*obs.Recorder
-	rec    *obs.Recorder
+	every   int
+	spanCap int // recorder capacity, kept so migrated-in LPs get equal rings
+	met     obs.Metrics
+	lpRecs  []*obs.Recorder
+	rec     *obs.Recorder
 
 	barrierWait obs.Histogram
 	deliver     obs.Histogram
@@ -167,9 +171,20 @@ type workerObs struct {
 	prevBarrier obs.Histogram
 	prevDeliver obs.Histogram
 
-	buf       []byte // reused snapshot encode buffer
-	waitStart int64  // barrier-wait start (0 = not waiting)
-	windows   uint64 // windows executed since enable
+	buf         []byte   // reused snapshot encode buffer
+	loads       []lpLoad // reused per-LP counter scratch
+	waitStart   int64    // barrier-wait start (0 = not waiting)
+	windows     uint64   // windows executed since enable
+	droppedBase uint64   // drops carried over from migrated-away LP recorders
+}
+
+// lpLoad is one LP's cumulative execution signal inside an obs
+// snapshot (distinct from partition.Load, which carries per-window
+// deltas on done frames).
+type lpLoad struct {
+	id   int
+	exec uint64
+	busy uint64
 }
 
 func newWorkerObs(every, spanCap, lps int) *workerObs {
@@ -179,7 +194,7 @@ func newWorkerObs(every, spanCap, lps int) *workerObs {
 	if spanCap <= 0 {
 		spanCap = 1 << 12
 	}
-	wo := &workerObs{every: every, rec: obs.NewRecorder(spanCap)}
+	wo := &workerObs{every: every, spanCap: spanCap, rec: obs.NewRecorder(spanCap)}
 	wo.lpRecs = make([]*obs.Recorder, lps)
 	for i := range wo.lpRecs {
 		wo.lpRecs[i] = obs.NewRecorder(spanCap)
@@ -187,11 +202,27 @@ func newWorkerObs(every, spanCap, lps int) *workerObs {
 	return wo
 }
 
+// removeLP drops the recorder at position i (its LP migrated away),
+// folding its overwrite count into the carried base so the dropped
+// total never regresses.
+func (wo *workerObs) removeLP(i int) {
+	wo.droppedBase += wo.lpRecs[i].Dropped()
+	wo.lpRecs = slices.Delete(wo.lpRecs, i, i+1)
+}
+
+// insertLP equips a migrated-in LP with a fresh recorder at position
+// pos (lpRecs stays aligned with the worker's ID-sorted LP order).
+func (wo *workerObs) insertLP(pos int, lp *LP) {
+	r := obs.NewRecorder(wo.spanCap)
+	wo.lpRecs = slices.Insert(wo.lpRecs, pos, r)
+	lp.E.SetObserver(des.Observer{Recorder: r, Metrics: &wo.met, Track: lp.ID})
+}
+
 // dropped totals ring overwrites across every recorder this worker
 // owns — the "silent truncation" number the aggregated snapshot
 // surfaces.
 func (wo *workerObs) dropped() uint64 {
-	n := wo.rec.Dropped()
+	n := wo.droppedBase + wo.rec.Dropped()
 	for _, r := range wo.lpRecs {
 		n += r.Dropped()
 	}
@@ -203,7 +234,7 @@ func (wo *workerObs) dropped() uint64 {
 // deltas since the previous ship. The final form appends the trace
 // rings. The delta path allocates nothing once the buffer has warmed
 // up (TestObsPiggybackZeroAlloc).
-func (wo *workerObs) encode(wire *WireStats, ids []int, final bool) []byte {
+func (wo *workerObs) encode(wire *WireStats, ids []int, loads []lpLoad, final bool) []byte {
 	enc := checkpoint.NewEnc(wo.buf)
 	if final {
 		enc.U64(obsFinal)
@@ -220,6 +251,14 @@ func (wo *workerObs) encode(wire *WireStats, ids []int, final bool) []byte {
 	wo.prevDwell = wo.met.Dwell
 	wo.prevBarrier = wo.barrierWait
 	wo.prevDeliver = wo.deliver
+	// Per-LP cumulative counters (executed events, busy wall time) — the
+	// load signal the adaptive partitioner surfaces in live metrics.
+	enc.Int(len(loads))
+	for i := range loads {
+		enc.Int(loads[i].id)
+		enc.U64(loads[i].exec)
+		enc.U64(loads[i].busy)
+	}
 	if final {
 		enc.Int(len(wo.lpRecs) + 1)
 		obs.AppendSpanTrack(&enc, obs.SpanTrack{Name: "worker", TID: 0, Spans: wo.rec.Spans()})
@@ -255,6 +294,7 @@ type ClusterObs struct {
 	windows         uint64
 	skipped         uint64
 	routed          uint64
+	migrations      uint64
 	clock           float64
 	reconnects      int
 	recoveries      int
@@ -262,9 +302,10 @@ type ClusterObs struct {
 }
 
 type slotObs struct {
-	wire         LinkStats // worker-reported cumulative transport counters
-	spansDropped uint64    // worker-reported ring overwrites
-	snapshots    uint64    // obs payloads folded from this slot
+	wire         LinkStats        // worker-reported cumulative transport counters
+	spansDropped uint64           // worker-reported ring overwrites
+	snapshots    uint64           // obs payloads folded from this slot
+	perLP        []partition.Load // worker-reported cumulative per-LP counters (reused)
 }
 
 // EnableObservability turns on cluster-wide recording for subsequent
@@ -305,11 +346,12 @@ func (co *ClusterObs) span(k obs.Kind, wall, dur int64, seq uint64, t float64) {
 
 // note mirrors the run counters under the mutex so a live endpoint
 // sees window progress without racing the coordinator.
-func (co *ClusterObs) note(windows, skipped, routed uint64, clock float64, reconnects, recoveries int) {
+func (co *ClusterObs) note(windows, skipped, routed, migrations uint64, clock float64, reconnects, recoveries int) {
 	co.mu.Lock()
 	co.windows = windows
 	co.skipped = skipped
 	co.routed = routed
+	co.migrations = migrations
 	co.clock = clock
 	co.reconnects = reconnects
 	co.recoveries = recoveries
@@ -355,6 +397,28 @@ func (co *ClusterObs) fold(slot int, payload []byte) error {
 	}
 	if err == nil {
 		err = co.deliver.MergeDelta(d)
+	}
+	if err == nil {
+		// Per-LP cumulative counters: overwrite (like the wire
+		// counters), reusing the slot's slice so the steady-state fold
+		// stays allocation-free.
+		n := d.Int()
+		if derr := d.Err(); derr != nil {
+			err = derr
+		} else if n < 0 || n > len(payload) {
+			err = fmt.Errorf("per-LP load count %d exceeds payload", n)
+		} else {
+			per := co.slots[slot].perLP[:0]
+			for i := 0; i < n; i++ {
+				per = append(per, partition.Load{
+					LP:     d.Int(),
+					Events: d.U64(),
+					BusyNs: d.U64(),
+				})
+			}
+			co.slots[slot].perLP = per
+			err = d.Err()
+		}
 	}
 	co.mu.Unlock()
 	if err != nil {
@@ -403,10 +467,11 @@ func summarize(h *obs.Histogram) HistSummary {
 
 // WorkerObsView is one slot's worker-reported state in a snapshot.
 type WorkerObsView struct {
-	Slot         int       `json:"slot"`
-	Wire         LinkStats `json:"wire"`
-	SpansDropped uint64    `json:"spans_dropped"`
-	Snapshots    uint64    `json:"snapshots"`
+	Slot         int              `json:"slot"`
+	Wire         LinkStats        `json:"wire"`
+	SpansDropped uint64           `json:"spans_dropped"`
+	Snapshots    uint64           `json:"snapshots"`
+	PerLP        []partition.Load `json:"per_lp,omitempty"`
 }
 
 // ClusterSnapshot is a point-in-time JSON-friendly view of the
@@ -415,6 +480,7 @@ type ClusterSnapshot struct {
 	Windows         uint64          `json:"windows"`
 	WindowsSkipped  uint64          `json:"windows_skipped"`
 	EventsRouted    uint64          `json:"events_routed"`
+	Migrations      uint64          `json:"migrations"`
 	Clock           float64         `json:"clock"`
 	Reconnects      int             `json:"reconnects"`
 	Recoveries      int             `json:"recoveries"`
@@ -438,6 +504,7 @@ func (co *ClusterObs) Snapshot() ClusterSnapshot {
 		Windows:         co.windows,
 		WindowsSkipped:  co.skipped,
 		EventsRouted:    co.routed,
+		Migrations:      co.migrations,
 		Clock:           co.clock,
 		Reconnects:      co.reconnects,
 		Recoveries:      co.recoveries,
@@ -459,6 +526,7 @@ func (co *ClusterObs) Snapshot() ClusterSnapshot {
 			Wire:         co.slots[i].wire,
 			SpansDropped: co.slots[i].spansDropped,
 			Snapshots:    co.slots[i].snapshots,
+			PerLP:        slices.Clone(co.slots[i].perLP),
 		})
 	}
 	return s
@@ -506,15 +574,19 @@ func (co *ClusterObs) WriteMergedTrace(w io.Writer) error {
 // benchjson harness (internal/experiments) and the zero-alloc test;
 // not part of the simulation API.
 type ObsPiggybackBench struct {
-	wo   *workerObs
-	wire WireStats
-	co   *ClusterObs
+	wo    *workerObs
+	wire  WireStats
+	co    *ClusterObs
+	ids   []int
+	loads []lpLoad
 }
 
 func NewObsPiggybackBench() *ObsPiggybackBench {
 	pb := &ObsPiggybackBench{
-		wo: newWorkerObs(1, 1<<10, 3),
-		co: &ClusterObs{every: 1, spanCap: 1 << 10, rec: obs.NewRecorder(1 << 10)},
+		wo:    newWorkerObs(1, 1<<10, 3),
+		co:    &ClusterObs{every: 1, spanCap: 1 << 10, rec: obs.NewRecorder(1 << 10)},
+		ids:   []int{0, 1, 2},
+		loads: []lpLoad{{id: 0, exec: 40, busy: 9000}, {id: 1, exec: 35, busy: 7500}, {id: 2, exec: 38, busy: 8100}},
 	}
 	pb.co.bind([]*WireStats{&pb.wire})
 	return pb
@@ -533,6 +605,6 @@ func (pb *ObsPiggybackBench) Cycle() (int, error) {
 	pb.wo.met.Dwell.Observe(1 << 20)
 	pb.wo.barrierWait.Observe(45000)
 	pb.wo.deliver.Observe(3200)
-	payload := pb.wo.encode(&pb.wire, []int{0, 1, 2}, false)
+	payload := pb.wo.encode(&pb.wire, pb.ids, pb.loads, false)
 	return len(payload), pb.co.fold(0, payload)
 }

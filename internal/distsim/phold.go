@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/des"
@@ -27,6 +28,17 @@ type PHOLDModel struct {
 	// DelayFactor is the mean event spacing in lookaheads (the
 	// canonical PHOLD uses 4; large values make traffic sparse).
 	DelayFactor float64
+	// SkewHot makes LPs with ID < SkewHot "hot": their event spacing is
+	// divided by SkewFactor, so they process SkewFactor times the
+	// events. The hot LPs' random draws still mirror the skewed parsim
+	// reference exactly (NewPHOLDSkew), so skewed runs stay
+	// bit-comparable.
+	SkewHot    int
+	SkewFactor float64
+	// HotHoldNs adds a per-event wall-clock hold (a sleep) on hot LPs,
+	// modeling expensive entities without touching simulation state —
+	// the signal load-aware rebalancing exists to exploit.
+	HotHoldNs int
 
 	meanDelay float64
 	events    map[int]uint64
@@ -47,6 +59,17 @@ func InstallPHOLD(w *Worker, totalLPs, jobsPerLP int, remoteProb float64, work i
 // the sparse traffic that exercises coordinator window skipping while
 // staying bit-comparable to the single-process reference.
 func InstallPHOLDFactor(w *Worker, totalLPs, jobsPerLP int, remoteProb float64, work int, delayFactor float64) *PHOLDModel {
+	return InstallPHOLDSkew(w, totalLPs, jobsPerLP, remoteProb, work, delayFactor, 0, 1, 0)
+}
+
+// InstallPHOLDSkew is InstallPHOLDFactor with a hot spot: LPs with ID
+// < skewHot draw their event spacing from meanDelay/skewFactor — more
+// events per window — and additionally hold the hosting worker for
+// hotHoldNs wall ns per event. It mirrors parsim.NewPHOLDSkew draw for
+// draw, so a skewed distributed run (with or without live rebalancing)
+// is bit-comparable to the single-process reference; the hold shapes
+// wall time only.
+func InstallPHOLDSkew(w *Worker, totalLPs, jobsPerLP int, remoteProb float64, work int, delayFactor float64, skewHot int, skewFactor float64, hotHoldNs int) *PHOLDModel {
 	if delayFactor <= 0 {
 		panic(fmt.Sprintf("distsim: InstallPHOLDFactor with delay factor %v", delayFactor))
 	}
@@ -56,6 +79,9 @@ func InstallPHOLDFactor(w *Worker, totalLPs, jobsPerLP int, remoteProb float64, 
 		RemoteProb:  remoteProb,
 		Work:        work,
 		DelayFactor: delayFactor,
+		SkewHot:     skewHot,
+		SkewFactor:  skewFactor,
+		HotHoldNs:   hotHoldNs,
 		events:      make(map[int]uint64),
 		sinks:       make(map[int]float64),
 		hopOps:      make(map[int]des.Op),
@@ -63,9 +89,7 @@ func InstallPHOLDFactor(w *Worker, totalLPs, jobsPerLP int, remoteProb float64, 
 	w.Setup = func(w *Worker) {
 		m.meanDelay = m.DelayFactor * w.Lookahead()
 		for _, lp := range w.LPs() {
-			lp := lp
-			lp.OnMessage = func(Event) { m.hop(lp) }
-			m.hopOps[lp.ID] = lp.E.RegisterOp("phold.hop", func([]byte) { m.hop(lp) })
+			m.InstallLP(lp)
 			for j := 0; j < m.JobsPerLP; j++ {
 				lp.E.ScheduleOp(m.drawDelay(lp), m.hopOps[lp.ID], nil)
 			}
@@ -76,8 +100,17 @@ func InstallPHOLDFactor(w *Worker, totalLPs, jobsPerLP int, remoteProb float64, 
 	return m
 }
 
+// lpMean is the LP's mean event spacing: hot LPs run SkewFactor times
+// as often.
+func (m *PHOLDModel) lpMean(id int) float64 {
+	if id < m.SkewHot && m.SkewFactor > 1 {
+		return m.meanDelay / m.SkewFactor
+	}
+	return m.meanDelay
+}
+
 func (m *PHOLDModel) drawDelay(lp *LP) float64 {
-	d := lp.E.Rand().Exp(1 / m.meanDelay)
+	d := lp.E.Rand().Exp(1 / m.lpMean(lp.ID))
 	if d < lp.w.lookahead {
 		d = lp.w.lookahead
 	}
@@ -91,6 +124,11 @@ func (m *PHOLDModel) hop(lp *LP) {
 		acc = math.Sqrt(acc*1.7 + float64(i&7))
 	}
 	m.sinks[lp.ID] += acc
+	if lp.ID < m.SkewHot && m.HotHoldNs > 0 {
+		// Wall-clock cost only: the hold draws nothing and schedules
+		// nothing, so output is independent of where the LP runs.
+		time.Sleep(time.Duration(m.HotHoldNs))
+	}
 	delay := m.drawDelay(lp)
 	if m.TotalLPs > 1 && lp.E.Rand().Bernoulli(m.RemoteProb) {
 		target := lp.E.Rand().Intn(m.TotalLPs - 1)
@@ -101,6 +139,42 @@ func (m *PHOLDModel) hop(lp *LP) {
 		return
 	}
 	lp.E.ScheduleOp(delay, m.hopOps[lp.ID], nil)
+}
+
+// InstallLP implements Migrator: it prepares an LP the way Setup
+// prepares the initial set — message handler plus the registered
+// "phold.hop" op — but schedules no jobs; an adopted LP's pending
+// jobs arrive with its engine snapshot.
+func (m *PHOLDModel) InstallLP(lp *LP) {
+	lp.OnMessage = func(Event) { m.hop(lp) }
+	m.hopOps[lp.ID] = lp.E.RegisterOp("phold.hop", func([]byte) { m.hop(lp) })
+}
+
+// MarshalLP implements Migrator: it extracts one departing LP's
+// counters and removes them from this model instance, so the donor's
+// next snapshot no longer claims the LP.
+func (m *PHOLDModel) MarshalLP(id int) ([]byte, error) {
+	var enc checkpoint.Enc
+	enc.U64(m.events[id])
+	enc.F64(m.sinks[id])
+	delete(m.events, id)
+	delete(m.sinks, id)
+	delete(m.hopOps, id)
+	return enc.Bytes(), nil
+}
+
+// UnmarshalLP implements Migrator: it installs an adopted LP's
+// counters.
+func (m *PHOLDModel) UnmarshalLP(id int, data []byte) error {
+	d := checkpoint.NewDec(data)
+	ev := d.U64()
+	sink := d.F64()
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("distsim: PHOLD LP %d state: %w", id, err)
+	}
+	m.events[id] = ev
+	m.sinks[id] = sink
+	return nil
 }
 
 // MarshalState serializes the per-LP counters in sorted LP order (maps

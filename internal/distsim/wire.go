@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/checkpoint"
+	"repro/internal/partition"
 )
 
 // This file defines the frame vocabulary of the distsim wire protocol
@@ -58,6 +59,10 @@ const (
 	frameHello                           // worker -> coordinator: reconnect with session resume (handshake)
 	frameResume                          // coordinator -> worker: resume accepted, replay past RecvSeq (handshake)
 	frameBye                             // coordinator -> worker: stats received, session over (handshake)
+	frameMigrateOut                      // coordinator -> donor: extract and hand over one LP (LPs[0])
+	frameLPState                         // donor -> coordinator: the extracted LP state (or Err)
+	frameMigrateIn                       // coordinator -> receiver: adopt one LP (LPs[0] + Data)
+	frameMigrated                        // receiver -> coordinator: adoption acknowledged
 	frameKindMax                         // sentinel for validation
 )
 
@@ -76,7 +81,8 @@ func (k frameKind) sequenced() bool {
 
 func (k frameKind) String() string {
 	names := [...]string{"", "register", "config", "window", "done", "stop", "stats",
-		"checkpoint", "snapshot", "restore", "restored", "heartbeat", "hello", "resume", "bye"}
+		"checkpoint", "snapshot", "restore", "restored", "heartbeat", "hello", "resume", "bye",
+		"migrate-out", "lp-state", "migrate-in", "migrated"}
 	if int(k) < len(names) && k > 0 {
 		return names[k]
 	}
@@ -116,6 +122,14 @@ type frame struct {
 	ObsEvery   int     // config: piggyback an obs snapshot every N windows (0 = obs off)
 	ObsSpans   int     // config: worker trace-ring capacity when obs is on
 	Obs        []byte  // done/stats: obs snapshot payload (see distsim obs codec)
+
+	// RebalanceEvery (config) tells workers to measure per-LP load: the
+	// coordinator plans migrations every N executed windows, so workers
+	// report per-LP executed-event/busy-ns deltas on each done frame.
+	RebalanceEvery int
+	// Loads rides done frames when RebalanceEvery > 0: per-LP load
+	// accumulated since the previous done frame.
+	Loads []partition.Load
 }
 
 // WorkerStats is the per-worker outcome returned at shutdown.
@@ -185,6 +199,13 @@ func marshalFrameInto(f *frame, buf []byte) []byte {
 	enc.Int(f.ObsSpans)
 	enc.Bool(f.Stats.Incomplete)
 	enc.Raw(f.Obs)
+	enc.Int(f.RebalanceEvery)
+	enc.Int(len(f.Loads))
+	for i := range f.Loads {
+		enc.Int(f.Loads[i].LP)
+		enc.U64(f.Loads[i].Events)
+		enc.U64(f.Loads[i].BusyNs)
+	}
 	return enc.Bytes()
 }
 
@@ -278,6 +299,18 @@ func unmarshalFrameInto(f *frame, evs *[]Event, payload []byte) error {
 	// Obs aliases the payload buffer (same lifetime rule as Event.Data):
 	// receive paths fold or copy the snapshot before the next read.
 	f.Obs = d.RawView()
+	f.RebalanceEvery = d.Int()
+	if n := d.Int(); n > 0 {
+		if n > len(payload) {
+			return fmt.Errorf("%w: load count %d exceeds payload", ErrMalformedFrame, n)
+		}
+		f.Loads = make([]partition.Load, n)
+		for i := range f.Loads {
+			f.Loads[i].LP = d.Int()
+			f.Loads[i].Events = d.U64()
+			f.Loads[i].BusyNs = d.U64()
+		}
+	}
 	if err := d.Err(); err != nil {
 		return fmt.Errorf("%w: %v", ErrMalformedFrame, err)
 	}

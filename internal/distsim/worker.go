@@ -12,6 +12,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/des"
 	"repro/internal/obs"
+	"repro/internal/partition"
 )
 
 // DefaultConnectRetries is how many dial/handshake attempts a worker
@@ -38,6 +39,15 @@ type LP struct {
 	// events are scheduled as ops carrying the encoded Event, so the
 	// pending set is always serializable into a snapshot.
 	msgOp des.Op
+
+	// Load-signal bookkeeping for adaptive partitioning: busyNs is the
+	// wall time spent in RunUntil since the last done frame (shipped as
+	// a delta and reset), busyTotal the cumulative time for obs
+	// snapshots, prevExec the executed-event watermark behind the
+	// per-window delta.
+	busyNs    int64
+	busyTotal int64
+	prevExec  uint64
 }
 
 // Send routes an event to another LP (local or remote) delay seconds
@@ -89,6 +99,12 @@ type Worker struct {
 	mergeBuf []Event // deliver's reused merge scratch
 	sent     uint64
 	received uint64
+
+	// collectLoads mirrors the config's RebalanceEvery > 0: the
+	// coordinator wants per-LP load deltas on every done frame.
+	// loadsBuf is the reused report slice.
+	collectLoads bool
+	loadsBuf     []partition.Load
 
 	link         *link
 	ready        bool // engines built, Setup run
@@ -354,21 +370,14 @@ func (w *Worker) applyConfig(cfg *frame) error {
 	w.seed = cfg.Seed
 	w.session = cfg.Session
 	w.writeTimeout = time.Duration(cfg.TimeoutSec * float64(time.Second))
+	w.collectLoads = cfg.RebalanceEvery > 0
 	if w.ready {
 		return nil
 	}
 	// Engines are seeded exactly as package parsim seeds its LPs, so a
 	// distributed run reproduces a single-process run bit for bit.
 	for _, lp := range w.order {
-		lp := lp
-		lp.E = des.NewEngine(des.WithSeed(cfg.Seed + uint64(lp.ID)*0x9e3779b9))
-		lp.msgOp = lp.E.RegisterOp("distsim.msg", func(arg []byte) {
-			ev, err := decodeEvent(arg)
-			if err != nil {
-				panic(fmt.Sprintf("distsim: corrupt delivery op argument: %v", err))
-			}
-			lp.OnMessage(ev)
-		})
+		w.initLP(lp)
 	}
 	// Observability: the coordinator's config can switch on recording
 	// for the whole cluster; a local EnableObservability call (made
@@ -396,6 +405,22 @@ func (w *Worker) applyConfig(cfg *frame) error {
 	}
 	w.ready = true
 	return nil
+}
+
+// initLP equips an LP with its engine — seeded from the LP id alone,
+// so a given LP draws the same random stream no matter which worker
+// hosts it — and the "distsim.msg" delivery op every Restore depends
+// on. Used for the initial LP set at config time and for LPs adopted
+// through live migration.
+func (w *Worker) initLP(lp *LP) {
+	lp.E = des.NewEngine(des.WithSeed(w.seed + uint64(lp.ID)*0x9e3779b9))
+	lp.msgOp = lp.E.RegisterOp("distsim.msg", func(arg []byte) {
+		ev, err := decodeEvent(arg)
+		if err != nil {
+			panic(fmt.Sprintf("distsim: corrupt delivery op argument: %v", err))
+		}
+		lp.OnMessage(ev)
+	})
 }
 
 // serveConn serves frames on the current connection until a clean
@@ -478,8 +503,21 @@ func (w *Worker) serveConn() error {
 				wo.deliver.Observe(d)
 				wo.rec.Record(obs.Span{Wall: t0, Dur: d, Time: f.End, Seq: f.WinSeq, Kind: obs.KindDeliver})
 			}
-			for _, lp := range w.order {
-				lp.E.RunUntil(f.End)
+			// Per-LP wall timing feeds the rebalancer's load signal (and
+			// the obs per-LP counters): two clock reads per LP per
+			// window, nothing when neither consumer is on.
+			if timed := w.collectLoads || w.obs != nil; timed {
+				for _, lp := range w.order {
+					t := obs.Now()
+					lp.E.RunUntil(f.End)
+					d := obs.Now() - t
+					lp.busyNs += d
+					lp.busyTotal += d
+				}
+			} else {
+				for _, lp := range w.order {
+					lp.E.RunUntil(f.End)
+				}
 			}
 			// The done frame piggybacks the earliest pending event time
 			// across this worker's engines and local buffer, so a
@@ -489,12 +527,15 @@ func (w *Worker) serveConn() error {
 			out := w.outbox
 			w.outbox = out[:0]
 			done := frame{Kind: frameDone, Events: out, Next: w.nextEventTime()}
+			if w.collectLoads {
+				done.Loads = w.loadDeltas()
+			}
 			if wo := w.obs; wo != nil {
 				now := obs.Now()
 				wo.rec.Record(obs.Span{Wall: t0, Dur: now - t0, Time: f.End, Seq: f.WinSeq, Kind: obs.KindWindowBusy})
 				wo.windows++
 				if wo.windows%uint64(wo.every) == 0 {
-					done.Obs = wo.encode(&w.wire, w.ids, false)
+					done.Obs = wo.encode(&w.wire, w.ids, w.obsLoads(), false)
 				}
 			}
 			if err := l.send(&done); err != nil {
@@ -523,6 +564,36 @@ func (w *Worker) serveConn() error {
 			if err := l.send(&frame{Kind: frameRestored}); err != nil {
 				return err
 			}
+		case frameMigrateOut:
+			// Donate one LP: extract its state and ship it back. A
+			// failure here is a model limitation (e.g. closure events),
+			// not a crash — report it and keep serving; the coordinator
+			// fails the run with the reason.
+			reply := frame{Kind: frameLPState}
+			if len(f.LPs) != 1 {
+				reply.Err = "migrate-out frame names no LP"
+			} else if data, err := w.migrateOut(f.LPs[0]); err != nil {
+				reply.Err = err.Error()
+			} else {
+				reply.Data = data
+			}
+			if err := l.send(&reply); err != nil {
+				return err
+			}
+		case frameMigrateIn:
+			// Adopt one LP mid-run. Failure is fatal: the cluster's
+			// assignment bookkeeping already committed to the transfer,
+			// so a worker that cannot adopt must drop out and let
+			// rollback recovery re-establish a consistent layout.
+			if len(f.LPs) != 1 {
+				return fatalf("distsim: migrate-in frame names no LP")
+			}
+			if err := w.adoptLP(f.LPs[0], f.Data); err != nil {
+				return fatalf("distsim: adopt LP %d: %v", f.LPs[0], err)
+			}
+			if err := l.send(&frame{Kind: frameMigrated}); err != nil {
+				return err
+			}
 		case frameStop:
 			stats := WorkerStats{LPs: w.ids, Sent: w.sent, Received: w.received}
 			for _, lp := range w.order {
@@ -536,7 +607,7 @@ func (w *Worker) serveConn() error {
 				// The final snapshot ships whatever histogram tail the
 				// piggyback cadence missed, plus the full trace rings for
 				// the merged cluster timeline.
-				final.Obs = wo.encode(&w.wire, w.ids, true)
+				final.Obs = wo.encode(&w.wire, w.ids, w.obsLoads(), true)
 			}
 			if err := l.send(&final); err != nil {
 				w.statsSent = true // retained; a reconnect replays it
@@ -641,6 +712,44 @@ func (w *Worker) deliver(remote []Event) {
 		lp.E.AtOp(ev.Time, lp.msgOp, encodeEvent(ev))
 	}
 	w.mergeBuf = all[:0]
+}
+
+// loadDeltas builds the per-LP load report for one done frame:
+// executed events and busy wall time since the previous report. The
+// report slice is reused; the frame marshals it before the next
+// window, so aliasing is safe.
+func (w *Worker) loadDeltas() []partition.Load {
+	w.loadsBuf = w.loadsBuf[:0]
+	for _, lp := range w.order {
+		exec := lp.E.Stats().Executed
+		if exec < lp.prevExec {
+			// The engine rolled back beneath us (restore reset the
+			// counters but not the watermark); resynchronize.
+			lp.prevExec = exec
+		}
+		w.loadsBuf = append(w.loadsBuf, partition.Load{
+			LP:     lp.ID,
+			Events: exec - lp.prevExec,
+			BusyNs: uint64(lp.busyNs),
+		})
+		lp.prevExec = exec
+		lp.busyNs = 0
+	}
+	return w.loadsBuf
+}
+
+// obsLoads builds the cumulative per-LP counters for an obs snapshot.
+func (w *Worker) obsLoads() []lpLoad {
+	wo := w.obs
+	wo.loads = wo.loads[:0]
+	for _, lp := range w.order {
+		wo.loads = append(wo.loads, lpLoad{
+			id:   lp.ID,
+			exec: lp.E.Stats().Executed,
+			busy: uint64(lp.busyTotal),
+		})
+	}
+	return wo.loads
 }
 
 // nextEventTime reports the earliest pending event time anywhere on

@@ -16,6 +16,7 @@ import (
 	"repro/internal/eventq"
 	"repro/internal/obs"
 	"repro/internal/parsim"
+	"repro/internal/partition"
 )
 
 // BenchResult is one micro-benchmark measurement in the machine-readable
@@ -300,6 +301,97 @@ func benchCases() []struct {
 			},
 		})
 	}
+	// SkewedWindowThroughput prices one lookahead window when the model
+	// has a hot spot: LPs 0 and 1 fire 4x as often and hold their
+	// worker 400us of wall time per event, and both start on worker 0.
+	// The static case serializes the two holds on one worker every
+	// window; the rebalance case lets the coordinator migrate one hot
+	// LP to the idle worker, so the holds overlap — the ns/op ratio
+	// static/rebalance is the adaptive-partitioning speedup (acceptance
+	// asks >= 1.3x on this skew; see BENCH_6.json). migrations_per_run
+	// proves the win came from actual live migrations.
+	for _, cfg := range []struct {
+		name      string
+		rebalance bool
+	}{
+		{"SkewedWindowThroughput/static", false},
+		{"SkewedWindowThroughput/rebalance", true},
+	} {
+		cfg := cfg
+		cases = append(cases, struct {
+			name string
+			fn   func(b *testing.B)
+		}{
+			name: cfg.name,
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				const (
+					lps     = 6
+					la      = 0.5
+					jobs    = 16
+					remote  = 0.2
+					work    = 1
+					seed    = 1234
+					skewHot = 2
+					skew    = 4.0
+					holdNs  = 400_000
+				)
+				c := distsim.NewCoordinator(lps, la, la*float64(b.N), seed)
+				if cfg.rebalance {
+					c.Rebalance = &partition.Greedy{} // busy-ns weights see the holds
+					c.RebalanceEvery = 4
+				}
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ln.Close()
+				workers := []*distsim.Worker{distsim.NewWorker(0, 1, 2), distsim.NewWorker(3, 4, 5)}
+				for _, w := range workers {
+					distsim.InstallPHOLDSkew(w, lps, jobs, remote, work, 4, skewHot, skew, holdNs)
+				}
+				errs := make(chan error, len(workers))
+				b.ResetTimer()
+				for _, w := range workers {
+					w := w
+					go func() { errs <- w.Run(ln.Addr().String()) }()
+				}
+				if err := c.Serve(ln, len(workers)); err != nil {
+					b.Fatal(err)
+				}
+				for range workers {
+					if err := <-errs; err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(c.Migrations), "migrations_per_run")
+			},
+		})
+	}
+	// MigrationCost prices the worker half of one live LP migration
+	// round trip (two extract+adopt transfers, no wire): the
+	// coordinator-visible cost a migration adds to a window barrier.
+	// state_bytes is the serialized LP payload per migration.
+	cases = append(cases, struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		name: "MigrationCost",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			mb := distsim.NewMigrationBench()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := mb.Cycle(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(mb.StateBytes), "state_bytes")
+			b.ReportMetric(2, "migrations_per_op")
+		},
+	})
 	// ObsPiggyback prices one telemetry piggyback cycle — the worker
 	// delta-encodes its histograms and counters, the coordinator folds
 	// the payload into the cluster aggregates. This rides every K-th

@@ -93,7 +93,8 @@ func WriteChromeTraceSpans(w io.Writer, tracks ...SpanTrack) error {
 			ts := float64(s.Wall) / 1e3 // ns → µs
 			switch s.Kind {
 			case KindExec, KindBarrierWait, KindWindowBusy, KindDeliver,
-				KindWindowSend, KindAwaitBarrier, KindHeal, KindCheckpoint, KindRecovery:
+				KindWindowSend, KindAwaitBarrier, KindHeal, KindCheckpoint, KindRecovery,
+				KindMigrate:
 				emit(fmt.Sprintf(`{"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"name":%s,"cat":%q,"args":{"t":%g,"seq":%d}}`,
 					tr.TID, ts, float64(s.Dur)/1e3, strconv.Quote(name), s.Kind, s.Time, s.Seq))
 			case KindSchedule, KindCancel, KindSkip, KindResume:

@@ -96,6 +96,10 @@ const (
 	// KindRecovery is a rollback-recovery round: restoring the cluster
 	// from the last checkpoint after a worker loss.
 	KindRecovery
+	// KindMigrate is one live LP migration at a window barrier: donor
+	// state extraction, transfer, and receiver adoption. Seq carries the
+	// migrated LP's id.
+	KindMigrate
 )
 
 // String returns the Chrome-trace event name for the kind.
@@ -127,6 +131,8 @@ func (k Kind) String() string {
 		return "resume"
 	case KindRecovery:
 		return "recovery"
+	case KindMigrate:
+		return "migrate"
 	}
 	return "?"
 }

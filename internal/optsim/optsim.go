@@ -21,9 +21,10 @@
 package optsim
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Message is a timestamped event between LPs.
@@ -151,12 +152,19 @@ func (f *Federation) inject(from int, now float64, s Send) {
 
 // insertionPoint returns where m belongs in the sorted input queue.
 func (lp *olp) insertionPoint(m Message) int {
-	return sort.Search(len(lp.inputs), func(i int) bool {
-		if lp.inputs[i].Time != m.Time {
-			return lp.inputs[i].Time > m.Time
-		}
-		return lp.inputs[i].ID > m.ID
-	})
+	idx, _ := slices.BinarySearchFunc(lp.inputs, m, msgOrder)
+	return idx
+}
+
+// msgOrder is the (Time, ID) total order of the sorted queues; IDs are
+// unique, so distinct messages never compare equal. The comparison is
+// monomorphic (no reflection, no interface calls), matching the
+// slices.SortFunc treatment of the other hot paths.
+func msgOrder(a, b Message) int {
+	if c := cmp.Compare(a.Time, b.Time); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.ID, b.ID)
 }
 
 // rollback undoes the target's executions from index idx onward:
@@ -290,12 +298,7 @@ func RunSequential(model Model, n int, horizon float64) ([]State, []uint64) {
 	push := func(from int, now float64, s Send) {
 		nextID++
 		m := Message{Time: now + s.Delay, SendTime: now, From: from, To: s.To, ID: nextID, Data: s.Data}
-		idx := sort.Search(len(queue), func(i int) bool {
-			if queue[i].Time != m.Time {
-				return queue[i].Time > m.Time
-			}
-			return queue[i].ID > m.ID
-		})
+		idx, _ := slices.BinarySearchFunc(queue, m, msgOrder)
 		queue = append(queue, Message{})
 		copy(queue[idx+1:], queue[idx:])
 		queue[idx] = m

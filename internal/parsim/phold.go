@@ -27,6 +27,12 @@ type PHOLD struct {
 	// Work is synthetic per-event computation (iterations of a
 	// floating-point loop) emulating model complexity.
 	Work int
+	// SkewHot/SkewFactor introduce a hot spot: LPs with index <
+	// SkewHot draw their event spacing from MeanDelay/SkewFactor. This
+	// is the single-process reference for skewed distributed runs
+	// (distsim.InstallPHOLDSkew consumes draws identically).
+	SkewHot    int
+	SkewFactor float64
 
 	events []uint64  // per-LP processed event counts
 	sinks  []float64 // per-LP accumulator keeping the work loop live
@@ -50,6 +56,14 @@ func NewPHOLD(lps, workers int, lookahead float64, jobsPerLP int, remoteProb flo
 // sparse distributed run remains bit-comparable to this single-process
 // reference.
 func NewPHOLDFactor(lps, workers int, lookahead float64, jobsPerLP int, remoteProb float64, work int, seed uint64, delayFactor float64) *PHOLD {
+	return NewPHOLDSkew(lps, workers, lookahead, jobsPerLP, remoteProb, work, seed, delayFactor, 0, 1)
+}
+
+// NewPHOLDSkew is NewPHOLDFactor with a hot spot: LPs with index <
+// skewHot run skewFactor times as often (their mean event spacing is
+// divided by skewFactor). It is the bit-identical reference for
+// skewed distributed runs, with or without live rebalancing.
+func NewPHOLDSkew(lps, workers int, lookahead float64, jobsPerLP int, remoteProb float64, work int, seed uint64, delayFactor float64, skewHot int, skewFactor float64) *PHOLD {
 	if delayFactor <= 0 {
 		panic(fmt.Sprintf("parsim: NewPHOLDFactor with delay factor %v", delayFactor))
 	}
@@ -59,6 +73,8 @@ func NewPHOLDFactor(lps, workers int, lookahead float64, jobsPerLP int, remotePr
 		RemoteProb: remoteProb,
 		MeanDelay:  delayFactor * lookahead,
 		Work:       work,
+		SkewHot:    skewHot,
+		SkewFactor: skewFactor,
 		events:     make([]uint64, lps),
 		sinks:      make([]float64, lps),
 		hopOps:     make([]des.Op, lps),
@@ -76,9 +92,18 @@ func NewPHOLDFactor(lps, workers int, lookahead float64, jobsPerLP int, remotePr
 	return ph
 }
 
+// lpMean is the LP's mean event spacing: hot LPs run SkewFactor times
+// as often.
+func (ph *PHOLD) lpMean(index int) float64 {
+	if index < ph.SkewHot && ph.SkewFactor > 1 {
+		return ph.MeanDelay / ph.SkewFactor
+	}
+	return ph.MeanDelay
+}
+
 // drawDelay samples the next event spacing, clamped to the lookahead.
 func (ph *PHOLD) drawDelay(lp *LP) float64 {
-	d := lp.E.Rand().Exp(1 / ph.MeanDelay)
+	d := lp.E.Rand().Exp(1 / ph.lpMean(lp.Index))
 	if d < ph.Fed.Lookahead() {
 		d = ph.Fed.Lookahead()
 	}

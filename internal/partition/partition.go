@@ -1,0 +1,153 @@
+// Package partition decides how logical processes should be placed on
+// distributed workers. It is the policy half of the adaptive
+// partitioning subsystem: the distsim coordinator accumulates per-LP
+// load signals (executed events and busy wall time, piggybacked on
+// done frames), hands them to a Policy at a window barrier, and
+// executes whatever moves the policy returns through the live LP
+// migration protocol.
+//
+// The split matters for determinism: a policy may consume wall-clock
+// signals — which differ run to run — because migration happens only
+// at barriers, where an LP's whole engine (clock, pending events,
+// random streams) moves as a unit and the global (From, Seq) delivery
+// order is placement-independent. Placement affects wall time, never
+// output, so the policy is free to be as empirical as it likes.
+package partition
+
+// Load is the accumulated signal for one LP since the last planning
+// round.
+type Load struct {
+	LP     int    `json:"lp"`
+	Events uint64 `json:"events"`  // events executed by the LP's engine
+	BusyNs uint64 `json:"busy_ns"` // wall ns its worker spent running the LP
+}
+
+// Move relocates one LP from its current worker slot to another. From
+// is redundant with the owner map but kept so executors can reject
+// plans computed against a stale assignment.
+type Move struct {
+	LP   int
+	From int
+	To   int
+}
+
+// Policy plans migrations from the current loads and assignment.
+// Plan must not mutate its arguments; moves are applied in order, each
+// From reflecting the assignment after the preceding moves.
+type Policy interface {
+	Name() string
+	Plan(loads []Load, owner []int, workers int) []Move
+}
+
+// Greedy is the max-min offload policy: while the hottest worker's
+// load exceeds Threshold times the mean, move its heaviest LP that
+// still fits under the gap to the coldest worker. The threshold is the
+// hysteresis band — small transient skews plan nothing, so LPs do not
+// ping-pong between workers on noise.
+type Greedy struct {
+	// Threshold is the imbalance trigger: plan only when
+	// max(worker load) > Threshold * mean(worker load). Values <= 1
+	// pick the default 1.25.
+	Threshold float64
+	// MaxMoves caps migrations per planning round (each costs a
+	// state-transfer round trip at the barrier). Non-positive picks
+	// the worker count.
+	MaxMoves int
+	// UseEvents forces event-count weights even when busy-ns signals
+	// are present. Busy time is the better proxy for heterogeneous
+	// per-event cost but is wall-clock noisy; tests and reproducible
+	// planning use event counts.
+	UseEvents bool
+}
+
+// Name identifies the policy in logs and result tables.
+func (g *Greedy) Name() string { return "greedy-maxmin" }
+
+// Plan implements the greedy offload. It is deterministic for a given
+// input: ties in hottest/coldest worker and in LP choice break toward
+// the lowest index.
+func (g *Greedy) Plan(loads []Load, owner []int, workers int) []Move {
+	if workers < 2 || len(loads) == 0 {
+		return nil
+	}
+	thr := g.Threshold
+	if thr <= 1 {
+		thr = 1.25
+	}
+	maxMoves := g.MaxMoves
+	if maxMoves <= 0 {
+		maxMoves = workers
+	}
+	// Weight: busy wall time when the signal exists (it captures
+	// per-event cost differences events can't), else executed events.
+	var busyTotal uint64
+	for i := range loads {
+		busyTotal += loads[i].BusyNs
+	}
+	useBusy := busyTotal > 0 && !g.UseEvents
+	lpw := make([]float64, len(loads))
+	per := make([]float64, workers)
+	count := make([]int, workers)
+	total := 0.0
+	for i := range loads {
+		if lp := loads[i].LP; lp < 0 || lp >= len(owner) {
+			return nil // loads and assignment disagree; refuse to plan
+		}
+		w := owner[loads[i].LP]
+		if w < 0 || w >= workers {
+			return nil // stale owner map; refuse to plan
+		}
+		if useBusy {
+			lpw[i] = float64(loads[i].BusyNs)
+		} else {
+			lpw[i] = float64(loads[i].Events)
+		}
+		per[w] += lpw[i]
+		count[w]++
+		total += lpw[i]
+	}
+	if total == 0 {
+		return nil
+	}
+	mean := total / float64(workers)
+	cur := make([]int, len(owner))
+	copy(cur, owner)
+	var moves []Move
+	for len(moves) < maxMoves {
+		hot, cold := 0, 0
+		for w := 1; w < workers; w++ {
+			if per[w] > per[hot] {
+				hot = w
+			}
+			if per[w] < per[cold] {
+				cold = w
+			}
+		}
+		if per[hot] <= thr*mean || count[hot] <= 1 || hot == cold {
+			break
+		}
+		// The heaviest LP on the hot worker that strictly shrinks the
+		// hot–cold spread: moving weight x helps iff x < gap (otherwise
+		// the cold worker just becomes the new hot one).
+		gap := per[hot] - per[cold]
+		best, bestW := -1, 0.0
+		for i := range loads {
+			if cur[loads[i].LP] != hot {
+				continue
+			}
+			if x := lpw[i]; x > 0 && x < gap && x > bestW {
+				best, bestW = loads[i].LP, x
+			}
+		}
+		if best < 0 {
+			break
+		}
+		moves = append(moves, Move{LP: best, From: hot, To: cold})
+		cur[best] = cold
+		per[hot] -= bestW
+		per[cold] += bestW
+		count[hot]--
+		count[cold]++
+	}
+	return moves
+}

@@ -1,0 +1,163 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mkLoads builds loads with the given event counts, LP i -> events[i].
+func mkLoads(events ...uint64) []Load {
+	out := make([]Load, len(events))
+	for i, n := range events {
+		out[i] = Load{LP: i, Events: n}
+	}
+	return out
+}
+
+func apply(t *testing.T, owner []int, moves []Move, workers int) []int {
+	t.Helper()
+	cur := append([]int(nil), owner...)
+	for _, mv := range moves {
+		if mv.LP < 0 || mv.LP >= len(cur) {
+			t.Fatalf("move %+v: unknown LP", mv)
+		}
+		if cur[mv.LP] != mv.From {
+			t.Fatalf("move %+v: LP is on worker %d", mv, cur[mv.LP])
+		}
+		if mv.To < 0 || mv.To >= workers || mv.To == mv.From {
+			t.Fatalf("move %+v: bad destination", mv)
+		}
+		cur[mv.LP] = mv.To
+	}
+	return cur
+}
+
+func spread(loads []Load, owner []int, workers int) (max, min uint64) {
+	per := make([]uint64, workers)
+	for i := range loads {
+		per[owner[loads[i].LP]] += loads[i].Events
+	}
+	max, min = per[0], per[0]
+	for _, v := range per[1:] {
+		if v > max {
+			max = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	return max, min
+}
+
+func TestGreedyBalancedPlansNothing(t *testing.T) {
+	g := &Greedy{}
+	loads := mkLoads(10, 10, 10, 10)
+	owner := []int{0, 0, 1, 1}
+	if moves := g.Plan(loads, owner, 2); moves != nil {
+		t.Fatalf("balanced load planned %v", moves)
+	}
+}
+
+func TestGreedyBelowThresholdPlansNothing(t *testing.T) {
+	// Max/mean = 24/20 = 1.2, inside the default 1.25 hysteresis band.
+	g := &Greedy{}
+	loads := mkLoads(14, 10, 8, 8)
+	owner := []int{0, 0, 1, 1}
+	if moves := g.Plan(loads, owner, 2); moves != nil {
+		t.Fatalf("in-band skew planned %v", moves)
+	}
+}
+
+func TestGreedySkewedReducesImbalance(t *testing.T) {
+	g := &Greedy{Threshold: 1.1}
+	loads := mkLoads(40, 40, 5, 5, 5, 5)
+	owner := []int{0, 0, 0, 1, 1, 1}
+	moves := g.Plan(loads, owner, 2)
+	if len(moves) == 0 {
+		t.Fatal("skewed load planned nothing")
+	}
+	after := apply(t, owner, moves, 2)
+	maxBefore, _ := spread(loads, owner, 2)
+	maxAfter, _ := spread(loads, after, 2)
+	if maxAfter >= maxBefore {
+		t.Fatalf("max load %d -> %d: no improvement", maxBefore, maxAfter)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	g := &Greedy{Threshold: 1.05, MaxMoves: 8}
+	loads := mkLoads(31, 7, 19, 3, 11, 2, 23, 5)
+	owner := []int{0, 0, 0, 0, 1, 1, 2, 2}
+	first := g.Plan(loads, owner, 3)
+	for i := 0; i < 10; i++ {
+		if again := g.Plan(loads, owner, 3); !reflect.DeepEqual(first, again) {
+			t.Fatalf("plan %d: %v != %v", i, again, first)
+		}
+	}
+}
+
+func TestGreedySingleWorkerPlansNothing(t *testing.T) {
+	g := &Greedy{}
+	if moves := g.Plan(mkLoads(100, 1), []int{0, 0}, 1); moves != nil {
+		t.Fatalf("single worker planned %v", moves)
+	}
+}
+
+func TestGreedyNeverStrandsWorker(t *testing.T) {
+	// The hot worker owns a single (huge) LP: moving it would just swap
+	// roles, so nothing should be planned.
+	g := &Greedy{Threshold: 1.01}
+	loads := mkLoads(100, 1, 1)
+	owner := []int{0, 1, 1}
+	if moves := g.Plan(loads, owner, 2); moves != nil {
+		t.Fatalf("planned %v against a single-LP hot worker", moves)
+	}
+}
+
+func TestGreedyBusyNsPreferredOverEvents(t *testing.T) {
+	// Events say balanced; busy time says LP 0 is expensive. The busy
+	// signal must win when present.
+	g := &Greedy{Threshold: 1.1}
+	loads := []Load{
+		{LP: 0, Events: 10, BusyNs: 9000},
+		{LP: 1, Events: 10, BusyNs: 500},
+		{LP: 2, Events: 10, BusyNs: 250},
+		{LP: 3, Events: 10, BusyNs: 250},
+	}
+	owner := []int{0, 0, 1, 1}
+	moves := g.Plan(loads, owner, 2)
+	if len(moves) == 0 {
+		t.Fatal("busy-ns skew planned nothing")
+	}
+	if moves[0].LP != 1 {
+		// LP 0 (9000) exceeds the gap; LP 1 (500) is the heaviest mover
+		// that still shrinks the spread.
+		t.Fatalf("moved LP %d, want 1", moves[0].LP)
+	}
+	if g2 := (&Greedy{Threshold: 1.1, UseEvents: true}); g2.Plan(loads, owner, 2) != nil {
+		t.Fatal("UseEvents should see the balanced event counts and plan nothing")
+	}
+}
+
+func TestGreedyZeroLoadPlansNothing(t *testing.T) {
+	g := &Greedy{}
+	if moves := g.Plan(mkLoads(0, 0, 0, 0), []int{0, 0, 1, 1}, 2); moves != nil {
+		t.Fatalf("zero load planned %v", moves)
+	}
+}
+
+func TestGreedyRespectsMaxMoves(t *testing.T) {
+	g := &Greedy{Threshold: 1.01, MaxMoves: 1}
+	loads := mkLoads(20, 20, 20, 1, 1, 1)
+	owner := []int{0, 0, 0, 1, 1, 1}
+	if moves := g.Plan(loads, owner, 2); len(moves) > 1 {
+		t.Fatalf("MaxMoves 1 produced %v", moves)
+	}
+}
+
+func TestGreedyStaleOwnerRefuses(t *testing.T) {
+	g := &Greedy{Threshold: 1.01}
+	if moves := g.Plan(mkLoads(50, 1), []int{0, 7}, 2); moves != nil {
+		t.Fatalf("stale owner map planned %v", moves)
+	}
+}

@@ -148,14 +148,19 @@ type Profile struct {
 	DESKinds      []DESKind
 	Execution     Execution
 	MultiThreaded bool // uses every local processor
-	Queue         QueueComplexity
-	JobMapping    string // job→thread mapping optimization, free text
-	Spec          []SpecStyle
-	Inputs        []InputKind
-	Outputs       []OutputKind
-	VisualDesign  bool
-	VisualExec    bool
-	Validation    Validation
+	// DynamicBalancing marks engines that re-map load at runtime —
+	// e.g. live LP migration between distributed workers driven by
+	// observed per-LP load (the paper's "new trend" of adapting the
+	// partition instead of fixing it at startup).
+	DynamicBalancing bool
+	Queue            QueueComplexity
+	JobMapping       string // job→thread mapping optimization, free text
+	Spec             []SpecStyle
+	Inputs           []InputKind
+	Outputs          []OutputKind
+	VisualDesign     bool
+	VisualExec       bool
+	Validation       Validation
 }
 
 // HasComponent reports whether the profile models the component layer.
@@ -288,6 +293,7 @@ func Table1(profiles []*Profile) *metrics.Table {
 	row("DES kind", func(p *Profile) string { return joinKinds(p.DESKinds) })
 	row("execution", func(p *Profile) string { return string(p.Execution) })
 	row("multi-threaded", func(p *Profile) string { return yesNo(p.MultiThreaded) })
+	row("dynamic load balancing", func(p *Profile) string { return yesNo(p.DynamicBalancing) })
 	row("event queue", func(p *Profile) string { return string(p.Queue) })
 	row("job mapping", func(p *Profile) string { return p.JobMapping })
 	row("model spec", func(p *Profile) string { return joinSpecs(p.Spec) })
@@ -324,6 +330,7 @@ func Diff(a, b *Profile) []string {
 	add("DES kind", joinKinds(a.DESKinds), joinKinds(b.DESKinds))
 	add("execution", string(a.Execution), string(b.Execution))
 	add("multi-threaded", yesNo(a.MultiThreaded), yesNo(b.MultiThreaded))
+	add("dynamic load balancing", yesNo(a.DynamicBalancing), yesNo(b.DynamicBalancing))
 	add("event queue", string(a.Queue), string(b.Queue))
 	add("job mapping", a.JobMapping, b.JobMapping)
 	add("model spec", joinSpecs(a.Spec), joinSpecs(b.Spec))
