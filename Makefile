@@ -4,7 +4,7 @@ GO ?= go
 TRACE_OUT ?= /tmp/lsds_trace_e5.json
 CKPT_OUT ?= /tmp/lsds_phold.ckpt
 
-.PHONY: all build test tier1 vet race bench benchjson trace-smoke checkpoint-smoke chaos-smoke dist-smoke obs-smoke balance-smoke clean
+.PHONY: all build test tier1 vet race bench benchjson fuzz trace-smoke checkpoint-smoke chaos-smoke dist-smoke obs-smoke balance-smoke crash-smoke clean
 
 all: tier1
 
@@ -31,11 +31,16 @@ tier1: build test vet race
 bench:
 	$(GO) test -bench 'E3|PHOLD|Federation|ScheduleExecute' -benchmem -run '^$$' ./...
 
-# Machine-readable hot-path allocation report (includes the PR-8
-# migration-cost and skewed-window rebalancing cases; see
-# BENCH_6.json).
+# Machine-readable hot-path allocation report (includes the PR-9
+# journal-append durability cost against the E5-shaped distributed
+# window wall; see BENCH_7.json).
 benchjson:
-	$(GO) run ./cmd/experiments -benchjson BENCH_6.json
+	$(GO) run ./cmd/experiments -benchjson BENCH_7.json
+
+# Short fuzz pass over the wire codec: arbitrary bytes must decode to
+# an error or a valid frame — never a panic or an absurd allocation.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshalFrame -fuzztime 10s ./internal/distsim/
 
 # trace-smoke runs a quick traced E5 federation and validates the
 # Chrome trace output: ObserveE5 re-reads the written file through a
@@ -112,6 +117,20 @@ balance-smoke:
 		-chaos-seed 4 -chaos-reset-at 9,23 -verify
 	$(GO) test -race -count=1 \
 		-run 'TestRebalanceUnderChaos|TestRebalanceRecoveryAcrossMigration|TestRebalanceFileResumeAcrossMigration' \
+		./internal/distsim/
+
+# crash-smoke is the end-to-end proof that the coordinator is no
+# longer a single point of failure: a three-process distributed run has
+# its coordinator killed -9 mid-flight, a fresh coordinator process
+# restarts from the durable control-plane journal and re-adopts the
+# parked workers, and -verify pins the finished run bit-identical to a
+# single-process replay. The crash-restart, park give-up, and
+# heartbeat-vs-partition suites then run under -race (the race target
+# also covers them wholesale via ./internal/distsim/...).
+crash-smoke:
+	bash scripts/crash_smoke.sh
+	$(GO) test -race -count=1 \
+		-run 'TestCrashRestart|TestWorkerParkGiveUp|TestPartition|TestJournal' \
 		./internal/distsim/
 
 clean:

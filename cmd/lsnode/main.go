@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/distsim"
 	"repro/internal/metrics"
 	"repro/internal/monitoring"
+	"repro/internal/parsim"
 	"repro/internal/partition"
 )
 
@@ -45,8 +47,11 @@ func main() {
 	maxRec := flag.Int("max-recoveries", 0, "coordinator: worker crashes to survive by rollback-recovery")
 	ckptFile := flag.String("checkpoint", "", "coordinator: persist cluster checkpoints to this file (atomic)")
 	resumeFile := flag.String("resume", "", "coordinator: resume from this cluster checkpoint when it exists")
+	journalFile := flag.String("journal", "", "coordinator: durable control-plane journal; restart with the same path to re-adopt surviving workers")
+	verify := flag.Bool("verify", false, "coordinator: replay the run single-process after it finishes and require identical per-LP results")
 	connRetries := flag.Int("connect-retries", 0, "worker: dial/handshake attempts per connect cycle (0 = 8 default, negative = single attempt)")
 	connBackoff := flag.Duration("connect-backoff", 0, "worker: base delay of the capped exponential dial backoff (0 = 50ms default)")
+	maxPark := flag.Int("max-park", 0, "worker: parked reconnect attempts to survive a coordinator restart (0 = 64 default, negative disables parking)")
 	skipIdle := flag.Bool("skip-idle", false, "coordinator: jump lookahead windows with no pending event anywhere")
 	delayFactor := flag.Float64("delay-factor", 4, "PHOLD mean event spacing in lookaheads (all nodes must agree)")
 	obsEvery := flag.Int("obs-every", 0, "coordinator: collect cluster telemetry, piggybacked every N windows (0 = off)")
@@ -77,6 +82,7 @@ func main() {
 		c.MaxRecoveries = *maxRec
 		c.CheckpointPath = *ckptFile
 		c.ResumePath = *resumeFile
+		c.JournalPath = *journalFile
 		c.SkipIdle = *skipIdle
 		if *rebalance {
 			c.Rebalance = &partition.Greedy{Threshold: *imbalanceThresh}
@@ -121,6 +127,9 @@ func main() {
 		t.AddRowf("windows skipped", c.WindowsSkipped)
 		t.AddRowf("events routed", c.EventsRouted)
 		t.AddRowf("recoveries", c.Recoveries)
+		if *journalFile != "" {
+			t.AddRowf("workers readopted", c.Readopted)
+		}
 		if *rebalance {
 			t.AddRowf("migrations", c.Migrations)
 		}
@@ -149,6 +158,22 @@ func main() {
 		t.AddRowf("engine events", executed)
 		t.AddRowf("messages sent", sent)
 		t.AddRowf("per-LP model events", fmt.Sprint(counts))
+		if *verify {
+			// The distributed run must match a single-process replay of the
+			// same model bit for bit — even when it rode out a coordinator
+			// crash-restart, worker recoveries, or live migrations. Every
+			// node's PHOLD flags must agree for the reference to be valid.
+			ref := parsim.NewPHOLDSkew(*lps, 1, *lookahead, *jobs, *remote, *work, *seed, *delayFactor, *skewHot, *skewFactor)
+			ref.Run(*horizon)
+			want := ref.PerLPEvents()
+			for lp := range want {
+				if counts[lp] != want[lp] {
+					fatal(fmt.Errorf("verify: LP %d has %d events, single-process run has %d (want %v, got %v)",
+						lp, counts[lp], want[lp], want, counts))
+				}
+			}
+			t.AddRowf("verify", "identical to single-process run")
+		}
 		if err := t.Write(os.Stdout); err != nil {
 			fatal(err)
 		}
@@ -170,6 +195,9 @@ func main() {
 		// capped exponential backoff instead of exiting immediately.
 		w.ConnectRetries = *connRetries
 		w.ConnectBackoff = *connBackoff
+		// A worker that loses its coordinator parks in a bounded
+		// reconnect loop so a restarted coordinator can re-adopt it.
+		w.MaxPark = *maxPark
 		if *metricsAddr != "" {
 			ms, err := monitoring.ServeMetrics(*metricsAddr, func() any { return w.WireSnapshot() })
 			if err != nil {
@@ -180,6 +208,12 @@ func main() {
 		}
 		fmt.Printf("lsnode: worker owning LPs %v dialing %s\n", ids, *addr)
 		if err := w.Run(*addr); err != nil {
+			if errors.Is(err, distsim.ErrCoordinatorLost) {
+				// The park budget ran out: report the local progress that
+				// would otherwise die with the process, then fail.
+				st := w.Stats()
+				fmt.Fprintf(os.Stderr, "lsnode: parked out with %d events executed locally (incomplete)\n", st.EventsExecuted)
+			}
 			fatal(err)
 		}
 		fmt.Println("lsnode: worker done")

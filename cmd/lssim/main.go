@@ -30,7 +30,10 @@
 // coordinator watches per-LP load and live-migrates LPs between
 // workers at window barriers (cadence -rebalance-every, hysteresis
 // -imbalance-thresh). -verify still holds — migration never changes
-// results, only where the work runs.
+// results, only where the work runs. -journal makes the coordinator's
+// control plane durable: a coordinator restarted with the same journal
+// path re-adopts the surviving workers and finishes the run with
+// results bit-identical to one that was never interrupted.
 //
 // With cluster observability on (-trace, -histo, -metrics-addr, or
 // -obs-every) distphold aggregates worker telemetry shipped over the
@@ -156,7 +159,7 @@ func runPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, workers 
 // through the coordinator's ClusterObs — the sequential default
 // observer cannot be used here because the in-process workers run
 // concurrently.
-func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon float64, delayFactor float64, skipIdle bool, ch chaos.Config, resetAt string, verify bool, obsEvery int, tracePath, metricsAddr string, histo bool, rebalance bool, rebalanceEvery int, imbalanceThresh float64, skewHot int, skewFactor float64) error {
+func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon float64, delayFactor float64, skipIdle bool, ch chaos.Config, resetAt string, verify bool, obsEvery int, tracePath, metricsAddr string, histo bool, rebalance bool, rebalanceEvery int, imbalanceThresh float64, skewHot int, skewFactor float64, journalPath string) error {
 	jobsPer := pholdJobs
 	if jobs > 0 {
 		jobsPer = jobs
@@ -189,6 +192,7 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon flo
 
 	c := distsim.NewCoordinator(pholdLPs, pholdLookahead, horizon, seed)
 	c.SkipIdle = skipIdle
+	c.JournalPath = journalPath
 	if rebalance {
 		// Event-count weights keep the CLI's planning deterministic for
 		// a given seed; the busy-ns signal is available through the API.
@@ -279,6 +283,9 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon flo
 	t.AddRowf("events routed", c.EventsRouted)
 	t.AddRowf("engine events", executed)
 	t.AddRowf("reconnects", c.Reconnects)
+	if journalPath != "" {
+		t.AddRowf("workers readopted", c.Readopted)
+	}
 	if rebalance {
 		t.AddRowf("migrations", c.Migrations)
 	}
@@ -397,6 +404,7 @@ func main() {
 	imbalanceThresh := flag.Float64("imbalance-thresh", 0, "distphold: migrate only when max worker load > thresh * mean (0 = 1.25 default)")
 	skewHot := flag.Int("skew-hot", 0, "distphold: make the lowest N LPs hot")
 	skewFactor := flag.Float64("skew", 1, "distphold: hot LPs fire this many times as often")
+	journalPath := flag.String("journal", "", "distphold: durable coordinator control-plane journal (enables crash-restart re-adoption)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -520,7 +528,7 @@ func main() {
 			Reorder: *chaosReorder, Corrupt: *chaosCorrupt, Reset: *chaosReset,
 			Delay: *chaosDelay, Jitter: *chaosJitter,
 		}
-		if err := runDistPHOLD(t, *seed, *jobs, *workers, *horizon, *delayFactor, *skipIdle, ch, *chaosResetAt, *verify, *obsEvery, *trace, *metricsAddr, *histo, *rebalance, *rebalanceEvery, *imbalanceThresh, *skewHot, *skewFactor); err != nil {
+		if err := runDistPHOLD(t, *seed, *jobs, *workers, *horizon, *delayFactor, *skipIdle, ch, *chaosResetAt, *verify, *obsEvery, *trace, *metricsAddr, *histo, *rebalance, *rebalanceEvery, *imbalanceThresh, *skewHot, *skewFactor, *journalPath); err != nil {
 			fmt.Fprintln(os.Stderr, "lssim:", err)
 			os.Exit(1)
 		}

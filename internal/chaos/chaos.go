@@ -66,6 +66,16 @@ type Config struct {
 	// timeouts and reconnection.
 	PartitionStart time.Duration
 	PartitionDur   time.Duration
+
+	// KillAt fires OnKill exactly once, at the write of global message
+	// index KillAt — the deterministic way to script "the coordinator
+	// dies during window 40". The message itself is still delivered;
+	// the hook runs under the injector lock, so it must not write
+	// through the injector (crash-restart tests use it to make the
+	// coordinator exit). Zero disables (index 0 is unreachable; the
+	// handshake always precedes any scriptable crash site).
+	KillAt uint64
+	OnKill func()
 }
 
 // Stats counts the faults an injector actually delivered.
@@ -96,11 +106,12 @@ type Injector struct {
 	cfg   Config
 	start time.Time
 
-	mu    sync.Mutex
-	src   *rng.Source
-	msgs  uint64
-	fired map[uint64]bool // ResetAt indices already consumed
-	stats Stats
+	mu     sync.Mutex
+	src    *rng.Source
+	msgs   uint64
+	fired  map[uint64]bool // ResetAt indices already consumed
+	killed bool            // KillAt already consumed
+	stats  Stats
 }
 
 // New builds an injector for the given fault plan.
@@ -143,6 +154,10 @@ func (in *Injector) decide(n int) verdict {
 	in.stats.Messages++
 
 	v := verdict{corrupt: -1}
+	if in.cfg.OnKill != nil && in.cfg.KillAt > 0 && idx == in.cfg.KillAt && !in.killed {
+		in.killed = true
+		in.cfg.OnKill()
+	}
 	for _, at := range in.cfg.ResetAt {
 		if at == idx && !in.fired[at] {
 			in.fired[at] = true

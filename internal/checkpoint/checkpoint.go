@@ -160,9 +160,25 @@ func Read(r io.Reader) (*Snapshot, error) {
 		if plen > maxSectionLen {
 			return nil, fmt.Errorf("checkpoint: section %q length %d exceeds limit", name, plen)
 		}
-		payload := make([]byte, plen)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return nil, fmt.Errorf("checkpoint: truncated section %q: %w", name, err)
+		// Grow the payload buffer as bytes actually arrive (doubling,
+		// capped at the claimed length) instead of one up-front make: a
+		// bit-flipped length byte in an otherwise tiny file must fail
+		// with "truncated", not commit a near-gigabyte allocation before
+		// the short read is discovered.
+		payload := make([]byte, min(plen, 1<<20))
+		filled := uint64(0)
+		for {
+			n, err := io.ReadFull(br, payload[filled:])
+			filled += uint64(n)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: truncated section %q: %w", name, err)
+			}
+			if filled == plen {
+				break
+			}
+			next := make([]byte, min(uint64(len(payload))*2, plen))
+			copy(next, payload)
+			payload = next
 		}
 		snap.sections = append(snap.sections, Section{Name: string(name), Data: payload})
 	}

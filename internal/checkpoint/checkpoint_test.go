@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"strings"
 	"testing"
@@ -80,6 +81,27 @@ func TestCorruptionDetected(t *testing.T) {
 	vbad[len(Magic)+1] = 99
 	if _, err := Read(bytes.NewReader(vbad)); err == nil || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("bad version not caught: %v", err)
+	}
+}
+
+func TestLyingSectionLength(t *testing.T) {
+	// A section header that claims a near-limit payload over a
+	// few-byte file must fail with "truncated" — and must not commit
+	// the full claimed allocation up front (the read loop grows the
+	// buffer only as bytes actually arrive, so this test would OOM a
+	// constrained CI runner if that regressed).
+	craft := func(plen uint64) []byte {
+		data := []byte(Magic)
+		data = append(data, 0, Version) // version uint16 BE
+		data = append(data, 1, 'x')     // nameLen, name
+		data = binary.AppendUvarint(data, plen)
+		return append(data, []byte("short")...)
+	}
+	if _, err := Read(bytes.NewReader(craft(maxSectionLen))); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("lying length not caught: %v", err)
+	}
+	if _, err := Read(bytes.NewReader(craft(maxSectionLen + 1))); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("over-limit length not caught: %v", err)
 	}
 }
 

@@ -267,6 +267,10 @@ func (w *Worker) restore(data []byte) error {
 	w.received = received
 	w.localBuf = local
 	w.outbox = nil
+	// The stashed done frame described the pre-rollback timeline; after
+	// a restore the engines no longer match it, and the window anchor
+	// must not collide with a re-sent post-rollback window.
+	w.clearStash()
 	return nil
 }
 
@@ -359,7 +363,14 @@ func decodeClusterCheckpoint(data []byte) (*clusterCheckpoint, error) {
 		sd := checkpoint.NewDec(payload)
 		ck.Keys = append(ck.Keys, sd.Str())
 		ck.Snapshots = append(ck.Snapshots, sd.Raw())
+		// Bound every count against the bytes actually present before
+		// allocating: each element costs at least one byte, so a corrupt
+		// (bit-flipped) count larger than the remaining payload can be
+		// rejected without a giant make.
 		np := sd.Int()
+		if np < 0 || np > sd.Remaining() {
+			return nil, fmt.Errorf("distsim: checkpoint slot pending count %d exceeds payload", np)
+		}
 		evs := make([]Event, 0, np)
 		for j := 0; j < np; j++ {
 			evs = append(evs, decEventFrom(sd))
@@ -369,6 +380,9 @@ func decodeClusterCheckpoint(data []byte) (*clusterCheckpoint, error) {
 		}
 		ck.Pending = append(ck.Pending, evs)
 		ni := sd.Int()
+		if ni < 0 || ni > sd.Remaining() {
+			return nil, fmt.Errorf("distsim: checkpoint slot LP count %d exceeds payload", ni)
+		}
 		ids := make([]int, 0, ni)
 		for j := 0; j < ni; j++ {
 			ids = append(ids, sd.Int())
@@ -394,6 +408,15 @@ func (ck *clusterCheckpoint) save(path string) error {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Reach the disk before the rename makes the file the checkpoint of
+	// record: a crash-restart reads this file to decide how far it can
+	// roll back, so a rename pointing at unsynced pages would let one
+	// power cut destroy both the run and its recovery point.
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err

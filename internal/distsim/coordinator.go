@@ -83,6 +83,15 @@ type Coordinator struct {
 	// A missing file starts a fresh run (first launch of a
 	// crash-restart loop).
 	ResumePath string
+	// JournalPath, when set, appends a durable control-plane journal
+	// record at every committed window barrier (plus migrations,
+	// recoveries, skips, and checkpoint writes), fsynced before the
+	// barrier is acknowledged. On a restart whose journal already
+	// holds a genesis record, Serve replays the journal and re-adopts
+	// the surviving workers in place — zero rolled-back windows when
+	// every worker survived — falling back to rollback recovery from
+	// the CheckpointPath file when it cannot. See journal.go.
+	JournalPath string
 	// SkipIdle enables next-event-time window skipping: every done
 	// frame carries the worker's earliest pending event time, and when
 	// the global minimum (workers plus routed-but-undelivered events)
@@ -125,12 +134,25 @@ type Coordinator struct {
 	Migrations uint64
 	Recoveries int // rollback recoveries (worker process replaced)
 	Reconnects int // session resumes (same process, new connection)
+	// Readopted counts surviving workers a journal restart re-adopted
+	// in place (each kept its engine state; no rollback).
+	Readopted int
 	// WorkerStats is slot-indexed. A worker that died between the final
 	// barrier and its stats frame leaves an entry with Incomplete set
 	// (and StatsIncomplete true) instead of failing the completed run.
 	WorkerStats     []WorkerStats
 	StatsIncomplete bool
+
+	// Crash-test hooks: when non-zero, Serve returns errCrashHook
+	// right after (respectively right before) appending the journal
+	// record for barrier N — simulating a coordinator killed at the
+	// two interesting instants around a committed barrier. Test-only.
+	crashAfterBarrier  uint64
+	crashBeforeBarrier uint64
 }
+
+// errCrashHook is the sentinel the crash-test hooks fail Serve with.
+var errCrashHook = errors.New("distsim: coordinator crash hook fired")
 
 // NewCoordinator configures a run over nLPs logical processes.
 func NewCoordinator(nLPs int, lookahead, horizon float64, seed uint64) *Coordinator {
@@ -230,6 +252,7 @@ type session struct {
 	clock    float64
 	ckpt     *clusterCheckpoint
 	every    int
+	journal  *journal // nil unless JournalPath is set
 
 	// Per-slot I/O workers (see Coordinator.slotIO): ioReq carries one
 	// op per slot per barrier, ioRes collects the replies. The channels
@@ -386,16 +409,25 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 	if nWorkers <= 0 {
 		return fmt.Errorf("distsim: Serve with %d workers", nWorkers)
 	}
+	// A journal that already holds a genesis record means this Serve is
+	// a crash restart: replay the control state and re-adopt the
+	// cluster instead of registering it afresh.
+	if c.JournalPath != "" {
+		st, jerr := loadJournal(c.JournalPath)
+		switch {
+		case jerr == nil || errors.Is(jerr, ErrJournalTruncated):
+			if st.genesis {
+				return c.serveRestart(ln, nWorkers, st)
+			}
+			// Torn before genesis ever landed: nothing usable, recreate.
+		case errors.Is(jerr, os.ErrNotExist):
+			// first launch of the crash-restart loop
+		default:
+			return jerr
+		}
+	}
 	s := &session{ln: ln, every: c.every(), pending: make([][]Event, nWorkers)}
-	defer func() {
-		s.stopIO()
-		for _, l := range s.links {
-			l.close()
-		}
-		if s.parked != nil {
-			s.parked.p.close()
-		}
-	}()
+	defer s.shutdown()
 
 	var resume *clusterCheckpoint
 	if c.ResumePath != "" {
@@ -517,6 +549,17 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 	s.startIO(c)
 	s.bindObs(c)
 
+	// The durable journal starts here: genesis pins the run parameters
+	// and the initial control state before the first window frame goes
+	// out, so any later crash restarts from a replayable file.
+	if c.JournalPath != "" {
+		j, err := createJournal(c.JournalPath)
+		if err != nil {
+			return err
+		}
+		s.journal = j
+	}
+
 	if resume != nil {
 		// Restore every worker from the persisted checkpoint, then pick
 		// up the window loop at its clock.
@@ -535,14 +578,55 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 		s.pending = copyPending(resume.Pending)
 		c.Windows = resume.Windows
 		c.EventsRouted = resume.EventsRouted
-	} else if s.every > 0 {
-		// Initial checkpoint: a crash inside the very first window must
-		// be as recoverable as any other.
-		if err := c.checkpoint(s); err != nil {
-			return err
+		if s.journal != nil {
+			if err := s.journal.appendGenesis(len(s.links), c.NLPs, c.Lookahead, c.Horizon, c.Seed, s.cut(c)); err != nil {
+				return err
+			}
+		}
+	} else {
+		if s.journal != nil {
+			if err := s.journal.appendGenesis(len(s.links), c.NLPs, c.Lookahead, c.Horizon, c.Seed, s.cut(c)); err != nil {
+				return err
+			}
+		}
+		if s.every > 0 {
+			// Initial checkpoint: a crash inside the very first window
+			// must be as recoverable as any other.
+			if err := c.checkpoint(s); err != nil {
+				return err
+			}
 		}
 	}
 
+	return c.finish(s, owner)
+}
+
+// shutdown is the deferred cleanup of one Serve call.
+func (s *session) shutdown() {
+	s.stopIO()
+	for _, l := range s.links {
+		l.close()
+	}
+	if s.parked != nil {
+		s.parked.p.close()
+	}
+	s.journal.close()
+}
+
+// cut captures the session's live control state as a journal cut —
+// the payload of genesis and reset records.
+func (s *session) cut(c *Coordinator) *journalCut {
+	return &journalCut{
+		epochs: s.epochs, regKeys: s.regKeys, lpSets: s.lpSets, pending: s.pending,
+		windows: c.Windows, skipped: c.WindowsSkipped, routed: c.EventsRouted, clock: s.clock,
+	}
+}
+
+// finish drives a configured session to completion: the window loop
+// with rollback recovery around it, then shutdown, stats collection,
+// and the final bye. Both the fresh-registration path of Serve and
+// the journal-restart path end here.
+func (c *Coordinator) finish(s *session, owner []int) error {
 	// Window loop, with rollback-recovery around it.
 	err := c.runWindows(s, owner)
 	for err != nil {
@@ -611,6 +695,254 @@ func (c *Coordinator) Serve(ln net.Listener, nWorkers int) error {
 		_ = s.links[wi].send(&frame{Kind: frameBye}) // best effort; see above
 	}
 	return nil
+}
+
+// serveRestart is the crash-restart path of Serve: the journal at
+// JournalPath holds a genesis record, so the control state — LP
+// assignment, window sequence, session epochs, routed pending events,
+// checkpoint ref — is replayed from disk and the cluster is
+// re-adopted instead of re-registered.
+//
+// Each accepted connection is one of three things. A hello carrying a
+// session id the replayed epochs derive is a surviving worker parked
+// at its last quiesced barrier: the coordinator answers coordHello,
+// the worker answers readopt (its LP set, last executed window, next
+// event time), and — when that state lines up with the journal tip —
+// the slot resumes on a fresh link with zero rollback. A hello with
+// an unknown session is a survivor from an incarnation the crash kept
+// out of the journal (it died mid-recovery): still adopted, matched
+// by LP set, but its state cannot be trusted, so the run rolls back.
+// A register frame is a fresh worker process holding no state at all:
+// adopted under a bumped epoch, and likewise forces rollback.
+//
+// The fallback ladder is re-adopt -> rollback -> fail: if any slot
+// cannot be re-adopted cleanly, every worker restores the persisted
+// CheckpointPath cut; with no such cut the restart fails with a typed
+// error rather than guessing.
+func (c *Coordinator) serveRestart(ln net.Listener, nWorkers int, st *journalState) error {
+	if st.nWorkers != nWorkers || st.nLPs != c.NLPs || st.lookahead != c.Lookahead ||
+		st.horizon != c.Horizon || st.seed != c.Seed {
+		return fmt.Errorf("distsim: journal %s records a %d-worker run over %d LPs (lookahead %v, horizon %v, seed %d); this coordinator is configured differently",
+			c.JournalPath, st.nWorkers, st.nLPs, st.lookahead, st.horizon, st.seed)
+	}
+	s := &session{ln: ln, every: c.every()}
+	defer s.shutdown()
+	j, err := openJournal(c.JournalPath, st)
+	if err != nil {
+		return err
+	}
+	s.journal = j
+	s.links = make([]*link, nWorkers)
+	s.epochs = st.epochs
+	s.regKeys = st.regKeys
+	s.lpSets = st.lpSets
+	s.pending = st.pending
+	s.keys = make([]string, nWorkers)
+	s.sessions = make([]uint64, nWorkers)
+	for wi := 0; wi < nWorkers; wi++ {
+		s.keys[wi] = lpKey(s.lpSets[wi])
+		s.sessions[wi] = c.sessionID(wi, s.epochs[wi])
+	}
+
+	// matchSlot finds the unfilled slot whose live or registration-time
+	// LP set matches the presented one.
+	matchSlot := func(lps []int) (int, string) {
+		ids := append([]int(nil), lps...)
+		sort.Ints(ids)
+		key := lpKey(ids)
+		for wi := range s.keys {
+			if s.links[wi] == nil && (s.keys[wi] == key || s.regKeys[wi] == key) {
+				return wi, key
+			}
+		}
+		return -1, key
+	}
+
+	needRollback := false
+	filled := 0
+	for filled < nWorkers {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		p := newPeer(conn)
+		p.writeTimeout = c.timeout()
+		f, _, err := p.recvRaw(c.timeout())
+		if err != nil {
+			p.close()
+			continue
+		}
+		switch f.Kind {
+		case frameHello:
+			slot := -1
+			for wi, sid := range s.sessions {
+				if s.links[wi] == nil && sid == f.Session {
+					slot = wi
+					break
+				}
+			}
+			if slot < 0 {
+				// Unknown session: a survivor whose epoch bump the crash
+				// kept out of the journal. Adopt it by LP set — for the
+				// rollback, since its barrier state cannot be validated.
+				if slot, _ = matchSlot(f.LPs); slot < 0 {
+					p.close() // stale incarnation; its process will give up on its own
+					continue
+				}
+				needRollback = true
+			}
+			var t0 int64
+			if c.Obs != nil {
+				t0 = obs.Now()
+			}
+			if err := p.sendRaw(&frame{Kind: frameCoordHello, Session: s.sessions[slot]}, 0); err != nil {
+				p.close()
+				continue
+			}
+			rf, _, err := p.recvRaw(c.timeout())
+			if err != nil || rf.Kind != frameReadopt {
+				p.close()
+				continue
+			}
+			ids := append([]int(nil), rf.LPs...)
+			sort.Ints(ids)
+			if lpKey(ids) != s.keys[slot] || (rf.WinSeq != st.windows && rf.WinSeq != st.windows+1) {
+				// The worker survived but its state does not line up with
+				// the journal tip (say, a migration that committed on the
+				// workers with its record still un-durable): roll back.
+				needRollback = true
+			}
+			// Both sides restart the sequence space from zero on a fresh
+			// link; anything the old link retained is re-derivable (the
+			// journal re-sends windows, the worker replays its done).
+			s.links[slot] = newLink(p)
+			filled++
+			c.Readopted++
+			if c.Obs != nil {
+				c.Obs.span(obs.KindReadopt, t0, obs.Now()-t0, uint64(slot), st.clock)
+			}
+		case frameRegister:
+			// A fresh worker process holds no barrier state: adopt it
+			// under a new session epoch and roll the run back.
+			slot, key := matchSlot(f.LPs)
+			if slot < 0 {
+				p.close()
+				continue
+			}
+			needRollback = true
+			s.epochs[slot]++
+			s.sessions[slot] = c.sessionID(slot, s.epochs[slot])
+			s.regKeys[slot] = key
+			l := newLink(p)
+			if err := l.send(c.configFrame(s.sessions[slot])); err != nil {
+				l.close()
+				continue
+			}
+			s.links[slot] = l
+			filled++
+		default:
+			p.close()
+		}
+	}
+
+	owner := make([]int, c.NLPs)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for wi, ids := range s.lpSets {
+		for _, lp := range ids {
+			owner[lp] = wi
+		}
+	}
+	for lp, w := range owner {
+		if w == -1 {
+			return corruptf("journal leaves LP %d unowned", lp)
+		}
+	}
+	if c.Rebalance != nil {
+		// Load signals died with the old coordinator; planning restarts
+		// from fresh deltas. Placement can diverge from the uninterrupted
+		// run — results cannot, delivery order is placement-independent.
+		s.loads = make([]partition.Load, c.NLPs)
+		for i := range s.loads {
+			s.loads[i].LP = i
+		}
+	}
+	s.startIO(c)
+	s.bindObs(c)
+
+	if needRollback {
+		if err := c.restartRollback(s, owner); err != nil {
+			return err
+		}
+	} else {
+		// Zero-rollback resume: the journal tip is the cluster state.
+		// Workers that already executed the next window replay their
+		// stored done frames when it is re-sent.
+		s.clock = st.clock
+		c.Windows = st.windows
+		c.WindowsSkipped = st.skipped
+		c.EventsRouted = st.eventsRouted
+		if c.CheckpointPath != "" {
+			// Reload the rollback budget for future worker failures; its
+			// absence only disables in-run recovery, it does not block a
+			// clean re-adoption.
+			if ck, err := loadClusterCheckpoint(c.CheckpointPath); err == nil && len(ck.Keys) == nWorkers {
+				s.ckpt = ck
+			}
+		}
+	}
+	if c.Obs != nil {
+		c.Obs.noteJournal(s.journal.records, s.journal.bytes, c.Readopted)
+	}
+	return c.finish(s, owner)
+}
+
+// restartRollback is the middle rung of the restart ladder: some slot
+// could not be re-adopted at the journal tip, so every worker —
+// survivors included — restores the persisted cluster checkpoint, and
+// the run re-executes from that barrier exactly as an in-run rollback
+// recovery would.
+func (c *Coordinator) restartRollback(s *session, owner []int) error {
+	if c.CheckpointPath == "" {
+		return errors.New("distsim: journal restart needs a rollback but no CheckpointPath is configured")
+	}
+	ck, err := loadClusterCheckpoint(c.CheckpointPath)
+	if err != nil {
+		return fmt.Errorf("distsim: journal restart needs a rollback: %w", err)
+	}
+	if len(ck.Keys) != len(s.links) {
+		return fmt.Errorf("distsim: checkpoint %s has %d workers, run has %d", c.CheckpointPath, len(ck.Keys), len(s.links))
+	}
+	s.ckpt = ck
+	for wi := range s.links {
+		if err := c.sendSlot(s, wi, &frame{Kind: frameRestore, Data: ck.Snapshots[wi]}); err != nil {
+			return err
+		}
+	}
+	for wi := range s.links {
+		if err := c.awaitRestored(s, wi); err != nil {
+			return err
+		}
+	}
+	s.clock = ck.Clock
+	s.pending = copyPending(ck.Pending)
+	c.Windows = ck.Windows
+	c.EventsRouted = ck.EventsRouted
+	// Like a file resume, the skip counter restarts at the rollback
+	// barrier: re-executed gaps are re-counted from zero.
+	c.WindowsSkipped = 0
+	s.keys = slices.Clone(ck.Keys)
+	s.lpSets = cloneLPSets(ck.LPSets)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for wi, ids := range s.lpSets {
+		for _, lp := range ids {
+			owner[lp] = wi
+		}
+	}
+	return s.journal.appendReset(s.cut(c))
 }
 
 // bindObs exposes the current per-slot link counters to the cluster
@@ -847,6 +1179,12 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 		if err != nil {
 			return err
 		}
+		if c.crashBeforeBarrier > 0 && c.Windows >= c.crashBeforeBarrier {
+			// Every worker has executed this window, but the journal has
+			// not recorded it: a restart must re-send it and the workers
+			// must replay their stored done frames.
+			return errCrashHook
+		}
 		// Merge. Validation runs before any routing effect, so a frame
 		// carrying an unknown LP fails the run without counting its
 		// events. next starts at the workers' piggybacked minima and is
@@ -912,6 +1250,18 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 		c.EventsRouted += uint64(len(produced))
 		s.produced = produced
 		s.clock = windowEnd
+		// The barrier commits when its journal record is durable: the
+		// next window's frames only go out on the next iteration, so a
+		// restarted coordinator replaying to this record finds every
+		// worker at most one window ahead of it.
+		if s.journal != nil {
+			if err := s.journal.appendBarrier(c.Windows, c.WindowsSkipped, c.EventsRouted, s.clock, s.pending); err != nil {
+				return err
+			}
+			if c.crashAfterBarrier > 0 && c.Windows >= c.crashAfterBarrier {
+				return errCrashHook
+			}
+		}
 		// Rebalance before any checkpoint this window, so the checkpoint
 		// captures the post-migration assignment and snapshots.
 		if c.Rebalance != nil && c.Windows%uint64(c.rebalanceEvery()) == 0 && s.clock < c.Horizon {
@@ -944,13 +1294,23 @@ func (c *Coordinator) runWindows(s *session, owner []int) error {
 				c.WindowsSkipped++
 				skipped++
 			}
-			if skipped > 0 && c.Obs != nil {
-				// A skip mark, Seq = how many windows were jumped.
-				c.Obs.rec.Record(obs.Span{Wall: obs.Now(), Time: s.clock, Seq: skipped, Kind: obs.KindSkip})
+			if skipped > 0 {
+				if s.journal != nil {
+					if err := s.journal.appendSkip(s.clock, c.WindowsSkipped); err != nil {
+						return err
+					}
+				}
+				if c.Obs != nil {
+					// A skip mark, Seq = how many windows were jumped.
+					c.Obs.rec.Record(obs.Span{Wall: obs.Now(), Time: s.clock, Seq: skipped, Kind: obs.KindSkip})
+				}
 			}
 		}
 		if c.Obs != nil {
 			c.Obs.note(c.Windows, c.WindowsSkipped, c.EventsRouted, c.Migrations, s.clock, c.Reconnects, c.Recoveries)
+			if s.journal != nil {
+				c.Obs.noteJournal(s.journal.records, s.journal.bytes, c.Readopted)
+			}
 		}
 	}
 	return nil
@@ -1029,17 +1389,15 @@ func (c *Coordinator) migrate(s *session, owner []int, mv partition.Move) error 
 	s.lpSets[mv.To] = slices.Insert(s.lpSets[mv.To], pos, mv.LP)
 	s.keys[mv.From] = lpKey(s.lpSets[mv.From])
 	s.keys[mv.To] = lpKey(s.lpSets[mv.To])
-	// Events already routed to the donor for this LP follow it.
-	keep := s.pending[mv.From][:0]
-	for _, ev := range s.pending[mv.From] {
-		if ev.To == mv.LP {
-			s.pending[mv.To] = append(s.pending[mv.To], ev)
-		} else {
-			keep = append(keep, ev)
+	// Events already routed to the donor for this LP follow it (same
+	// helper journal replay uses, so a restart reproduces this state).
+	rebucketPending(s.pending, mv.LP, mv.From, mv.To)
+	c.Migrations++
+	if s.journal != nil {
+		if err := s.journal.appendMigration(mv.LP, mv.From, mv.To); err != nil {
+			return err
 		}
 	}
-	s.pending[mv.From] = keep
-	c.Migrations++
 	if c.Obs != nil {
 		c.Obs.span(obs.KindMigrate, t0, obs.Now()-t0, uint64(mv.LP), s.clock)
 	}
@@ -1080,6 +1438,13 @@ func (c *Coordinator) checkpoint(s *session) error {
 	if c.CheckpointPath != "" {
 		if err := s.ckpt.save(c.CheckpointPath); err != nil {
 			return fmt.Errorf("distsim: persisting checkpoint: %w", err)
+		}
+		if s.journal != nil {
+			// The ref is journaled only once the file itself is durable:
+			// a restart that needs rollback can trust what it loads.
+			if err := s.journal.appendCheckpoint(c.Windows, s.clock); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -1184,6 +1549,14 @@ func (c *Coordinator) recoverSlot(s *session, owner []int, dead int) error {
 		s.loads[i].BusyNs = 0
 	}
 	s.bindObs(c)
+	// A reset record makes the rollback replayable: bumped epoch, new
+	// registration key, and the full restored control state — journal
+	// replay models a recovery without understanding checkpoints.
+	if s.journal != nil {
+		if err := s.journal.appendReset(s.cut(c)); err != nil {
+			return err
+		}
+	}
 	if c.Obs != nil {
 		c.Obs.rec.Record(obs.Span{Wall: t0, Dur: obs.Now() - t0, Time: s.clock,
 			Seq: uint64(dead), Kind: obs.KindRecovery})

@@ -1,0 +1,641 @@
+package distsim
+
+import (
+	"errors"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/parsim"
+)
+
+// The coordinator crash-restart suite: Serve is killed at a scripted
+// barrier (the crash hooks return errCrashHook right after or right
+// before the journal append), a second coordinator restarts from the
+// same journal on the same listener, re-adopts the parked workers, and
+// the finished run must be bit-identical to one that was never
+// interrupted — across the dense, sparse skip-idle, chaos-faulted, and
+// post-migration layouts. The fallback ladder (re-adopt -> rollback ->
+// fail) and the worker park budget get their own scenarios.
+
+// crashBudgets configures a worker for the crash suite: a single short
+// resume attempt per reconnect cycle, so the park loop engages almost
+// immediately after the coordinator dies, and a park budget generous
+// enough to ride out any restart delay the tests schedule.
+func crashBudgets(w *Worker) *Worker {
+	w.ConnectRetries = 1
+	w.ConnectBackoff = 5 * time.Millisecond
+	w.HandshakeTimeout = 200 * time.Millisecond
+	w.MaxPark = 2000
+	return w
+}
+
+// runCrashRestart drives the two-phase harness: workers launch against
+// the listener, c1 serves until its crash hook fires, and — after an
+// optional outage window — c2 restarts on the same listener (the
+// workers keep dialing the same address, exactly as they would a
+// restarted process). Worker errors fail the test, so a scenario only
+// passes when parking carried every worker across the outage.
+func runCrashRestart(t *testing.T, ln net.Listener, c1, c2 *Coordinator, workers []*Worker, outage time.Duration) {
+	t.Helper()
+	addr := ln.Addr().String()
+	errs := make(chan error, len(workers))
+	for _, w := range workers {
+		w := w
+		go func() { errs <- w.Run(addr) }()
+	}
+	if err := c1.Serve(ln, len(workers)); !errors.Is(err, errCrashHook) {
+		t.Fatalf("first Serve = %v, want crash hook", err)
+	}
+	time.Sleep(outage)
+	if err := c2.Serve(ln, len(workers)); err != nil {
+		t.Fatalf("restarted Serve: %v", err)
+	}
+	for range workers {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("worker: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("worker wedged after restart")
+		}
+	}
+}
+
+// TestCrashRestartDense is the core tentpole property, proven in its
+// strongest form: the run has a journal but *no checkpoint file*, so
+// rollback is impossible by construction — only a clean re-adoption at
+// the journal tip can finish the run. The outage is long enough that
+// every worker exhausts its normal reconnect budget and parks, so this
+// also pins the park -> re-adopt path end to end.
+func TestCrashRestartDense(t *testing.T) {
+	wantCounts, wantWindows := referenceRun(t)
+	journal := filepath.Join(t.TempDir(), "coord.journal")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	c1 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c1.Timeout = 10 * time.Second
+	c1.JournalPath = journal
+	c1.crashAfterBarrier = 3
+	c2 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c2.Timeout = 10 * time.Second
+	c2.JournalPath = journal
+
+	workers := []*Worker{crashBudgets(rtWorker(false, false)), crashBudgets(rtWorker(true, false))}
+	runCrashRestart(t, ln, c1, c2, workers, 500*time.Millisecond)
+
+	if got := countsOf(c2.WorkerStats); !equalCounts(got, wantCounts) {
+		t.Fatalf("restarted run counts %v, want %v", got, wantCounts)
+	}
+	// Zero rolled-back windows: the restart resumes at the crash barrier,
+	// so the total executed-window count matches the uninterrupted run.
+	if c2.Windows != wantWindows {
+		t.Fatalf("windows = %d, want %d", c2.Windows, wantWindows)
+	}
+	if c2.Readopted != 2 {
+		t.Fatalf("readopted = %d, want 2", c2.Readopted)
+	}
+	if c2.Recoveries != 0 {
+		t.Fatalf("recoveries = %d, want 0 (all workers survived)", c2.Recoveries)
+	}
+}
+
+// TestCrashRestartBeforeBarrier kills the coordinator after the
+// workers executed a window but before its journal record became
+// durable: the restarted coordinator's tip trails the cluster by one
+// window, so it re-sends that window and the workers must answer from
+// their stashed done frames without touching their engines.
+func TestCrashRestartBeforeBarrier(t *testing.T) {
+	wantCounts, wantWindows := referenceRun(t)
+	journal := filepath.Join(t.TempDir(), "coord.journal")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	c1 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c1.Timeout = 10 * time.Second
+	c1.JournalPath = journal
+	c1.crashBeforeBarrier = 4
+	c2 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c2.Timeout = 10 * time.Second
+	c2.JournalPath = journal
+
+	workers := []*Worker{crashBudgets(rtWorker(false, false)), crashBudgets(rtWorker(true, false))}
+	runCrashRestart(t, ln, c1, c2, workers, 0)
+
+	if got := countsOf(c2.WorkerStats); !equalCounts(got, wantCounts) {
+		t.Fatalf("done-replay run counts %v, want %v", got, wantCounts)
+	}
+	if c2.Windows != wantWindows {
+		t.Fatalf("windows = %d, want %d", c2.Windows, wantWindows)
+	}
+	if c2.Readopted != 2 || c2.Recoveries != 0 {
+		t.Fatalf("readopted = %d, recoveries = %d, want 2, 0", c2.Readopted, c2.Recoveries)
+	}
+}
+
+// TestCrashRestartSparseSkip crashes a skip-idle coordinator between
+// skipped gaps: the journal tip records the pre-gap barrier, and the
+// restart — which cannot know the piggybacked next-event times the
+// crash destroyed — re-executes the gap's empty windows instead of
+// skipping them. Empty windows execute nothing, so the counts stay
+// bit-identical to the single-process reference.
+func TestCrashRestartSparseSkip(t *testing.T) {
+	ref := parsim.NewPHOLDFactor(skLPs, 1, skLA, skJobs, skRemote, skWork, skSeed, skFactor)
+	ref.Run(skHorizon)
+	want := ref.PerLPEvents()
+	journal := filepath.Join(t.TempDir(), "coord.journal")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	c1 := NewCoordinator(skLPs, skLA, skHorizon, skSeed)
+	c1.SkipIdle = true
+	c1.Timeout = 10 * time.Second
+	c1.JournalPath = journal
+	c1.crashAfterBarrier = 2
+	c2 := NewCoordinator(skLPs, skLA, skHorizon, skSeed)
+	c2.SkipIdle = true
+	c2.Timeout = 10 * time.Second
+	c2.JournalPath = journal
+
+	workers := []*Worker{crashBudgets(skWorker(false, false)), crashBudgets(skWorker(true, false))}
+	runCrashRestart(t, ln, c1, c2, workers, 0)
+
+	got := skCounts(c2.WorkerStats)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LP %d: crash-restart skip run %d events vs reference %d\nwant %v\ngot  %v",
+				i, got[i], want[i], want, got)
+		}
+	}
+	if c2.Readopted != 2 || c2.Recoveries != 0 {
+		t.Fatalf("readopted = %d, recoveries = %d, want 2, 0", c2.Readopted, c2.Recoveries)
+	}
+}
+
+// TestCrashRestartUnderChaos combines the coordinator crash with a
+// faulty network on every wire: drops, duplicates, and corruption keep
+// forcing session resumes before the crash and keep attacking the
+// re-adoption handshake after it. The layered ladder — integrity
+// checks, resume, journal restart — must still deliver bit-identical
+// counts.
+func TestCrashRestartUnderChaos(t *testing.T) {
+	wantCounts, _ := referenceRun(t)
+	journal := filepath.Join(t.TempDir(), "coord.journal")
+
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	addr := base.Addr().String()
+	// One injector wraps the listener across both Serve calls: the
+	// restarted coordinator inherits the same hostile network.
+	ln := chaos.New(chaos.Config{Seed: 911, Drop: 0.02, Dup: 0.05, Corrupt: 0.02}).Listener(base)
+
+	c1 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c1.Timeout = 500 * time.Millisecond
+	c1.ReconnectWait = 3 * time.Second
+	c1.MaxReconnects = 10000
+	c1.JournalPath = journal
+	c1.crashAfterBarrier = 3
+	c2 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c2.Timeout = 500 * time.Millisecond
+	c2.ReconnectWait = 3 * time.Second
+	c2.MaxReconnects = 10000
+	c2.JournalPath = journal
+
+	workers := []*Worker{rtWorker(false, false), rtWorker(true, false)}
+	for i, w := range workers {
+		crashBudgets(w)
+		w.ConnectRetries = 3 // chaos eats handshakes; one attempt per cycle is too tight
+		inj := chaos.New(chaos.Config{Seed: 912 + uint64(i)*1000003, Drop: 0.02, Dup: 0.05, Corrupt: 0.02})
+		w.Dial = func() (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return inj.Conn(conn), nil
+		}
+	}
+	runCrashRestart(t, ln, c1, c2, workers, 0)
+
+	if got := countsOf(c2.WorkerStats); !equalCounts(got, wantCounts) {
+		t.Fatalf("chaos crash-restart counts %v, want %v", got, wantCounts)
+	}
+	if c2.Readopted != 2 || c2.Recoveries != 0 {
+		t.Fatalf("readopted = %d, recoveries = %d, want 2, 0", c2.Readopted, c2.Recoveries)
+	}
+}
+
+// TestCrashRestartAfterMigration crashes the coordinator after the
+// rebalancer has migrated LPs away from the workers' static
+// registration: the journal's migration records reproduce the moved
+// assignment, the surviving workers present their migrated LP sets in
+// the re-adoption handshake, and the restart resumes the migrated
+// layout with zero rollback.
+func TestCrashRestartAfterMigration(t *testing.T) {
+	want := mgReference()
+	journal := filepath.Join(t.TempDir(), "coord.journal")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	c1 := NewCoordinator(mgLPs, mgLA, mgHorizon, mgSeed)
+	c1.Rebalance = mgPolicy()
+	c1.RebalanceEvery = 2
+	c1.Timeout = 10 * time.Second
+	c1.JournalPath = journal
+	c1.crashAfterBarrier = 6
+	c2 := NewCoordinator(mgLPs, mgLA, mgHorizon, mgSeed)
+	c2.Rebalance = mgPolicy()
+	c2.RebalanceEvery = 2
+	c2.Timeout = 10 * time.Second
+	c2.JournalPath = journal
+
+	workers := []*Worker{crashBudgets(mgWorker(false, false)), crashBudgets(mgWorker(true, false))}
+	runCrashRestart(t, ln, c1, c2, workers, 0)
+
+	if c1.Migrations == 0 {
+		t.Fatal("no migration before the crash; the scenario no longer exercises the migrated layout")
+	}
+	if got := mgCounts(c2.WorkerStats); !equalCounts(got, want) {
+		t.Fatalf("post-migration crash-restart counts %v, want %v", got, want)
+	}
+	if c2.Readopted != 2 || c2.Recoveries != 0 {
+		t.Fatalf("readopted = %d, recoveries = %d, want 2, 0", c2.Readopted, c2.Recoveries)
+	}
+	if len(c2.WorkerStats[0].LPs)+len(c2.WorkerStats[1].LPs) != mgLPs {
+		t.Fatalf("final LP sets %v + %v do not partition %d LPs",
+			c2.WorkerStats[0].LPs, c2.WorkerStats[1].LPs, mgLPs)
+	}
+}
+
+// TestCrashRestartFallbackRollback exercises the middle rung of the
+// restart ladder: one worker dies during the coordinator outage, so a
+// fresh replacement registers during re-adoption, its state cannot be
+// trusted at the journal tip, and the whole federation rolls back to
+// the journaled checkpoint ref instead. The survivor is still
+// re-adopted (it carries the restore like any rollback), and the
+// finished counts match the uninterrupted run.
+func TestCrashRestartFallbackRollback(t *testing.T) {
+	wantCounts, _ := referenceRun(t)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "coord.journal")
+	ckpt := filepath.Join(dir, "cluster.ckpt")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	c1 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c1.Timeout = 10 * time.Second
+	c1.CheckpointPath = ckpt
+	c1.CheckpointEvery = 1
+	c1.JournalPath = journal
+	c1.crashAfterBarrier = 3
+
+	// Worker A survives the outage parked; worker B gives up after one
+	// short resume attempt (parking disabled), like a process whose own
+	// host rebooted with the coordinator's.
+	wA := crashBudgets(rtWorker(false, false))
+	wB := rtWorker(true, false)
+	wB.ConnectRetries = -1
+	wB.ConnectBackoff = 5 * time.Millisecond
+	wB.HandshakeTimeout = 200 * time.Millisecond
+	wB.MaxPark = -1
+
+	aErr := make(chan error, 1)
+	bErr := make(chan error, 1)
+	go func() { aErr <- wA.Run(addr) }()
+	go func() { bErr <- wB.Run(addr) }()
+	if err := c1.Serve(ln, 2); !errors.Is(err, errCrashHook) {
+		t.Fatalf("first Serve = %v, want crash hook", err)
+	}
+	select {
+	case err := <-bErr:
+		if err == nil {
+			t.Fatal("worker B exited cleanly during the outage")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker B never gave up")
+	}
+
+	// The replacement registers with worker B's static LP set; the
+	// restarted coordinator must fall back to rollback.
+	wB2 := crashBudgets(rtWorker(true, false))
+	go func() { bErr <- wB2.Run(addr) }()
+	c2 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c2.Timeout = 10 * time.Second
+	c2.CheckpointPath = ckpt
+	c2.CheckpointEvery = 1
+	c2.JournalPath = journal
+	if err := c2.Serve(ln, 2); err != nil {
+		t.Fatalf("restarted Serve: %v", err)
+	}
+	for _, ch := range []chan error{aErr, bErr} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("worker: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("worker wedged after restart")
+		}
+	}
+
+	if got := countsOf(c2.WorkerStats); !equalCounts(got, wantCounts) {
+		t.Fatalf("fallback-rollback run counts %v, want %v", got, wantCounts)
+	}
+	if c2.Readopted != 1 {
+		t.Fatalf("readopted = %d, want 1 (only the survivor)", c2.Readopted)
+	}
+}
+
+// TestCrashRestartJournalRequiresRollbackWithoutCheckpoint pins the
+// bottom of the ladder: a restart that needs a rollback (a fresh
+// worker registered) but has no checkpoint file fails with a typed
+// error instead of guessing at state.
+func TestCrashRestartJournalRequiresRollbackWithoutCheckpoint(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "coord.journal")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	c1 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c1.Timeout = 10 * time.Second
+	c1.JournalPath = journal
+	c1.crashAfterBarrier = 2
+
+	wA := crashBudgets(rtWorker(false, false))
+	wB := rtWorker(true, false)
+	wB.ConnectRetries = -1
+	wB.HandshakeTimeout = 100 * time.Millisecond
+	wB.MaxPark = -1
+	go func() { _ = wA.Run(addr) }() // fails with the aborted restart; ignored
+	bErr := make(chan error, 1)
+	go func() { bErr <- wB.Run(addr) }()
+	if err := c1.Serve(ln, 2); !errors.Is(err, errCrashHook) {
+		t.Fatalf("first Serve = %v, want crash hook", err)
+	}
+	select {
+	case err := <-bErr:
+		if err == nil {
+			t.Fatal("worker B exited cleanly during the outage")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker B never gave up")
+	}
+
+	go func() { _ = crashBudgets(rtWorker(true, false)).Run(addr) }() // replacement; run fails, ignored
+	c2 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c2.Timeout = 10 * time.Second
+	c2.JournalPath = journal
+	err = c2.Serve(ln, 2)
+	if err == nil {
+		t.Fatal("restart succeeded despite needing a rollback with no checkpoint")
+	}
+	if errors.Is(err, errCrashHook) {
+		t.Fatalf("restart failed with the crash hook: %v", err)
+	}
+}
+
+// TestWorkerParkGiveUp pins the bounded-park satellite: a worker whose
+// coordinator dies and never comes back burns its park budget, returns
+// a typed ErrCoordinatorLost, and still flushes its final local stats.
+func TestWorkerParkGiveUp(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "coord.journal")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	c := NewCoordinator(2, 1.0, 50, 7)
+	c.Timeout = 10 * time.Second
+	c.JournalPath = journal
+	c.crashAfterBarrier = 2
+
+	w := NewWorker(0, 1)
+	InstallPHOLD(w, 2, 4, 0.5, 3)
+	w.ConnectRetries = 1
+	w.ConnectBackoff = 2 * time.Millisecond
+	w.HandshakeTimeout = 50 * time.Millisecond
+	w.MaxPark = 3
+
+	wErr := make(chan error, 1)
+	go func() { wErr <- w.Run(ln.Addr().String()) }()
+	if err := c.Serve(ln, 1); !errors.Is(err, errCrashHook) {
+		t.Fatalf("Serve = %v, want crash hook", err)
+	}
+	select {
+	case err := <-wErr:
+		if !errors.Is(err, ErrCoordinatorLost) {
+			t.Fatalf("worker error = %v, want ErrCoordinatorLost", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker never gave up parking")
+	}
+	stats := w.Stats()
+	if !stats.Incomplete {
+		t.Fatal("final stats not marked incomplete")
+	}
+	if stats.EventsExecuted == 0 {
+		t.Fatal("abandoned worker flushed no executed events")
+	}
+}
+
+// TestPartitionShorterThanTimeout pins the heartbeat-during-partition
+// interplay from the safe side: a two-way blackhole shorter than the
+// coordinator's per-frame deadline must never escalate to rollback
+// recovery — the silence stays under the timeout, heartbeats resume
+// when the partition lifts, and any frame the blackhole ate heals by
+// cheap session resume. Rollback is armed, so a false escalation
+// would be visible in Recoveries.
+func TestPartitionShorterThanTimeout(t *testing.T) {
+	wantCounts, _ := referenceRun(t)
+
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	addr := base.Addr().String()
+	part := chaos.Config{Seed: 7001, Delay: 2 * time.Millisecond,
+		PartitionStart: 60 * time.Millisecond, PartitionDur: 150 * time.Millisecond}
+	ln := chaos.New(part).Listener(base)
+
+	c := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c.Timeout = 2 * time.Second // partition << timeout: the deadline must never fire
+	c.ReconnectWait = 3 * time.Second
+	c.MaxReconnects = 10000
+	c.CheckpointEvery = 1
+	c.MaxRecoveries = 2
+
+	workers := []*Worker{rtWorker(false, false), rtWorker(true, false)}
+	errs := make(chan error, len(workers)+1)
+	for i, w := range workers {
+		w.HandshakeTimeout = 2 * time.Second
+		w.ConnectRetries = 100
+		w.ConnectBackoff = 10 * time.Millisecond
+		cfg := part
+		cfg.Seed += uint64(i+1) * 1000003
+		inj := chaos.New(cfg)
+		w.Dial = func() (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return inj.Conn(conn), nil
+		}
+		w := w
+		go func() { errs <- w.Run(addr) }()
+	}
+	go func() { errs <- c.Serve(ln, len(workers)) }()
+	for i := 0; i < len(workers)+1; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("short-partition run failed: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("short-partition run wedged")
+		}
+	}
+
+	if c.Recoveries != 0 {
+		t.Fatalf("sub-timeout partition escalated to %d rollback recoveries", c.Recoveries)
+	}
+	if got := countsOf(c.WorkerStats); !equalCounts(got, wantCounts) {
+		t.Fatalf("short-partition run counts %v, want %v", got, wantCounts)
+	}
+}
+
+// TestPartitionLongerThanTimeoutRecovers is the flip side: a partition
+// that outlives the deadline must trigger the failure machinery. The
+// partitioned worker's writes stay blackholed for good, its heartbeats
+// stop arriving, the deadline fires, resume fails (the hellos vanish
+// too), the worker gives up, and a fresh replacement carries the slot
+// through rollback recovery — Recoveries must advance, and the counts
+// must still match the uninterrupted run.
+func TestPartitionLongerThanTimeoutRecovers(t *testing.T) {
+	wantCounts, wantWindows := referenceRun(t)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	c := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c.Timeout = 300 * time.Millisecond
+	c.ReconnectWait = 500 * time.Millisecond
+	c.RecoveryWait = 15 * time.Second
+	c.CheckpointEvery = 1
+	c.MaxRecoveries = 2
+
+	wA := rtWorker(false, false)
+	wA.HandshakeTimeout = 2 * time.Second
+	wA.ConnectRetries = 100
+	wA.ConnectBackoff = 10 * time.Millisecond
+
+	// Worker B's outbound wire partitions mid-run and never heals: the
+	// deterministic "partition longer than the timeout" worker. The
+	// fixed per-message delay stretches its side of the run so the
+	// partition reliably lands after the handshake but before the
+	// horizon. Its resume attempts are blackholed with everything else,
+	// so it gives up quickly (parking disabled) and the test relaunches
+	// it fresh.
+	wB := rtWorker(true, false)
+	wB.ConnectRetries = 2
+	wB.ConnectBackoff = 10 * time.Millisecond
+	wB.HandshakeTimeout = 200 * time.Millisecond
+	wB.MaxPark = -1
+	inj := chaos.New(chaos.Config{Seed: 7002, Delay: 5 * time.Millisecond,
+		PartitionStart: 40 * time.Millisecond, PartitionDur: time.Hour})
+	wB.Dial = func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return inj.Conn(conn), nil
+	}
+
+	errs := make(chan error, 2)
+	bDead := make(chan struct{})
+	go func() { errs <- wA.Run(addr) }()
+	go func() {
+		if err := wB.Run(addr); err == nil {
+			t.Error("partitioned worker exited cleanly")
+		}
+		close(bDead)
+	}()
+	go func() {
+		// The replacement dials clean (no injector), like a worker
+		// relaunched on a healthy host.
+		<-bDead
+		wB2 := rtWorker(true, false)
+		wB2.HandshakeTimeout = 2 * time.Second
+		wB2.ConnectRetries = 100
+		wB2.ConnectBackoff = 10 * time.Millisecond
+		errs <- wB2.Run(addr)
+	}()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- c.Serve(ln, 2) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("long-partition run wedged")
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("worker: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("worker wedged")
+		}
+	}
+
+	if c.Recoveries == 0 {
+		t.Fatal("over-timeout partition never triggered rollback recovery")
+	}
+	if got := countsOf(c.WorkerStats); !equalCounts(got, wantCounts) {
+		t.Fatalf("long-partition run counts %v, want %v", got, wantCounts)
+	}
+	if c.Windows != wantWindows {
+		t.Fatalf("windows = %d, want %d", c.Windows, wantWindows)
+	}
+}

@@ -1,0 +1,73 @@
+package distsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// FuzzUnmarshalFrame throws arbitrary bytes at the wire codec: every
+// input must either fail with a typed error or decode into a frame
+// with a valid kind — never panic, never allocate beyond the payload
+// size, never return both a frame and an error. The seed corpus
+// covers every frame shape the protocol actually sends.
+func FuzzUnmarshalFrame(f *testing.F) {
+	seeds := []*frame{
+		{Kind: frameRegister, LPs: []int{0, 1, 2}},
+		{Kind: frameConfig, Lookahead: 1, Horizon: 100, Seed: 42, Session: 7,
+			TimeoutSec: 2, ObsEvery: 1, ObsSpans: 64, RebalanceEvery: 2},
+		{Kind: frameWindow, End: 3.5, WinSeq: 9, Events: []Event{
+			{Time: 1.25, From: 0, To: 3, Seq: 4, Data: []byte{1, 2, 3}},
+			{Time: 2.5, From: 2, To: 1, Seq: 8},
+		}},
+		{Kind: frameDone, Next: math.Inf(1), Obs: []byte{0xAA, 0xBB},
+			Events: []Event{{Time: 4, From: 1, To: 0, Seq: 2, Data: []byte{9}}},
+			Loads:  []partition.Load{{LP: 1, Events: 3, BusyNs: 4500}}},
+		{Kind: frameStats, Stats: WorkerStats{LPs: []int{3, 4}, EventsExecuted: 17,
+			Sent: 5, Received: 6, PerLPCounts: map[int]uint64{3: 9, 4: 8}, Incomplete: true}},
+		{Kind: frameHello, Session: 99, RecvSeq: 12, LPs: []int{5}},
+		{Kind: frameResume, RecvSeq: 12},
+		{Kind: frameSnapshot, Data: []byte("snapshot-bytes")},
+		{Kind: frameHeartbeat, SendSeq: 3},
+		{Kind: frameCoordHello, Session: 99},
+		{Kind: frameReadopt, LPs: []int{0, 1}, WinSeq: 7, Next: 8.25},
+		{Kind: frameErrCase, Err: "boom"},
+	}
+	for _, fr := range seeds {
+		f.Add(marshalFrame(fr))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := unmarshalFrame(data)
+		if err != nil {
+			if fr != nil {
+				t.Fatalf("unmarshalFrame returned both a frame and %v", err)
+			}
+		} else {
+			if fr == nil {
+				t.Fatal("unmarshalFrame returned neither frame nor error")
+			}
+			if fr.Kind == 0 || fr.Kind >= frameKindMax {
+				t.Fatalf("decoded frame has invalid kind %d", fr.Kind)
+			}
+			// A frame that decodes must re-encode and decode again: the
+			// codec is its own round-trip witness.
+			if _, err := unmarshalFrame(marshalFrame(fr)); err != nil {
+				t.Fatalf("re-encoded frame does not decode: %v", err)
+			}
+		}
+		// The pooled decode path must agree with the allocating one.
+		var f2 frame
+		var evs []Event
+		if err2 := unmarshalFrameInto(&f2, &evs, data); (err2 == nil) != (err == nil) {
+			t.Fatalf("pooled decode err=%v, allocating decode err=%v", err2, err)
+		}
+	})
+}
+
+// frameErrCase aliases frameLPState: the donor's error-reporting
+// frame, the only one where Err rides a sequenced frame.
+const frameErrCase = frameLPState

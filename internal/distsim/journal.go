@@ -1,0 +1,651 @@
+package distsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"repro/internal/checkpoint"
+)
+
+// This file implements the coordinator's durable control-plane
+// journal — the piece that removes the last single point of failure.
+//
+// Cluster checkpoints (checkpoint.go) already make the *data plane*
+// recoverable: worker state can be rolled back to a consistent
+// barrier. But the *control plane* — which worker owns which LPs,
+// the window sequence number, per-slot session epochs, the routed
+// in-flight events — lived only in the coordinator's memory, so a
+// coordinator crash killed the run even though every worker was
+// healthy. The journal persists exactly that control state: an
+// append-only file the coordinator fsyncs at every committed window
+// barrier (plus migration commits, recovery resets, idle-window
+// skips, and checkpoint writes). On restart the journal is replayed
+// to rebuild the coordinator's view, surviving workers are re-adopted
+// in place, and the run continues bit-identically — no rollback, no
+// re-execution, as long as every worker survived the gap.
+//
+// File layout:
+//
+//	magic   "LSDSJRNL" (8 bytes)
+//	version uint16 big-endian
+//	record* { len uint32 BE, payload, crc32 uint32 BE (IEEE, payload) }
+//
+// Record payloads use the checkpoint Enc/Dec codec; the first field
+// is the record kind. The file is created with the same atomic
+// temp-and-rename discipline as cluster checkpoints, and every append
+// is fsynced before the coordinator acknowledges the barrier it
+// records — a journaled barrier is a durable barrier.
+//
+// A torn final record (crash mid-append) is expected and recoverable:
+// loadJournal returns the state of the valid prefix along with
+// ErrJournalTruncated, and the restarting coordinator truncates the
+// tear before appending. A *complete* record that fails its CRC or
+// does not parse means corruption, not a crash — that is
+// ErrJournalCorrupt, and the coordinator refuses to resume from it.
+
+// journalMagic identifies a control-plane journal file.
+const journalMagic = "LSDSJRNL"
+
+// journalVersion is the current journal format version.
+const journalVersion = 1
+
+// journalHeaderLen is the byte length of the file header.
+const journalHeaderLen = len(journalMagic) + 2
+
+// maxJournalRecord bounds a single record payload (64 MiB): a length
+// prefix beyond it means a corrupt file, not a real record.
+const maxJournalRecord = 64 << 20
+
+// journalPrealloc is the chunk by which the journal file is extended
+// ahead of the append offset. Appends then write into already-sized
+// space, so the per-barrier datasync flushes data blocks without a
+// file-size metadata update — the classic WAL preallocation trick,
+// and most of the difference between fsync and fdatasync latency on
+// the barrier path. Readers treat the zero-filled slack as a clean
+// end of journal.
+const journalPrealloc = 256 << 10
+
+// Typed journal load failures. ErrJournalTruncated is survivable —
+// the valid prefix is still returned and the caller truncates the
+// torn tail; ErrJournalCorrupt is not.
+var (
+	ErrJournalCorrupt   = errors.New("distsim: corrupt journal")
+	ErrJournalTruncated = errors.New("distsim: journal has a torn final record")
+)
+
+// journal record kinds.
+type journalRecKind uint64
+
+const (
+	jGenesis    journalRecKind = iota + 1 // run parameters + initial control state
+	jBarrier                              // committed window barrier: counters + pending
+	jMigration                            // one committed LP migration
+	jCheckpoint                           // cluster checkpoint written to CheckpointPath
+	jSkip                                 // idle-window gap jumped
+	jReset                                // full control-state overwrite after a rollback
+)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrJournalCorrupt, fmt.Sprintf(format, args...))
+}
+
+// allZero reports whether every byte of p is zero — the signature of
+// a journal's preallocated, not-yet-written tail.
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// journal is an open control-plane journal positioned for appends.
+type journal struct {
+	f       *os.File
+	payload []byte // reused payload encode scratch
+	rec     []byte // reused framed-record scratch
+	records uint64 // records written or replayed
+	bytes   uint64 // valid record bytes past the header
+	off     int64  // next append offset (end of the valid prefix)
+	alloc   int64  // preallocated file size
+}
+
+// createJournal atomically creates a fresh journal file at path
+// (temp + rename, like cluster checkpoints) and keeps the descriptor
+// open for appends.
+func createJournal(path string) (*journal, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".journal-*")
+	if err != nil {
+		return nil, fmt.Errorf("distsim: create journal: %w", err)
+	}
+	var hdr [journalHeaderLen]byte
+	copy(hdr[:], journalMagic)
+	binary.BigEndian.PutUint16(hdr[len(journalMagic):], journalVersion)
+	if _, err := tmp.Write(hdr[:]); err == nil {
+		err = tmp.Sync()
+		if err == nil {
+			err = os.Rename(tmp.Name(), path)
+		}
+	} else {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("distsim: create journal: %w", err)
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("distsim: create journal: %w", err)
+	}
+	// The descriptor stays valid across the rename; appends land in
+	// the renamed file. Preallocate the first chunk so steady-state
+	// barrier syncs never wait on a size update.
+	if err := tmp.Truncate(journalPrealloc); err != nil {
+		tmp.Close()
+		return nil, fmt.Errorf("distsim: preallocate journal: %w", err)
+	}
+	return &journal{f: tmp, off: int64(journalHeaderLen), alloc: journalPrealloc}, nil
+}
+
+// openJournal reopens an existing journal for appending after a
+// replay. A torn final record reported by loadJournal is truncated
+// away first, so the next append extends the valid prefix; clean
+// preallocated slack is simply written over in place.
+func openJournal(path string, st *journalState) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("distsim: open journal: %w", err)
+	}
+	if st.torn {
+		if err := f.Truncate(st.validLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("distsim: truncate torn journal tail: %w", err)
+		}
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("distsim: open journal: %w", err)
+	}
+	return &journal{
+		f:       f,
+		records: st.records,
+		bytes:   uint64(st.validLen) - uint64(journalHeaderLen),
+		off:     st.validLen,
+		alloc:   fi.Size(),
+	}, nil
+}
+
+func (j *journal) close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	// Drop the preallocated slack so a cleanly finished journal is
+	// dense on disk. Best-effort: leftover zeros parse as a clean tail
+	// anyway.
+	if j.alloc > j.off {
+		_ = j.f.Truncate(j.off)
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// appendRecord frames, writes, and fsyncs one record. The record is
+// durable when appendRecord returns nil — the window loop relies on
+// this before sending the frames the record makes re-derivable.
+func (j *journal) appendRecord(build func(*checkpoint.Enc)) error {
+	enc := checkpoint.NewEnc(j.payload)
+	build(&enc)
+	j.payload = enc.Bytes()
+	p := j.payload
+	if len(p) > maxJournalRecord {
+		return fmt.Errorf("distsim: journal record of %d bytes exceeds limit", len(p))
+	}
+	rec := j.rec[:0]
+	rec = binary.BigEndian.AppendUint32(rec, uint32(len(p)))
+	rec = append(rec, p...)
+	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(p))
+	j.rec = rec
+	end := j.off + int64(len(rec))
+	if end > j.alloc {
+		next := j.alloc * 2
+		if next < end+journalPrealloc {
+			next = end + journalPrealloc
+		}
+		if err := j.f.Truncate(next); err != nil {
+			return fmt.Errorf("distsim: journal preallocate: %w", err)
+		}
+		j.alloc = next
+	}
+	if _, err := j.f.WriteAt(rec, j.off); err != nil {
+		return fmt.Errorf("distsim: journal append: %w", err)
+	}
+	if err := datasync(j.f); err != nil {
+		return fmt.Errorf("distsim: journal sync: %w", err)
+	}
+	j.off = end
+	j.records++
+	j.bytes += uint64(len(rec))
+	return nil
+}
+
+// journalCut is the full control-plane state carried by genesis and
+// reset records: everything a restarted coordinator needs beyond the
+// run parameters.
+type journalCut struct {
+	epochs  []int
+	regKeys []string
+	lpSets  [][]int
+	pending [][]Event
+
+	windows, skipped, routed uint64
+	clock                    float64
+}
+
+func encodeCut(enc *checkpoint.Enc, cut *journalCut) {
+	enc.U64(cut.windows)
+	enc.U64(cut.skipped)
+	enc.U64(cut.routed)
+	enc.F64(cut.clock)
+	for wi := range cut.epochs {
+		enc.Int(cut.epochs[wi])
+		enc.Str(cut.regKeys[wi])
+		enc.Int(len(cut.lpSets[wi]))
+		for _, id := range cut.lpSets[wi] {
+			enc.Int(id)
+		}
+		enc.Int(len(cut.pending[wi]))
+		for i := range cut.pending[wi] {
+			encEventInto(enc, &cut.pending[wi][i])
+		}
+	}
+}
+
+// appendGenesis records the run parameters and the initial control
+// state. It is always the first record of a journal.
+func (j *journal) appendGenesis(nWorkers, nLPs int, lookahead, horizon float64, seed uint64, cut *journalCut) error {
+	return j.appendRecord(func(enc *checkpoint.Enc) {
+		enc.U64(uint64(jGenesis))
+		enc.Int(nWorkers)
+		enc.Int(nLPs)
+		enc.F64(lookahead)
+		enc.F64(horizon)
+		enc.U64(seed)
+		encodeCut(enc, cut)
+	})
+}
+
+// appendBarrier records one committed window barrier: the counters
+// and the complete routed-but-undelivered event set.
+func (j *journal) appendBarrier(windows, skipped, routed uint64, clock float64, pending [][]Event) error {
+	return j.appendRecord(func(enc *checkpoint.Enc) {
+		enc.U64(uint64(jBarrier))
+		enc.U64(windows)
+		enc.U64(skipped)
+		enc.U64(routed)
+		enc.F64(clock)
+		for wi := range pending {
+			enc.Int(len(pending[wi]))
+			for i := range pending[wi] {
+				encEventInto(enc, &pending[wi][i])
+			}
+		}
+	})
+}
+
+// appendMigration records one committed LP migration.
+func (j *journal) appendMigration(lp, from, to int) error {
+	return j.appendRecord(func(enc *checkpoint.Enc) {
+		enc.U64(uint64(jMigration))
+		enc.Int(lp)
+		enc.Int(from)
+		enc.Int(to)
+	})
+}
+
+// appendCheckpoint records that a cluster checkpoint for the given
+// barrier was durably written to CheckpointPath.
+func (j *journal) appendCheckpoint(windows uint64, clock float64) error {
+	return j.appendRecord(func(enc *checkpoint.Enc) {
+		enc.U64(uint64(jCheckpoint))
+		enc.U64(windows)
+		enc.F64(clock)
+	})
+}
+
+// appendSkip records an idle-window gap jump.
+func (j *journal) appendSkip(clock float64, skipped uint64) error {
+	return j.appendRecord(func(enc *checkpoint.Enc) {
+		enc.U64(uint64(jSkip))
+		enc.F64(clock)
+		enc.U64(skipped)
+	})
+}
+
+// appendReset records a full control-state overwrite: written after a
+// rollback recovery (in-run or at restart), whose effect — bumped
+// epochs, restored counters and pending set — replay could not
+// otherwise model.
+func (j *journal) appendReset(cut *journalCut) error {
+	return j.appendRecord(func(enc *checkpoint.Enc) {
+		enc.U64(uint64(jReset))
+		encodeCut(enc, cut)
+	})
+}
+
+// journalState is the coordinator control state recovered by
+// replaying a journal.
+type journalState struct {
+	genesis   bool
+	nWorkers  int
+	nLPs      int
+	lookahead float64
+	horizon   float64
+	seed      uint64
+
+	regKeys []string
+	lpSets  [][]int
+	epochs  []int
+	pending [][]Event
+
+	windows      uint64
+	skipped      uint64
+	eventsRouted uint64
+	clock        float64
+
+	hasCkpt     bool
+	ckptWindows uint64
+	ckptClock   float64
+
+	records  uint64
+	torn     bool
+	validLen int64 // file offset of the end of the valid prefix
+}
+
+// loadJournal reads and replays the journal at path. On a torn final
+// record it returns the valid-prefix state alongside
+// ErrJournalTruncated; any other non-nil error means the journal is
+// unusable (missing file errors satisfy errors.Is(err, fs.ErrNotExist)).
+func loadJournal(path string) (*journalState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parseJournal(data)
+}
+
+func parseJournal(data []byte) (*journalState, error) {
+	if len(data) < journalHeaderLen {
+		return nil, corruptf("file of %d bytes is shorter than the header", len(data))
+	}
+	if string(data[:len(journalMagic)]) != journalMagic {
+		return nil, corruptf("bad magic (not a journal)")
+	}
+	if v := binary.BigEndian.Uint16(data[len(journalMagic):]); v != journalVersion {
+		return nil, corruptf("unsupported version %d (have %d)", v, journalVersion)
+	}
+	st := &journalState{}
+	off := journalHeaderLen
+	for off < len(data) {
+		if len(data)-off < 4 {
+			st.torn = true
+			break
+		}
+		n := binary.BigEndian.Uint32(data[off:])
+		if n == 0 {
+			// No record has an empty payload: an all-zero tail is the
+			// preallocated slack of a live journal (a clean end), and a
+			// tear that never got past the length prefix looks the same.
+			// Nonzero bytes inside that slack are corruption.
+			if !allZero(data[off:]) {
+				return nil, corruptf("record %d: zero length followed by nonzero bytes", st.records)
+			}
+			break
+		}
+		if n > maxJournalRecord {
+			return nil, corruptf("record %d length %d exceeds limit", st.records, n)
+		}
+		if len(data)-off-4 < int(n)+4 {
+			st.torn = true
+			break
+		}
+		payload := data[off+4 : off+4+int(n)]
+		stored := binary.BigEndian.Uint32(data[off+4+int(n):])
+		if got := crc32.ChecksumIEEE(payload); got != stored {
+			// A CRC failure on the final record-candidate — nothing but
+			// preallocated zeros after its claimed end — is a torn
+			// append, recoverable like any short tear. Mid-journal,
+			// where valid data follows, it is corruption.
+			if allZero(data[off+8+int(n):]) {
+				st.torn = true
+				break
+			}
+			return nil, corruptf("record %d CRC mismatch (stored %08x, computed %08x)", st.records, stored, got)
+		}
+		if err := st.apply(payload); err != nil {
+			return nil, err
+		}
+		st.records++
+		off += 8 + int(n)
+	}
+	st.validLen = int64(off)
+	if st.torn {
+		return st, fmt.Errorf("%w at offset %d", ErrJournalTruncated, off)
+	}
+	return st, nil
+}
+
+// apply replays one record payload into the state.
+func (st *journalState) apply(payload []byte) error {
+	d := checkpoint.NewDec(payload)
+	kind := journalRecKind(d.U64())
+	if kind != jGenesis && !st.genesis {
+		return corruptf("record %d (kind %d) precedes genesis", st.records, kind)
+	}
+	switch kind {
+	case jGenesis:
+		if st.genesis {
+			return corruptf("record %d is a duplicate genesis", st.records)
+		}
+		st.nWorkers = d.Int()
+		st.nLPs = d.Int()
+		st.lookahead = d.F64()
+		st.horizon = d.F64()
+		st.seed = d.U64()
+		if d.Err() == nil && (st.nWorkers <= 0 || st.nWorkers > d.Remaining() || st.nLPs <= 0) {
+			return corruptf("genesis declares %d workers, %d LPs", st.nWorkers, st.nLPs)
+		}
+		if err := st.decodeCut(d); err != nil {
+			return err
+		}
+		st.genesis = true
+	case jBarrier:
+		st.windows = d.U64()
+		st.skipped = d.U64()
+		st.eventsRouted = d.U64()
+		st.clock = d.F64()
+		pending, err := st.decodePending(d)
+		if err != nil {
+			return err
+		}
+		st.pending = pending
+	case jMigration:
+		lp, from, to := d.Int(), d.Int(), d.Int()
+		if err := d.Err(); err == nil {
+			if err := st.applyMigration(lp, from, to); err != nil {
+				return err
+			}
+		}
+	case jCheckpoint:
+		st.hasCkpt = true
+		st.ckptWindows = d.U64()
+		st.ckptClock = d.F64()
+	case jSkip:
+		st.clock = d.F64()
+		st.skipped = d.U64()
+	case jReset:
+		if err := st.decodeCut(d); err != nil {
+			return err
+		}
+	default:
+		return corruptf("record %d has unknown kind %d", st.records, kind)
+	}
+	if err := d.Err(); err != nil {
+		return corruptf("record %d: %v", st.records, err)
+	}
+	if d.Remaining() != 0 {
+		return corruptf("record %d has %d trailing bytes", st.records, d.Remaining())
+	}
+	return nil
+}
+
+func (st *journalState) decodeCut(d *checkpoint.Dec) error {
+	st.windows = d.U64()
+	st.skipped = d.U64()
+	st.eventsRouted = d.U64()
+	st.clock = d.F64()
+	st.epochs = make([]int, st.nWorkers)
+	st.regKeys = make([]string, st.nWorkers)
+	st.lpSets = make([][]int, st.nWorkers)
+	st.pending = make([][]Event, st.nWorkers)
+	for wi := 0; wi < st.nWorkers; wi++ {
+		st.epochs[wi] = d.Int()
+		st.regKeys[wi] = d.Str()
+		ni := d.Int()
+		// Every id is at least one byte, so a count beyond the
+		// remaining payload is corruption, not a big slot.
+		if d.Err() == nil && (ni < 0 || ni > d.Remaining()) {
+			return corruptf("record %d slot %d declares %d LPs", st.records, wi, ni)
+		}
+		ids := make([]int, 0, ni)
+		for j := 0; j < ni; j++ {
+			id := d.Int()
+			if d.Err() == nil && (id < 0 || id >= st.nLPs) {
+				return corruptf("record %d slot %d owns out-of-range LP %d", st.records, wi, id)
+			}
+			ids = append(ids, id)
+		}
+		st.lpSets[wi] = ids
+		np := d.Int()
+		if d.Err() == nil && (np < 0 || np > d.Remaining()) {
+			return corruptf("record %d slot %d declares %d pending events", st.records, wi, np)
+		}
+		evs := make([]Event, 0, np)
+		for j := 0; j < np; j++ {
+			evs = append(evs, decEventFrom(d))
+		}
+		st.pending[wi] = evs
+	}
+	return nil
+}
+
+func (st *journalState) decodePending(d *checkpoint.Dec) ([][]Event, error) {
+	pending := make([][]Event, st.nWorkers)
+	for wi := 0; wi < st.nWorkers; wi++ {
+		np := d.Int()
+		if d.Err() == nil && (np < 0 || np > d.Remaining()) {
+			return nil, corruptf("record %d slot %d declares %d pending events", st.records, wi, np)
+		}
+		evs := make([]Event, 0, np)
+		for j := 0; j < np; j++ {
+			evs = append(evs, decEventFrom(d))
+		}
+		pending[wi] = evs
+	}
+	return pending, nil
+}
+
+// applyMigration replays one committed migration: move the LP between
+// slot assignments and re-bucket its pending events, exactly as the
+// live migrate() did.
+func (st *journalState) applyMigration(lp, from, to int) error {
+	if from < 0 || from >= st.nWorkers || to < 0 || to >= st.nWorkers || from == to {
+		return corruptf("record %d migrates LP %d from %d to %d", st.records, lp, from, to)
+	}
+	i := slices.Index(st.lpSets[from], lp)
+	if i < 0 {
+		return corruptf("record %d migrates LP %d which slot %d does not own", st.records, lp, from)
+	}
+	st.lpSets[from] = slices.Delete(st.lpSets[from], i, i+1)
+	pos, _ := slices.BinarySearch(st.lpSets[to], lp)
+	st.lpSets[to] = slices.Insert(st.lpSets[to], pos, lp)
+	rebucketPending(st.pending, lp, from, to)
+	return nil
+}
+
+// rebucketPending moves the routed-but-undelivered events addressed
+// to lp from one slot's pending list to another's, preserving each
+// list's arrival order — the same discipline the live migrate()
+// commit uses, so journal replay reproduces its state exactly.
+func rebucketPending(pending [][]Event, lp, from, to int) {
+	kept := pending[from][:0]
+	for _, ev := range pending[from] {
+		if ev.To == lp {
+			pending[to] = append(pending[to], ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	pending[from] = kept
+}
+
+// JournalBench measures the per-barrier cost of the durable journal:
+// one Cycle appends and fsyncs a representative barrier record, the
+// exact work runWindows adds per window when JournalPath is set. It
+// is exported for the experiments bench harness.
+type JournalBench struct {
+	j       *journal
+	pending [][]Event
+	win     uint64
+}
+
+// NewJournalBench creates a journal in dir and seeds it with a
+// genesis record, leaving it positioned exactly as a live run's
+// journal before its first barrier append.
+func NewJournalBench(dir string) (*JournalBench, error) {
+	j, err := createJournal(filepath.Join(dir, "bench.journal"))
+	if err != nil {
+		return nil, err
+	}
+	// A representative small-cluster cut: 2 workers, a handful of
+	// in-flight events with PHOLD-sized payloads.
+	pending := make([][]Event, 2)
+	for wi := range pending {
+		for i := 0; i < 8; i++ {
+			pending[wi] = append(pending[wi], Event{
+				Time: 1.5 + float64(i)*0.25,
+				From: i % 6, To: (i + 3) % 6, Seq: uint64(i + 1),
+				Data: []byte{byte(i), byte(wi), 0xAB, 0xCD},
+			})
+		}
+	}
+	cut := &journalCut{
+		epochs:  []int{0, 0},
+		regKeys: []string{lpKey([]int{0, 1, 2}), lpKey([]int{3, 4, 5})},
+		lpSets:  [][]int{{0, 1, 2}, {3, 4, 5}},
+		pending: pending,
+	}
+	if err := j.appendGenesis(2, 6, 1.0, 1e9, 42, cut); err != nil {
+		j.close()
+		return nil, err
+	}
+	return &JournalBench{j: j, pending: pending}, nil
+}
+
+// Cycle appends one barrier record, fsync included.
+func (b *JournalBench) Cycle() error {
+	b.win++
+	return b.j.appendBarrier(b.win, 0, b.win*16, float64(b.win), b.pending)
+}
+
+// Bytes reports the journal bytes written so far.
+func (b *JournalBench) Bytes() uint64 { return b.j.bytes }
+
+// Close releases the underlying file.
+func (b *JournalBench) Close() error { return b.j.close() }

@@ -1,0 +1,26 @@
+package distsim
+
+import "testing"
+
+// BenchmarkJournalAppend prices the per-barrier cost of the durable
+// control-plane journal: one representative barrier record appended
+// and fsynced, the exact work runWindows adds per window when
+// JournalPath is set. Acceptance pins this below 2% of a distributed
+// window's wall time (compare DistWindowThroughput/dense);
+// journal_bytes_per_op is the on-disk growth per barrier.
+func BenchmarkJournalAppend(b *testing.B) {
+	jb, err := NewJournalBench(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer jb.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := jb.Cycle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(jb.Bytes())/float64(b.N), "journal_bytes_per_op")
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package distsim
+
+import "os"
+
+// datasync falls back to a full fsync on platforms without a distinct
+// fdatasync.
+func datasync(f *os.File) error { return f.Sync() }

@@ -299,6 +299,10 @@ type ClusterObs struct {
 	reconnects      int
 	recoveries      int
 	statsIncomplete bool
+
+	journalRecords uint64
+	journalBytes   uint64
+	readopted      int
 }
 
 type slotObs struct {
@@ -361,6 +365,16 @@ func (co *ClusterObs) note(windows, skipped, routed, migrations uint64, clock fl
 func (co *ClusterObs) noteIncomplete() {
 	co.mu.Lock()
 	co.statsIncomplete = true
+	co.mu.Unlock()
+}
+
+// noteJournal mirrors the durable-journal counters (and the count of
+// workers re-adopted at restart) for the snapshot endpoint.
+func (co *ClusterObs) noteJournal(records, bytes uint64, readopted int) {
+	co.mu.Lock()
+	co.journalRecords = records
+	co.journalBytes = bytes
+	co.readopted = readopted
 	co.mu.Unlock()
 }
 
@@ -484,6 +498,9 @@ type ClusterSnapshot struct {
 	Clock           float64         `json:"clock"`
 	Reconnects      int             `json:"reconnects"`
 	Recoveries      int             `json:"recoveries"`
+	Readopted       int             `json:"readopted"`
+	JournalRecords  uint64          `json:"journal_records"`
+	JournalBytes    uint64          `json:"journal_bytes"`
 	StatsIncomplete bool            `json:"stats_incomplete"`
 	Exec            HistSummary     `json:"exec"`
 	Dwell           HistSummary     `json:"dwell"`
@@ -508,6 +525,9 @@ func (co *ClusterObs) Snapshot() ClusterSnapshot {
 		Clock:           co.clock,
 		Reconnects:      co.reconnects,
 		Recoveries:      co.recoveries,
+		Readopted:       co.readopted,
+		JournalRecords:  co.journalRecords,
+		JournalBytes:    co.journalBytes,
 		StatsIncomplete: co.statsIncomplete,
 		Exec:            summarize(&co.exec),
 		Dwell:           summarize(&co.dwell),

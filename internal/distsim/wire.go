@@ -63,6 +63,8 @@ const (
 	frameLPState                         // donor -> coordinator: the extracted LP state (or Err)
 	frameMigrateIn                       // coordinator -> receiver: adopt one LP (LPs[0] + Data)
 	frameMigrated                        // receiver -> coordinator: adoption acknowledged
+	frameCoordHello                      // restarted coordinator -> worker: re-adoption offer (handshake)
+	frameReadopt                         // worker -> coordinator: re-adoption state (LPs + WinSeq + Next) (handshake)
 	frameKindMax                         // sentinel for validation
 )
 
@@ -72,7 +74,8 @@ const (
 // sequence space: they are either idempotent or answered explicitly.
 func (k frameKind) sequenced() bool {
 	switch k {
-	case frameRegister, frameConfig, frameHeartbeat, frameHello, frameResume, frameBye:
+	case frameRegister, frameConfig, frameHeartbeat, frameHello, frameResume, frameBye,
+		frameCoordHello, frameReadopt:
 		return false
 	default:
 		return true
@@ -82,7 +85,7 @@ func (k frameKind) sequenced() bool {
 func (k frameKind) String() string {
 	names := [...]string{"", "register", "config", "window", "done", "stop", "stats",
 		"checkpoint", "snapshot", "restore", "restored", "heartbeat", "hello", "resume", "bye",
-		"migrate-out", "lp-state", "migrate-in", "migrated"}
+		"migrate-out", "lp-state", "migrate-in", "migrated", "coord-hello", "readopt"}
 	if int(k) < len(names) && k > 0 {
 		return names[k]
 	}
@@ -236,6 +239,12 @@ func unmarshalFrameInto(f *frame, evs *[]Event, payload []byte) error {
 	k := d.Int()
 	f.Kind = frameKind(k)
 	if n := d.Int(); n > 0 {
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrMalformedFrame, err)
+		}
+		if n > len(payload) { // each id costs >= 1 byte; cheap sanity bound
+			return fmt.Errorf("%w: LP count %d exceeds payload", ErrMalformedFrame, n)
+		}
 		f.LPs = make([]int, n)
 		for i := range f.LPs {
 			f.LPs[i] = d.Int()

@@ -24,6 +24,18 @@ const DefaultConnectRetries = 8
 // Worker.HandshakeTimeout is zero.
 const DefaultHandshakeTimeout = 10 * time.Second
 
+// DefaultMaxPark is how many parked reconnect rounds a worker with
+// live simulation state makes after its normal reconnect budget is
+// exhausted, waiting for a crashed coordinator to restart
+// (Worker.MaxPark zero means this default).
+const DefaultMaxPark = 64
+
+// ErrCoordinatorLost is returned (wrapped) by Worker.Run when the
+// coordinator stays unreachable through the whole park budget. The
+// worker's engines still hold the state of the last quiesced barrier;
+// Worker.Stats flushes the final local counters.
+var ErrCoordinatorLost = errors.New("distsim: coordinator lost")
+
 // LP is a worker-local logical process.
 type LP struct {
 	ID int
@@ -111,6 +123,20 @@ type Worker struct {
 	statsSent    bool
 	writeTimeout time.Duration
 
+	// lastWinSeq is the barrier sequence of the newest window this
+	// worker executed; doneEvents/doneData/doneLoads/doneNext retain a
+	// deep copy of that window's done frame. A restarted coordinator
+	// resumes from its journal tip, which may trail the worker by
+	// exactly one window (the barrier record becomes durable before the
+	// next fan-out): when a re-sent window's WinSeq matches lastWinSeq
+	// the worker replays the stash instead of re-executing — the
+	// engines already hold the post-window state.
+	lastWinSeq uint64
+	doneEvents []Event
+	doneData   []byte // arena behind doneEvents' Data slices
+	doneLoads  []partition.Load
+	doneNext   float64
+
 	// wire accumulates transport counters across every connection this
 	// worker ever dials (shared with each peer; see newWorkerLink).
 	wire WireStats
@@ -135,6 +161,13 @@ type Worker struct {
 	// HandshakeTimeout bounds each handshake reply wait. Zero means
 	// DefaultHandshakeTimeout.
 	HandshakeTimeout time.Duration
+	// MaxPark bounds the parked reconnect rounds after the normal
+	// reconnect budget fails: a worker with live engine state holds
+	// position at the last quiesced barrier and keeps redialing,
+	// expecting a crashed coordinator to restart and re-adopt it. Zero
+	// means DefaultMaxPark; negative disables parking (the first
+	// exhausted reconnect is fatal, the pre-journal behavior).
+	MaxPark int
 
 	// Setup is called once after the config frame arrives, when
 	// engines exist and seeds are known; the model installs OnMessage
@@ -227,6 +260,17 @@ func (w *Worker) handshakeTimeout() time.Duration {
 		return w.HandshakeTimeout
 	}
 	return DefaultHandshakeTimeout
+}
+
+func (w *Worker) maxPark() int {
+	switch {
+	case w.MaxPark > 0:
+		return w.MaxPark
+	case w.MaxPark < 0:
+		return 0
+	default:
+		return DefaultMaxPark
+	}
 }
 
 // idSeed derives the worker's backoff-jitter seed from its identity
@@ -337,6 +381,17 @@ func (w *Worker) run(reconnect bool) error {
 				// coordinator is gone: it finished (or died after the
 				// run was decided). Nothing left to retry.
 				return nil
+			}
+			// The reconnect budget is spent, but the state this worker
+			// carries is irreplaceable mid-run: park and keep redialing
+			// on the chance the coordinator crashed and is restarting
+			// from its journal to re-adopt us.
+			if w.ready && w.maxPark() > 0 {
+				if perr := w.park(bo); perr == nil {
+					continue
+				}
+				return fmt.Errorf("%w: unreachable through %d parked reconnect attempts (last: %v)",
+					ErrCoordinatorLost, w.maxPark(), rerr)
 			}
 			return fmt.Errorf("distsim: reconnect failed: %w (after %v)", rerr, err)
 		}
@@ -477,6 +532,22 @@ func (w *Worker) serveConn() error {
 		}
 		switch f.Kind {
 		case frameWindow:
+			if f.WinSeq != 0 && f.WinSeq == w.lastWinSeq {
+				// A restarted coordinator re-sent the newest window this
+				// worker already executed: its journal commits each
+				// barrier before the next fan-out, so its tip can trail
+				// the cluster by exactly one window. The engines already
+				// hold the post-window state — replay the stashed done
+				// frame instead of delivering or executing anything.
+				done := frame{Kind: frameDone, Events: w.doneEvents, Next: w.doneNext}
+				if w.collectLoads {
+					done.Loads = w.doneLoads
+				}
+				if err := l.send(&done); err != nil {
+					return err
+				}
+				continue
+			}
 			// Observability bookkeeping brackets the window: close the
 			// barrier-wait span opened when the previous done frame went
 			// out, time the deliver merge, and record the whole busy
@@ -538,6 +609,13 @@ func (w *Worker) serveConn() error {
 					done.Obs = wo.encode(&w.wire, w.ids, w.obsLoads(), false)
 				}
 			}
+			// Stash the done frame (before the send, so a send that dies
+			// mid-flight still leaves it replayable) for a restarted
+			// coordinator whose journal trails this window by one. Obs
+			// piggyback bytes are telemetry, not simulation state — they
+			// are not worth retaining.
+			w.lastWinSeq = f.WinSeq
+			w.stashDone(done.Events, done.Next, done.Loads)
 			if err := l.send(&done); err != nil {
 				return err
 			}
@@ -642,38 +720,149 @@ func (w *Worker) reconnect(bo *Backoff) error {
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		w.sleep(bo.Delay(a))
-		conn, err := w.Dial()
-		if err != nil {
+		if err := w.resumeOnce(); err != nil {
 			lastErr = err
 			continue
 		}
-		p := newPeer(conn)
-		p.stats = &w.wire
-		p.writeTimeout = w.writeTimeout
-		err = func() error {
-			hello := &frame{Kind: frameHello, Session: w.session, RecvSeq: w.link.recvSeq, LPs: w.ids}
-			if err := p.sendRaw(hello, w.link.recvSeq); err != nil {
-				return err
-			}
-			f, seq, err := p.recvRaw(w.handshakeTimeout())
-			if err != nil {
-				return err
-			}
-			if seq != 0 || f.Kind != frameResume {
-				return fmt.Errorf("distsim: expected resume, got %s", f.Kind)
-			}
-			return w.link.rebind(p, f.RecvSeq)
-		}()
-		if err == nil {
-			if wo := w.obs; wo != nil {
-				wo.rec.Record(obs.Span{Wall: obs.Now(), Kind: obs.KindResume})
-			}
-			return nil
-		}
-		lastErr = err
-		p.close()
+		return nil
 	}
 	return lastErr
+}
+
+// resumeOnce makes one dial + hello attempt against the coordinator.
+// A live coordinator answers with resume (rebind the existing link,
+// replaying its retained frames); a restarted one answers with
+// coord-hello, switching into the re-adoption handshake.
+func (w *Worker) resumeOnce() error {
+	conn, err := w.Dial()
+	if err != nil {
+		return err
+	}
+	p := newPeer(conn)
+	p.stats = &w.wire
+	p.writeTimeout = w.writeTimeout
+	hello := &frame{Kind: frameHello, Session: w.session, RecvSeq: w.link.recvSeq, LPs: w.ids}
+	if err := p.sendRaw(hello, w.link.recvSeq); err != nil {
+		p.close()
+		return err
+	}
+	f, seq, err := p.recvRaw(w.handshakeTimeout())
+	if err != nil {
+		p.close()
+		return err
+	}
+	switch {
+	case seq == 0 && f.Kind == frameResume:
+		if err := w.link.rebind(p, f.RecvSeq); err != nil {
+			p.close()
+			return err
+		}
+	case seq == 0 && f.Kind == frameCoordHello:
+		if f.Session != w.session {
+			p.close()
+			return fmt.Errorf("distsim: coord-hello for session %d, have %d", f.Session, w.session)
+		}
+		if err := w.readopt(p); err != nil {
+			return err
+		}
+	default:
+		p.close()
+		return fmt.Errorf("distsim: expected resume, got %s", f.Kind)
+	}
+	if wo := w.obs; wo != nil {
+		wo.rec.Record(obs.Span{Wall: obs.Now(), Kind: obs.KindResume})
+	}
+	return nil
+}
+
+// readopt completes the re-adoption handshake with a restarted
+// coordinator. The old link's sequence space (and the frames it
+// retained for replay) died with the old process, so both sides start
+// over on a fresh link; everything the retained frames would have
+// replayed is re-derivable — the coordinator re-sends the current
+// window from its journaled pending set, and the worker answers a
+// window it already executed from its stashed done frame.
+func (w *Worker) readopt(p *peer) error {
+	reply := &frame{Kind: frameReadopt, LPs: w.ids, WinSeq: w.lastWinSeq, Next: w.nextEventTime()}
+	if err := p.sendRaw(reply, 0); err != nil {
+		p.close()
+		return err
+	}
+	w.link.close()
+	w.link = newLink(p)
+	return nil
+}
+
+// park holds the worker in place after the reconnect budget failed:
+// engines keep the state of the last quiesced barrier while the
+// worker redials with capped backoff, up to maxPark rounds, waiting
+// for a restarted coordinator. Returns nil once a handshake lands.
+func (w *Worker) park(bo *Backoff) error {
+	limit := w.maxPark()
+	for a := 0; a < limit; a++ {
+		// Cap the backoff exponent: parking is an open-ended wait for a
+		// process restart, not congestion control, so a bounded
+		// per-round delay keeps re-adoption latency predictable.
+		w.sleep(bo.Delay(min(a, 5)))
+		if err := w.resumeOnce(); err == nil {
+			return nil
+		}
+	}
+	return ErrCoordinatorLost
+}
+
+// stashDone deep-copies one window's done frame into the worker's
+// reused stash arena. The source slices (outbox backing array, load
+// report buffer, model-owned event payloads) are all reused or
+// mutated by the next window, so the stash must own every byte it
+// might later replay.
+func (w *Worker) stashDone(events []Event, next float64, loads []partition.Load) {
+	total := 0
+	for i := range events {
+		total += len(events[i].Data)
+	}
+	if cap(w.doneData) < total {
+		w.doneData = make([]byte, 0, total)
+	}
+	w.doneData = w.doneData[:0]
+	w.doneEvents = append(w.doneEvents[:0], events...)
+	for i := range w.doneEvents {
+		if d := w.doneEvents[i].Data; len(d) > 0 {
+			off := len(w.doneData)
+			w.doneData = append(w.doneData, d...)
+			w.doneEvents[i].Data = w.doneData[off:len(w.doneData):len(w.doneData)]
+		}
+	}
+	w.doneNext = next
+	w.doneLoads = append(w.doneLoads[:0], loads...)
+}
+
+// clearStash discards the replayable done frame and its window
+// anchor; rollback recovery calls it because a restored worker's
+// engine state no longer matches the stashed window.
+func (w *Worker) clearStash() {
+	w.lastWinSeq = 0
+	w.doneEvents = w.doneEvents[:0]
+	w.doneData = w.doneData[:0]
+	w.doneLoads = w.doneLoads[:0]
+	w.doneNext = 0
+}
+
+// Stats returns the worker's current model-level counters — the same
+// numbers the final stats frame carries. Incomplete is set when the
+// run never reached its stats exchange, which is how a caller that
+// got ErrCoordinatorLost flushes what the worker did accomplish.
+func (w *Worker) Stats() WorkerStats {
+	stats := WorkerStats{LPs: w.ids, Sent: w.sent, Received: w.received, Incomplete: !w.statsSent}
+	for _, lp := range w.order {
+		if lp.E != nil {
+			stats.EventsExecuted += lp.E.Stats().Executed
+		}
+	}
+	if w.CountEvents != nil {
+		stats.PerLPCounts = w.CountEvents()
+	}
+	return stats
 }
 
 // sleep pauses for d, counting the pause into the backoff-time

@@ -392,6 +392,81 @@ func benchCases() []struct {
 			b.ReportMetric(2, "migrations_per_op")
 		},
 	})
+	// DistWindowThroughput/e5-dense prices one lookahead window of the
+	// TCP-distributed engine at the paper's E5 workload shape (8 LPs,
+	// 16 jobs each, 30k synthetic work per event) — the representative
+	// window wall time the fault-tolerance overhead claims divide by,
+	// exactly as E5d does for sequential checkpointing. The stripped
+	// work=5 cases above isolate barrier overhead; this one measures a
+	// real window.
+	cases = append(cases, struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		name: "DistWindowThroughput/e5-dense",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			c := distsim.NewCoordinator(e5LPs, e5Lookahead, e5Lookahead*float64(b.N), e5Seed)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ln.Close()
+			workers := []*distsim.Worker{distsim.NewWorker(0, 1, 2, 3), distsim.NewWorker(4, 5, 6, 7)}
+			for _, w := range workers {
+				distsim.InstallPHOLDFactor(w, e5LPs, e5JobsPerLP, e5RemoteProb, e5Work, 4)
+			}
+			errs := make(chan error, len(workers))
+			b.ResetTimer()
+			for _, w := range workers {
+				w := w
+				go func() { errs <- w.Run(ln.Addr().String()) }()
+			}
+			if err := c.Serve(ln, len(workers)); err != nil {
+				b.Fatal(err)
+			}
+			for range workers {
+				if err := <-errs; err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	// JournalAppend prices the per-barrier cost of the durable
+	// control-plane journal (PR 9): one representative barrier record
+	// appended and fsynced, the exact work a journaled coordinator adds
+	// to every window. Acceptance pins this below 2% of a representative
+	// window's wall time (the E5-shaped DistWindowThroughput/e5-dense
+	// above — durability latency is fsync-bound, so the stripped work=5
+	// microbench windows are not the meaningful denominator).
+	// journal_bytes_per_op is the on-disk growth per barrier.
+	cases = append(cases, struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		name: "JournalAppend",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			dir, err := os.MkdirTemp("", "lsds-journal-bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			jb, err := distsim.NewJournalBench(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer jb.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := jb.Cycle(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(jb.Bytes())/float64(b.N), "journal_bytes_per_op")
+		},
+	})
 	// ObsPiggyback prices one telemetry piggyback cycle — the worker
 	// delta-encodes its histograms and counters, the coordinator folds
 	// the payload into the cluster aggregates. This rides every K-th

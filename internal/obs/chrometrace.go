@@ -94,7 +94,7 @@ func WriteChromeTraceSpans(w io.Writer, tracks ...SpanTrack) error {
 			switch s.Kind {
 			case KindExec, KindBarrierWait, KindWindowBusy, KindDeliver,
 				KindWindowSend, KindAwaitBarrier, KindHeal, KindCheckpoint, KindRecovery,
-				KindMigrate:
+				KindMigrate, KindReadopt:
 				emit(fmt.Sprintf(`{"ph":"X","pid":0,"tid":%d,"ts":%.3f,"dur":%.3f,"name":%s,"cat":%q,"args":{"t":%g,"seq":%d}}`,
 					tr.TID, ts, float64(s.Dur)/1e3, strconv.Quote(name), s.Kind, s.Time, s.Seq))
 			case KindSchedule, KindCancel, KindSkip, KindResume:

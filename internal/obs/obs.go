@@ -100,6 +100,9 @@ const (
 	// state extraction, transfer, and receiver adoption. Seq carries the
 	// migrated LP's id.
 	KindMigrate
+	// KindReadopt is a restarted coordinator re-adopting one surviving
+	// worker (coordHello/readopt handshake). Seq carries the slot.
+	KindReadopt
 )
 
 // String returns the Chrome-trace event name for the kind.
@@ -133,6 +136,8 @@ func (k Kind) String() string {
 		return "recovery"
 	case KindMigrate:
 		return "migrate"
+	case KindReadopt:
+		return "readopt"
 	}
 	return "?"
 }

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# crash-smoke: the end-to-end proof that the coordinator is no longer a
+# single point of failure. A distributed PHOLD run starts across three
+# OS processes, the coordinator is killed with SIGKILL mid-run (no
+# cleanup, exactly like a crashed host), and a fresh coordinator
+# process restarts from the durable control-plane journal, re-adopts
+# the parked workers, and finishes the run. -verify then replays the
+# whole horizon single-process and fails on any divergence — the crash
+# must not change one bit of the result.
+set -euo pipefail
+
+GO=${GO:-go}
+PORT=${PORT:-9461}
+DIR=$(mktemp -d)
+cleanup() {
+    status=$?
+    jobs -p | xargs -r kill -9 2>/dev/null || true
+    rm -rf "$DIR"
+    exit $status
+}
+trap cleanup EXIT
+
+$GO build -o "$DIR/lsnode" ./cmd/lsnode
+
+# The E5 workload shape: windows cost ~10ms each, so the run lasts
+# seconds and the kill below lands mid-flight.
+MODEL="-lps 8 -jobs 16 -work 30000 -lookahead 1 -horizon 400"
+
+# Workers park with a generous budget when the coordinator dies:
+# short single-shot resume cycles, then bounded reconnect-with-backoff
+# until the restarted coordinator re-adopts them.
+"$DIR/lsnode" -mode worker -addr 127.0.0.1:$PORT -own 0,1,2,3 $MODEL \
+    -connect-retries 100 -connect-backoff 20ms -max-park 2000 &
+W1=$!
+"$DIR/lsnode" -mode worker -addr 127.0.0.1:$PORT -own 4,5,6,7 $MODEL \
+    -connect-retries 100 -connect-backoff 20ms -max-park 2000 &
+W2=$!
+
+COORD="-mode coordinator -addr 127.0.0.1:$PORT -workers 2 $MODEL
+    -journal $DIR/coord.journal
+    -checkpoint $DIR/cluster.ckpt -ckpt-every 1 -resume $DIR/cluster.ckpt"
+
+"$DIR/lsnode" $COORD &
+C1=$!
+sleep 1.5
+kill -9 "$C1" 2>/dev/null || true
+if wait "$C1"; then
+    echo "crash-smoke: run finished before the kill landed; raise -horizon" >&2
+    exit 1
+fi
+echo "crash-smoke: coordinator (pid $C1) killed -9 mid-run; restarting from journal"
+
+"$DIR/lsnode" $COORD -verify
+wait "$W1"
+wait "$W2"
+echo "crash-smoke: OK — crash + journal restart bit-identical to single-process run"
