@@ -4,7 +4,7 @@ GO ?= go
 TRACE_OUT ?= /tmp/lsds_trace_e5.json
 CKPT_OUT ?= /tmp/lsds_phold.ckpt
 
-.PHONY: all build test tier1 vet race bench benchjson fuzz trace-smoke checkpoint-smoke chaos-smoke dist-smoke obs-smoke balance-smoke crash-smoke clean
+.PHONY: all build test tier1 vet race bench benchjson fuzz trace-smoke checkpoint-smoke chaos-smoke dist-smoke obs-smoke balance-smoke crash-smoke threads-smoke clean
 
 all: tier1
 
@@ -18,11 +18,11 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the packages with real concurrency: the parallel
-# federation, the TCP-distributed engine, the fault injector, the
-# engine they drive, and the optimistic/checkpoint layers they build
-# on.
+# federation, the shared execution pool, the TCP-distributed engine,
+# the fault injector, the engine they drive, and the
+# optimistic/checkpoint layers they build on.
 race:
-	$(GO) test -race ./internal/parsim/... ./internal/des/... ./internal/distsim/... ./internal/chaos/... ./internal/optsim/... ./internal/checkpoint/...
+	$(GO) test -race ./internal/parsim/... ./internal/pool/... ./internal/des/... ./internal/distsim/... ./internal/chaos/... ./internal/optsim/... ./internal/checkpoint/...
 
 # tier1 is the acceptance gate: build + full tests, plus vet and the
 # race detector over the concurrent packages.
@@ -31,11 +31,11 @@ tier1: build test vet race
 bench:
 	$(GO) test -bench 'E3|PHOLD|Federation|ScheduleExecute' -benchmem -run '^$$' ./...
 
-# Machine-readable hot-path allocation report (includes the PR-9
-# journal-append durability cost against the E5-shaped distributed
-# window wall; see BENCH_7.json).
+# Machine-readable hot-path allocation report (includes the PR-10
+# intra-worker pool cases: WorkerWindowParallel dense/skewed at pool
+# widths 1/2/4; see BENCH_8.json).
 benchjson:
-	$(GO) run ./cmd/experiments -benchjson BENCH_7.json
+	$(GO) run ./cmd/experiments -benchjson BENCH_8.json
 
 # Short fuzz pass over the wire codec: arbitrary bytes must decode to
 # an error or a valid frame — never a panic or an absurd allocation.
@@ -132,6 +132,23 @@ crash-smoke:
 	$(GO) test -race -count=1 \
 		-run 'TestCrashRestart|TestWorkerParkGiveUp|TestPartition|TestJournal' \
 		./internal/distsim/
+
+# threads-smoke is the end-to-end check of multicore workers: a
+# two-worker distributed PHOLD run with a 4-goroutine execution pool
+# inside each worker must be -verify'd bit-identical to the
+# single-process reference — per-LP sends are buffered thread-locally
+# and merged in canonical order at the barrier, so the pool changes no
+# output bit. The same holds with skew + live rebalancing + scripted
+# connection resets stacked on top. The pool package and the threads
+# e2e suites (dense, sparse skip, chaos, checkpoint resume, migration,
+# crash-restart, heartbeat liveness) then run under -race.
+threads-smoke:
+	$(GO) run ./cmd/lssim -sim distphold -horizon 100 -workers 2 -threads 4 -verify
+	$(GO) run ./cmd/lssim -sim distphold -horizon 24 -workers 2 -threads 4 \
+		-skew-hot 2 -skew 4 -rebalance -rebalance-every 2 \
+		-chaos-seed 4 -chaos-reset-at 9 -verify
+	$(GO) test -race -count=1 ./internal/pool/
+	$(GO) test -race -count=1 -run 'TestThreads' ./internal/distsim/
 
 clean:
 	$(GO) clean ./...

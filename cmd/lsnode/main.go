@@ -64,6 +64,7 @@ func main() {
 	skewHot := flag.Int("skew-hot", 0, "PHOLD: make the lowest N LPs hot (all nodes must agree)")
 	skewFactor := flag.Float64("skew", 1, "PHOLD: hot LPs fire this many times as often (all nodes must agree)")
 	hotHoldNs := flag.Int("hot-hold-ns", 0, "worker: extra wall ns a hot LP holds its worker per event (load shaping only)")
+	threads := flag.Int("threads", 1, "worker: intra-worker execution pool size; LPs run across this many goroutines per window (results are bit-identical for any value)")
 	flag.Parse()
 
 	switch *mode {
@@ -190,6 +191,7 @@ func main() {
 			ids = append(ids, id)
 		}
 		w := distsim.NewWorker(ids...)
+		w.Threads = *threads
 		distsim.InstallPHOLDSkew(w, *lps, *jobs, *remote, *work, *delayFactor, *skewHot, *skewFactor, *hotHoldNs)
 		// A worker started before its coordinator retries the dial with
 		// capped exponential backoff instead of exiting immediately.
@@ -206,7 +208,11 @@ func main() {
 			defer ms.Close()
 			fmt.Printf("lsnode: metrics on http://%s/metrics\n", ms.Addr())
 		}
-		fmt.Printf("lsnode: worker owning LPs %v dialing %s\n", ids, *addr)
+		if *threads > 1 {
+			fmt.Printf("lsnode: worker owning LPs %v dialing %s (%d threads)\n", ids, *addr, *threads)
+		} else {
+			fmt.Printf("lsnode: worker owning LPs %v dialing %s\n", ids, *addr)
+		}
 		if err := w.Run(*addr); err != nil {
 			if errors.Is(err, distsim.ErrCoordinatorLost) {
 				// The park budget ran out: report the local progress that

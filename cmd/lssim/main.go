@@ -159,7 +159,7 @@ func runPHOLD(t *metrics.Table, seed uint64, jobs int, horizon float64, workers 
 // through the coordinator's ClusterObs — the sequential default
 // observer cannot be used here because the in-process workers run
 // concurrently.
-func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon float64, delayFactor float64, skipIdle bool, ch chaos.Config, resetAt string, verify bool, obsEvery int, tracePath, metricsAddr string, histo bool, rebalance bool, rebalanceEvery int, imbalanceThresh float64, skewHot int, skewFactor float64, journalPath string) error {
+func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers, threads int, horizon float64, delayFactor float64, skipIdle bool, ch chaos.Config, resetAt string, verify bool, obsEvery int, tracePath, metricsAddr string, histo bool, rebalance bool, rebalanceEvery int, imbalanceThresh float64, skewHot int, skewFactor float64, journalPath string) error {
 	jobsPer := pholdJobs
 	if jobs > 0 {
 		jobsPer = jobs
@@ -230,6 +230,10 @@ func runDistPHOLD(t *metrics.Table, seed uint64, jobs, nWorkers int, horizon flo
 			ids = append(ids, lp)
 		}
 		w := distsim.NewWorker(ids...)
+		// Hierarchical parallelism: every in-process worker runs its LPs
+		// across an intra-worker pool; results are bit-identical for any
+		// thread count.
+		w.Threads = threads
 		distsim.InstallPHOLDSkew(w, pholdLPs, jobsPer, pholdRemote, pholdWork, delayFactor, skewHot, skewFactor, 0)
 		w.ConnectBackoff = 10 * time.Millisecond
 		w.ConnectRetries = 100
@@ -405,6 +409,7 @@ func main() {
 	skewHot := flag.Int("skew-hot", 0, "distphold: make the lowest N LPs hot")
 	skewFactor := flag.Float64("skew", 1, "distphold: hot LPs fire this many times as often")
 	journalPath := flag.String("journal", "", "distphold: durable coordinator control-plane journal (enables crash-restart re-adoption)")
+	threads := flag.Int("threads", 1, "distphold: intra-worker execution pool size per worker (results are bit-identical for any value)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -528,7 +533,7 @@ func main() {
 			Reorder: *chaosReorder, Corrupt: *chaosCorrupt, Reset: *chaosReset,
 			Delay: *chaosDelay, Jitter: *chaosJitter,
 		}
-		if err := runDistPHOLD(t, *seed, *jobs, *workers, *horizon, *delayFactor, *skipIdle, ch, *chaosResetAt, *verify, *obsEvery, *trace, *metricsAddr, *histo, *rebalance, *rebalanceEvery, *imbalanceThresh, *skewHot, *skewFactor, *journalPath); err != nil {
+		if err := runDistPHOLD(t, *seed, *jobs, *workers, *threads, *horizon, *delayFactor, *skipIdle, ch, *chaosResetAt, *verify, *obsEvery, *trace, *metricsAddr, *histo, *rebalance, *rebalanceEvery, *imbalanceThresh, *skewHot, *skewFactor, *journalPath); err != nil {
 			fmt.Fprintln(os.Stderr, "lssim:", err)
 			os.Exit(1)
 		}

@@ -150,18 +150,31 @@ const (
 	obsFinal = 2 // stats frame: delta plus the full trace rings
 )
 
-// workerObs is the worker-side observability state: one shared metrics
-// set across the worker's LP engines (they run sequentially on the
-// serve goroutine), per-LP trace rings, a worker ring for window-phase
-// spans, and the previous-ship histogram copies behind the delta
-// encoding. Enabled by the coordinator's config frame (ObsEvery > 0)
-// or locally via Worker.EnableObservability.
+// workerObs is the worker-side observability state: per-LP metrics and
+// trace rings (per-LP so LPs running on different pool threads never
+// share a histogram — each is written only by whichever thread holds
+// the LP inside a window), optional per-pool-thread rings for
+// window-phase spans, a worker ring, and the previous-ship histogram
+// copies behind the delta encoding. Enabled by the coordinator's
+// config frame (ObsEvery > 0) or locally via
+// Worker.EnableObservability.
 type workerObs struct {
 	every   int
 	spanCap int // recorder capacity, kept so migrated-in LPs get equal rings
-	met     obs.Metrics
+	lpMets  []*obs.Metrics
 	lpRecs  []*obs.Recorder
 	rec     *obs.Recorder
+	// poolRecs holds one span ring per intra-worker pool thread
+	// (Threads > 1 only); each is single-writer by its thread.
+	poolRecs []*obs.Recorder
+
+	// metBase carries the cumulative metrics of migrated-away LPs, so
+	// the merged totals behind the delta encoding never regress.
+	metBase obs.Metrics
+	// merged is the reused encode-time merge of metBase and every live
+	// LP's metrics (histograms are fixed-size values; merging is
+	// allocation-free).
+	merged obs.Metrics
 
 	barrierWait obs.Histogram
 	deliver     obs.Histogram
@@ -196,26 +209,45 @@ func newWorkerObs(every, spanCap, lps int) *workerObs {
 	}
 	wo := &workerObs{every: every, spanCap: spanCap, rec: obs.NewRecorder(spanCap)}
 	wo.lpRecs = make([]*obs.Recorder, lps)
+	wo.lpMets = make([]*obs.Metrics, lps)
 	for i := range wo.lpRecs {
 		wo.lpRecs[i] = obs.NewRecorder(spanCap)
+		wo.lpMets[i] = &obs.Metrics{}
 	}
 	return wo
 }
 
-// removeLP drops the recorder at position i (its LP migrated away),
-// folding its overwrite count into the carried base so the dropped
-// total never regresses.
-func (wo *workerObs) removeLP(i int) {
-	wo.droppedBase += wo.lpRecs[i].Dropped()
-	wo.lpRecs = slices.Delete(wo.lpRecs, i, i+1)
+// addPoolRecs equips the intra-worker pool threads with their own span
+// rings; called once, before the pool's first window.
+func (wo *workerObs) addPoolRecs(threads int) {
+	wo.poolRecs = make([]*obs.Recorder, threads)
+	for i := range wo.poolRecs {
+		wo.poolRecs[i] = obs.NewRecorder(wo.spanCap)
+	}
 }
 
-// insertLP equips a migrated-in LP with a fresh recorder at position
-// pos (lpRecs stays aligned with the worker's ID-sorted LP order).
+// removeLP drops the recorder and metrics at position i (its LP
+// migrated away), folding the overwrite count and the cumulative
+// histograms into the carried bases so neither total ever regresses
+// beneath the delta encoding.
+func (wo *workerObs) removeLP(i int) {
+	wo.droppedBase += wo.lpRecs[i].Dropped()
+	wo.metBase.Exec.Merge(&wo.lpMets[i].Exec)
+	wo.metBase.Dwell.Merge(&wo.lpMets[i].Dwell)
+	wo.lpRecs = slices.Delete(wo.lpRecs, i, i+1)
+	wo.lpMets = slices.Delete(wo.lpMets, i, i+1)
+}
+
+// insertLP equips a migrated-in LP with a fresh recorder and metrics
+// at position pos (lpRecs/lpMets stay aligned with the worker's
+// ID-sorted LP order). The LP's history stays in the donor's carried
+// base, so cluster totals remain cumulative.
 func (wo *workerObs) insertLP(pos int, lp *LP) {
 	r := obs.NewRecorder(wo.spanCap)
+	m := &obs.Metrics{}
 	wo.lpRecs = slices.Insert(wo.lpRecs, pos, r)
-	lp.E.SetObserver(des.Observer{Recorder: r, Metrics: &wo.met, Track: lp.ID})
+	wo.lpMets = slices.Insert(wo.lpMets, pos, m)
+	lp.E.SetObserver(des.Observer{Recorder: r, Metrics: m, Track: lp.ID})
 }
 
 // dropped totals ring overwrites across every recorder this worker
@@ -243,12 +275,20 @@ func (wo *workerObs) encode(wire *WireStats, ids []int, loads []lpLoad, final bo
 	}
 	wire.Snapshot().appendTo(&enc)
 	enc.U64(wo.dropped())
-	wo.met.Exec.AppendDelta(&enc, &wo.prevExec)
-	wo.met.Dwell.AppendDelta(&enc, &wo.prevDwell)
+	// The shipped exec/dwell histograms are the merge of every live
+	// LP's metrics plus the carried base of migrated-away LPs: the
+	// merge is monotone over time, so the delta encoding stays valid.
+	wo.merged = wo.metBase
+	for _, m := range wo.lpMets {
+		wo.merged.Exec.Merge(&m.Exec)
+		wo.merged.Dwell.Merge(&m.Dwell)
+	}
+	wo.merged.Exec.AppendDelta(&enc, &wo.prevExec)
+	wo.merged.Dwell.AppendDelta(&enc, &wo.prevDwell)
 	wo.barrierWait.AppendDelta(&enc, &wo.prevBarrier)
 	wo.deliver.AppendDelta(&enc, &wo.prevDeliver)
-	wo.prevExec = wo.met.Exec
-	wo.prevDwell = wo.met.Dwell
+	wo.prevExec = wo.merged.Exec
+	wo.prevDwell = wo.merged.Dwell
 	wo.prevBarrier = wo.barrierWait
 	wo.prevDeliver = wo.deliver
 	// Per-LP cumulative counters (executed events, busy wall time) — the
@@ -260,11 +300,19 @@ func (wo *workerObs) encode(wire *WireStats, ids []int, loads []lpLoad, final bo
 		enc.U64(loads[i].busy)
 	}
 	if final {
-		enc.Int(len(wo.lpRecs) + 1)
+		enc.Int(len(wo.lpRecs) + 1 + len(wo.poolRecs))
 		obs.AppendSpanTrack(&enc, obs.SpanTrack{Name: "worker", TID: 0, Spans: wo.rec.Spans()})
 		for i, r := range wo.lpRecs {
 			name := fmt.Sprintf("lp-%d", ids[i])
 			obs.AppendSpanTrack(&enc, obs.SpanTrack{Name: name, TID: i + 1, Spans: r.Spans()})
+		}
+		// Pool-thread tracks ride after the LP tracks: the merged
+		// cluster timeline shows each intra-worker thread's busy/wait
+		// phases (the coordinator folds track counts generically, so no
+		// peer change is needed).
+		for i, r := range wo.poolRecs {
+			name := fmt.Sprintf("pw-%d", i)
+			obs.AppendSpanTrack(&enc, obs.SpanTrack{Name: name, TID: len(wo.lpRecs) + 1 + i, Spans: r.Spans()})
 		}
 	}
 	wo.buf = enc.Bytes()
@@ -620,9 +668,9 @@ func (pb *ObsPiggybackBench) Cycle() (int, error) {
 	pb.wire.BytesSent.Add(512)
 	pb.wire.FramesRecv.Add(2)
 	pb.wire.BytesRecv.Add(512)
-	pb.wo.met.Exec.Observe(1500)
-	pb.wo.met.Exec.Observe(8200)
-	pb.wo.met.Dwell.Observe(1 << 20)
+	pb.wo.lpMets[0].Exec.Observe(1500)
+	pb.wo.lpMets[1].Exec.Observe(8200)
+	pb.wo.lpMets[2].Dwell.Observe(1 << 20)
 	pb.wo.barrierWait.Observe(45000)
 	pb.wo.deliver.Observe(3200)
 	payload := pb.wo.encode(&pb.wire, pb.ids, pb.loads, false)

@@ -41,9 +41,20 @@ type PHOLDModel struct {
 	HotHoldNs int
 
 	meanDelay float64
-	events    map[int]uint64
-	sinks     map[int]float64
-	hopOps    map[int]des.Op
+	// lps holds each LP's model state behind a stable pointer: the hop
+	// closures capture their own entry, so mid-window mutation touches
+	// only per-LP memory — safe under the intra-worker pool — while
+	// the map itself is only written at barriers (Setup, migration,
+	// restore).
+	lps map[int]*pholdLP
+}
+
+// pholdLP is one LP's model state: counters written during windows
+// (exclusively by the thread running the LP) and the registered hop op.
+type pholdLP struct {
+	events uint64
+	sink   float64
+	hopOp  des.Op
 }
 
 // InstallPHOLD wires the model into the worker's Setup/CountEvents
@@ -82,20 +93,24 @@ func InstallPHOLDSkew(w *Worker, totalLPs, jobsPerLP int, remoteProb float64, wo
 		SkewHot:     skewHot,
 		SkewFactor:  skewFactor,
 		HotHoldNs:   hotHoldNs,
-		events:      make(map[int]uint64),
-		sinks:       make(map[int]float64),
-		hopOps:      make(map[int]des.Op),
+		lps:         make(map[int]*pholdLP),
 	}
 	w.Setup = func(w *Worker) {
 		m.meanDelay = m.DelayFactor * w.Lookahead()
 		for _, lp := range w.LPs() {
 			m.InstallLP(lp)
 			for j := 0; j < m.JobsPerLP; j++ {
-				lp.E.ScheduleOp(m.drawDelay(lp), m.hopOps[lp.ID], nil)
+				lp.E.ScheduleOp(m.drawDelay(lp), m.lps[lp.ID].hopOp, nil)
 			}
 		}
 	}
-	w.CountEvents = func() map[int]uint64 { return m.events }
+	w.CountEvents = func() map[int]uint64 {
+		counts := make(map[int]uint64, len(m.lps))
+		for id, st := range m.lps {
+			counts[id] = st.events
+		}
+		return counts
+	}
 	w.Model = m
 	return m
 }
@@ -117,13 +132,13 @@ func (m *PHOLDModel) drawDelay(lp *LP) float64 {
 	return d
 }
 
-func (m *PHOLDModel) hop(lp *LP) {
-	m.events[lp.ID]++
+func (m *PHOLDModel) hop(lp *LP, st *pholdLP) {
+	st.events++
 	acc := 1.0001
 	for i := 0; i < m.Work; i++ {
 		acc = math.Sqrt(acc*1.7 + float64(i&7))
 	}
-	m.sinks[lp.ID] += acc
+	st.sink += acc
 	if lp.ID < m.SkewHot && m.HotHoldNs > 0 {
 		// Wall-clock cost only: the hold draws nothing and schedules
 		// nothing, so output is independent of where the LP runs.
@@ -138,33 +153,39 @@ func (m *PHOLDModel) hop(lp *LP) {
 		lp.Send(target, delay, nil)
 		return
 	}
-	lp.E.ScheduleOp(delay, m.hopOps[lp.ID], nil)
+	lp.E.ScheduleOp(delay, st.hopOp, nil)
 }
 
 // InstallLP implements Migrator: it prepares an LP the way Setup
 // prepares the initial set — message handler plus the registered
 // "phold.hop" op — but schedules no jobs; an adopted LP's pending
-// jobs arrive with its engine snapshot.
+// jobs arrive with its engine snapshot. The hop closures capture the
+// LP's own state entry, so nothing shared is touched mid-window.
 func (m *PHOLDModel) InstallLP(lp *LP) {
-	lp.OnMessage = func(Event) { m.hop(lp) }
-	m.hopOps[lp.ID] = lp.E.RegisterOp("phold.hop", func([]byte) { m.hop(lp) })
+	st := &pholdLP{}
+	m.lps[lp.ID] = st
+	lp.OnMessage = func(Event) { m.hop(lp, st) }
+	st.hopOp = lp.E.RegisterOp("phold.hop", func([]byte) { m.hop(lp, st) })
 }
 
 // MarshalLP implements Migrator: it extracts one departing LP's
 // counters and removes them from this model instance, so the donor's
 // next snapshot no longer claims the LP.
 func (m *PHOLDModel) MarshalLP(id int) ([]byte, error) {
+	st := m.lps[id]
+	if st == nil {
+		return nil, fmt.Errorf("distsim: PHOLD has no state for LP %d", id)
+	}
 	var enc checkpoint.Enc
-	enc.U64(m.events[id])
-	enc.F64(m.sinks[id])
-	delete(m.events, id)
-	delete(m.sinks, id)
-	delete(m.hopOps, id)
+	enc.U64(st.events)
+	enc.F64(st.sink)
+	delete(m.lps, id)
 	return enc.Bytes(), nil
 }
 
 // UnmarshalLP implements Migrator: it installs an adopted LP's
-// counters.
+// counters into the state entry InstallLP created — in place, because
+// the hop closures already hold the pointer.
 func (m *PHOLDModel) UnmarshalLP(id int, data []byte) error {
 	d := checkpoint.NewDec(data)
 	ev := d.U64()
@@ -172,16 +193,20 @@ func (m *PHOLDModel) UnmarshalLP(id int, data []byte) error {
 	if err := d.Err(); err != nil {
 		return fmt.Errorf("distsim: PHOLD LP %d state: %w", id, err)
 	}
-	m.events[id] = ev
-	m.sinks[id] = sink
+	st := m.lps[id]
+	if st == nil {
+		return fmt.Errorf("distsim: PHOLD LP %d state arrived before InstallLP", id)
+	}
+	st.events = ev
+	st.sink = sink
 	return nil
 }
 
 // MarshalState serializes the per-LP counters in sorted LP order (maps
 // iterate randomly; snapshots must be deterministic).
 func (m *PHOLDModel) MarshalState() ([]byte, error) {
-	ids := make([]int, 0, len(m.events))
-	for id := range m.events {
+	ids := make([]int, 0, len(m.lps))
+	for id := range m.lps {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
@@ -189,27 +214,50 @@ func (m *PHOLDModel) MarshalState() ([]byte, error) {
 	enc.Int(len(ids))
 	for _, id := range ids {
 		enc.Int(id)
-		enc.U64(m.events[id])
-		enc.F64(m.sinks[id])
+		enc.U64(m.lps[id].events)
+		enc.F64(m.lps[id].sink)
 	}
 	return enc.Bytes(), nil
 }
 
-// UnmarshalState restores the per-LP counters from a snapshot.
+// UnmarshalState restores the per-LP counters from a snapshot —
+// mutating existing entries in place (their hop closures are already
+// bound into live engines) and creating entries the snapshot covers
+// but InstallLP has not seen yet.
 func (m *PHOLDModel) UnmarshalState(data []byte) error {
 	d := checkpoint.NewDec(data)
 	n := d.Int()
-	events := make(map[int]uint64, n)
-	sinks := make(map[int]float64, n)
+	type lpState struct {
+		id     int
+		events uint64
+		sink   float64
+	}
+	states := make([]lpState, 0, n)
 	for i := 0; i < n; i++ {
-		id := d.Int()
-		events[id] = d.U64()
-		sinks[id] = d.F64()
+		states = append(states, lpState{id: d.Int(), events: d.U64(), sink: d.F64()})
 	}
 	if err := d.Err(); err != nil {
 		return fmt.Errorf("distsim: PHOLD state: %w", err)
 	}
-	m.events = events
-	m.sinks = sinks
+	// The snapshot defines the whole state: entries it does not cover
+	// belong to LPs the rollback reconcile dropped from this worker.
+	covered := make(map[int]bool, len(states))
+	for _, s := range states {
+		covered[s.id] = true
+	}
+	for id := range m.lps {
+		if !covered[id] {
+			delete(m.lps, id)
+		}
+	}
+	for _, s := range states {
+		st := m.lps[s.id]
+		if st == nil {
+			st = &pholdLP{}
+			m.lps[s.id] = st
+		}
+		st.events = s.events
+		st.sink = s.sink
+	}
 	return nil
 }

@@ -1,0 +1,395 @@
+package distsim
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/parsim"
+	"repro/internal/partition"
+)
+
+// The multicore-worker suite pins the Threads contract end to end:
+// running a worker's LPs across an intra-worker goroutine pool must be
+// bit-identical to the sequential worker and to the single-process
+// parsim reference — and the property must survive every distributed
+// mechanism the engine already has (idle-window skipping, chaos
+// faults, checkpoint file resume, live migration, and coordinator
+// crash-restart). Per-LP sends are buffered thread-locally during the
+// window and merged in canonical LP order at the barrier, so the wire
+// traffic (and therefore everything downstream of it) is byte-for-byte
+// the traffic a sequential pass produces.
+
+// withThreads sets the pool width on every worker and returns the
+// slice, so scenario builders from the other suites can be reused
+// verbatim.
+func withThreads(n int, ws ...*Worker) []*Worker {
+	for _, w := range ws {
+		w.Threads = n
+	}
+	return ws
+}
+
+// TestThreadsDenseBitIdentical is the core property: the dense PHOLD
+// federation run with 4-thread workers matches the sequential
+// distributed run and the single-process reference, at every pool
+// width.
+func TestThreadsDenseBitIdentical(t *testing.T) {
+	ref := parsim.NewPHOLD(rtLPs, 1, rtLA, rtJobs, rtRemote, rtWork, rtSeed)
+	ref.Run(rtHorizon)
+	want := ref.PerLPEvents()
+
+	seqCounts, seqWindows := referenceRun(t) // Threads = 1 (inline path)
+	if !equalCounts(seqCounts, want) {
+		t.Fatalf("sequential distributed run diverges from reference:\nwant %v\ngot  %v", want, seqCounts)
+	}
+
+	for _, threads := range []int{2, 4} {
+		c := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+		launch(t, c, withThreads(threads, rtWorker(false, false), rtWorker(true, false)))
+		if got := countsOf(c.WorkerStats); !equalCounts(got, want) {
+			t.Fatalf("threads=%d run diverges from reference:\nwant %v\ngot  %v", threads, want, got)
+		}
+		if c.Windows != seqWindows {
+			t.Fatalf("threads=%d windows = %d, want %d", threads, c.Windows, seqWindows)
+		}
+	}
+}
+
+// TestThreadsSparseSkipBitIdentical runs the sparse regime with
+// skipping on and 4-thread workers: the per-LP idle check inside the
+// pool (an LP whose next event lies past the window end never touches
+// its engine) must not disturb the skip lattice or the counts.
+func TestThreadsSparseSkipBitIdentical(t *testing.T) {
+	ref := parsim.NewPHOLDFactor(skLPs, 1, skLA, skJobs, skRemote, skWork, skSeed, skFactor)
+	ref.Run(skHorizon)
+	want := ref.PerLPEvents()
+
+	seq := skRun(t, true) // Threads = 1, skip on
+
+	c := NewCoordinator(skLPs, skLA, skHorizon, skSeed)
+	c.SkipIdle = true
+	launch(t, c, withThreads(4, skWorker(false, false), skWorker(true, false)))
+
+	if got := skCounts(c.WorkerStats); !equalCounts(got, want) {
+		t.Fatalf("threaded sparse run diverges from reference:\nwant %v\ngot  %v", want, got)
+	}
+	if c.WindowsSkipped == 0 {
+		t.Fatal("threaded sparse run skipped no windows")
+	}
+	// The skip lattice is driven by the Next watermarks on done frames;
+	// identical traffic means an identical lattice, executed and skipped.
+	if c.Windows != seq.Windows || c.WindowsSkipped != seq.WindowsSkipped {
+		t.Fatalf("threaded lattice %d+%d windows, sequential %d+%d",
+			c.Windows, c.WindowsSkipped, seq.Windows, seq.WindowsSkipped)
+	}
+}
+
+// TestThreadsUnderChaos injects drops, duplicates and resets into both
+// directions of the wire while 4-thread workers execute the sparse
+// skip-enabled federation: session resume replays the barrier-merged
+// frames, so the faulty network costs retries, never bit-identity.
+func TestThreadsUnderChaos(t *testing.T) {
+	t.Parallel()
+	ref := parsim.NewPHOLDFactor(skLPs, 1, skLA, skJobs, skRemote, skWork, skSeed, skFactor)
+	ref.Run(skHorizon)
+	want := ref.PerLPEvents()
+
+	base, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	addr := base.Addr().String()
+	ln := chaos.New(chaos.Config{Seed: 131, Drop: 0.03, Dup: 0.1, Reset: 0.02}).Listener(base)
+
+	c := NewCoordinator(skLPs, skLA, skHorizon, skSeed)
+	c.SkipIdle = true
+	c.Timeout = 500 * time.Millisecond
+	c.ReconnectWait = 3 * time.Second
+	c.MaxReconnects = 10000
+
+	workers := withThreads(4, skWorker(false, false), skWorker(true, false))
+	for i, w := range workers {
+		w.HandshakeTimeout = 2 * time.Second
+		w.ConnectRetries = 100
+		w.ConnectBackoff = 10 * time.Millisecond
+		inj := chaos.New(chaos.Config{Seed: 231 + uint64(i)*1000003, Drop: 0.03, Dup: 0.1, Reset: 0.02})
+		w.Dial = func() (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return inj.Conn(conn), nil
+		}
+	}
+
+	errs := make(chan error, len(workers)+1)
+	for _, w := range workers {
+		w := w
+		go func() { errs <- w.Run(addr) }()
+	}
+	go func() { errs <- c.Serve(ln, len(workers)) }()
+	for i := 0; i < len(workers)+1; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatalf("chaos threads run failed: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("chaos threads run wedged")
+		}
+	}
+
+	if got := skCounts(c.WorkerStats); !equalCounts(got, want) {
+		t.Fatalf("chaos threads run diverges from reference:\nwant %v\ngot  %v", want, got)
+	}
+}
+
+// TestThreadsCheckpointResume kills a worker mid-run with recovery
+// disabled and resumes a second coordinator from the persisted cluster
+// checkpoint, with 4-thread workers on both attempts: snapshots are
+// taken at barriers — where the per-LP buffers are already drained —
+// so pooled execution is invisible to the checkpoint format.
+func TestThreadsCheckpointResume(t *testing.T) {
+	wantCounts, _ := referenceRun(t)
+	path := filepath.Join(t.TempDir(), "cluster.ckpt")
+
+	// Attempt 1: persist checkpoints, no recovery budget; worker B dies
+	// at rtKillAt and the run fails.
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c1.Timeout = 10 * time.Second
+	c1.ReconnectWait = 200 * time.Millisecond
+	c1.CheckpointPath = path
+	c1.ResumePath = path // does not exist yet: fresh start
+	go func() {
+		wA := withThreads(4, rtWorker(false, false))[0]
+		wA.ConnectRetries = 2
+		wA.ConnectBackoff = 20 * time.Millisecond
+		_ = wA.Run(ln1.Addr().String()) // dies with the failed run; ignored
+	}()
+	go func() {
+		defer func() { recover() }()
+		_ = withThreads(4, rtWorker(true, true))[0].Run(ln1.Addr().String())
+	}()
+	if err := c1.Serve(ln1, 2); err == nil {
+		t.Fatal("Serve succeeded despite a dead worker and no recovery budget")
+	}
+	ln1.Close()
+
+	// Attempt 2: resume from the checkpoint into fresh pooled workers.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	c2 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c2.Timeout = 10 * time.Second
+	c2.ResumePath = path
+	errs := make(chan error, 2)
+	go func() { errs <- withThreads(4, rtWorker(false, false))[0].Run(ln2.Addr().String()) }()
+	go func() { errs <- withThreads(4, rtWorker(true, false))[0].Run(ln2.Addr().String()) }()
+	if err := c2.Serve(ln2, 2); err != nil {
+		t.Fatalf("resumed Serve: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	if got := countsOf(c2.WorkerStats); !equalCounts(got, wantCounts) {
+		t.Fatalf("resumed threads run counts %v, want %v", got, wantCounts)
+	}
+}
+
+// TestThreadsRebalanceBitIdentical runs the skewed federation with
+// live migration and 4-thread workers: LPs move between pooled workers
+// mid-run (the pool width stays fixed while the item set grows and
+// shrinks), at least one migration must actually happen, and the
+// counts still match the single-process reference.
+func TestThreadsRebalanceBitIdentical(t *testing.T) {
+	c := NewCoordinator(mgLPs, mgLA, mgHorizon, mgSeed)
+	c.Rebalance = &partition.Greedy{UseEvents: true}
+	c.RebalanceEvery = 2
+	launch(t, c, withThreads(4, mgWorker(false, false), mgWorker(true, false)))
+
+	if c.Migrations == 0 {
+		t.Fatal("skewed threads run rebalanced nothing; the scenario no longer exercises migration")
+	}
+	if got := mgCounts(c.WorkerStats); !equalCounts(got, mgReference()) {
+		t.Fatalf("rebalanced threads run diverges from reference:\nwant %v\ngot  %v", mgReference(), got)
+	}
+}
+
+// TestThreadsCrashRestart kills the coordinator at a scripted journal
+// barrier and restarts it against parked 4-thread workers: re-adoption
+// replays from the journal tip, the pool survives the reconnect (it is
+// bound to the worker's run, not the connection), and the finished run
+// matches the uninterrupted sequential one.
+func TestThreadsCrashRestart(t *testing.T) {
+	wantCounts, wantWindows := referenceRun(t)
+	journal := filepath.Join(t.TempDir(), "coord.journal")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	c1 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c1.Timeout = 10 * time.Second
+	c1.JournalPath = journal
+	c1.crashAfterBarrier = 3
+	c2 := NewCoordinator(rtLPs, rtLA, rtHorizon, rtSeed)
+	c2.Timeout = 10 * time.Second
+	c2.JournalPath = journal
+
+	workers := withThreads(4, crashBudgets(rtWorker(false, false)), crashBudgets(rtWorker(true, false)))
+	runCrashRestart(t, ln, c1, c2, workers, 500*time.Millisecond)
+
+	if got := countsOf(c2.WorkerStats); !equalCounts(got, wantCounts) {
+		t.Fatalf("restarted threads run counts %v, want %v", got, wantCounts)
+	}
+	if c2.Windows != wantWindows {
+		t.Fatalf("windows = %d, want %d", c2.Windows, wantWindows)
+	}
+	if c2.Readopted != 2 {
+		t.Fatalf("readopted = %d, want 2", c2.Readopted)
+	}
+}
+
+// TestThreadsHeartbeatDuringBusyWindow pins worker liveness while the
+// pool computes: the heartbeat ticker lives on its own goroutine, so a
+// long busy window (every LP holds its thread well past the heartbeat
+// interval) must still produce a stream of frameHeartbeat frames — and
+// their watermarks (the sequenced-send count in the frame, the
+// processed-inbound ack on the wire header) must advance window over
+// window, proving the beats carry fresh progress, not a frozen
+// snapshot. The test plays coordinator directly over an in-memory
+// pipe so it can observe raw frames mid-window.
+func TestThreadsHeartbeatDuringBusyWindow(t *testing.T) {
+	t.Parallel()
+	const (
+		windows  = 3
+		holdTime = 150 * time.Millisecond // per-LP busy stretch per window
+		timeout  = 0.06                   // config TimeoutSec -> beats every 20ms
+	)
+
+	w := NewWorker(0, 1, 2, 3)
+	w.Threads = 4
+	w.Setup = func(w *Worker) {
+		for _, lp := range w.LPs() {
+			lp := lp
+			lp.OnMessage = func(Event) {}
+			op := lp.E.RegisterOp("test.hold", func([]byte) { time.Sleep(holdTime) })
+			// One event per LP per window, each holding its pool thread:
+			// the window's busy stretch spans many heartbeat intervals.
+			for win := 0; win < windows; win++ {
+				lp.E.AtOp(float64(win)+0.5, op, nil)
+			}
+		}
+	}
+
+	wc, cc := net.Pipe()
+	werr := make(chan error, 1)
+	go func() { werr <- w.RunConn(wc) }()
+
+	l := newLink(newPeer(cc))
+	defer l.close()
+
+	f, err := l.recv(10 * time.Second)
+	if err != nil || f.Kind != frameRegister {
+		t.Fatalf("register: frame %v, err %v", f, err)
+	}
+	if err := l.send(&frame{Kind: frameConfig, Lookahead: 1, Horizon: windows,
+		Seed: 1, Session: 7, TimeoutSec: timeout}); err != nil {
+		t.Fatalf("config: %v", err)
+	}
+
+	// beats[w] records the watermark high points of the heartbeats seen
+	// while window w was executing.
+	type marks struct {
+		n           int
+		sent, acked uint64
+	}
+	beats := make([]marks, windows+1)
+	for win := uint64(1); win <= windows; win++ {
+		if err := l.send(&frame{Kind: frameWindow, End: float64(win), WinSeq: win}); err != nil {
+			t.Fatalf("window %d: %v", win, err)
+		}
+		for {
+			// Read below the link layer: heartbeats are unsequenced, and
+			// the progress ack rides the wire header, not the frame.
+			seq, ack, payload, err := l.p.readFrame(10 * time.Second)
+			if err != nil {
+				t.Fatalf("window %d read: %v", win, err)
+			}
+			var fr frame
+			var evs []Event
+			if err := unmarshalFrameInto(&fr, &evs, payload); err != nil {
+				t.Fatalf("window %d decode: %v", win, err)
+			}
+			if fr.Kind == frameHeartbeat {
+				b := &beats[win]
+				b.n++
+				b.sent = max(b.sent, fr.SendSeq)
+				b.acked = max(b.acked, ack)
+				continue
+			}
+			if fr.Kind != frameDone {
+				t.Fatalf("window %d: unexpected %s frame", win, fr.Kind)
+			}
+			// Keep the link's sequence discipline coherent with the raw
+			// reads, so the post-run l.recv sees no artificial gap.
+			l.recvSeq = seq
+			l.ackedIn.Store(seq)
+			break
+		}
+	}
+
+	// Shut the worker down cleanly so RunConn's error reflects the
+	// protocol, not the teardown.
+	if err := l.send(&frame{Kind: frameStop}); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for {
+		f, err := l.recv(10 * time.Second)
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		if f.Kind == frameHeartbeat {
+			continue
+		}
+		if f.Kind != frameStats {
+			t.Fatalf("expected stats, got %s", f.Kind)
+		}
+		break
+	}
+	if err := l.send(&frame{Kind: frameBye}); err != nil {
+		t.Fatalf("bye: %v", err)
+	}
+	if err := <-werr; err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+
+	for win := 1; win <= windows; win++ {
+		b := beats[win]
+		if b.n == 0 {
+			t.Fatalf("window %d: no heartbeats during a %v busy stretch", win, holdTime)
+		}
+		// The ack watermark proves the worker processed this window's
+		// frame; the send watermark counts the done frames already out.
+		if want := uint64(win); b.acked != want {
+			t.Fatalf("window %d: heartbeat ack watermark %d, want %d", win, b.acked, want)
+		}
+		if want := uint64(win - 1); b.sent != want {
+			t.Fatalf("window %d: heartbeat send watermark %d, want %d", win, b.sent, want)
+		}
+	}
+}

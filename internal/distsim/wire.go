@@ -41,6 +41,13 @@ func eventOrder(a, b Event) int {
 	return cmp.Compare(a.Seq, b.Seq)
 }
 
+// lpOrder is the worker's canonical LP iteration order (ascending ID)
+// — the order LPs execute in sequentially, the order their per-LP
+// send buffers flush in after a parallel window, and the order
+// migration keeps Worker.order sorted in. One comparator, so the
+// "parallel ≡ sequential" argument rests on a single definition.
+func lpOrder(a, b *LP) int { return cmp.Compare(a.ID, b.ID) }
+
 // frameKind discriminates protocol frames.
 type frameKind uint8
 

@@ -1,7 +1,6 @@
 package distsim
 
 import (
-	"cmp"
 	"errors"
 	"fmt"
 	"math"
@@ -13,6 +12,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/pool"
 )
 
 // DefaultConnectRetries is how many dial/handshake attempts a worker
@@ -52,11 +52,22 @@ type LP struct {
 	// pending set is always serializable into a snapshot.
 	msgOp des.Op
 
+	// Per-LP send buffers: during a window every send lands here, so
+	// LPs running on different pool threads never share a slice. The
+	// barrier-time flushSends drains them into the worker-level outbox
+	// and local buffer in LP-ID order — byte-identical to what
+	// sequential execution would have appended directly. pendSent is
+	// the matching window-local piece of Worker.sent.
+	outbox   []Event
+	local    []localEvent
+	pendSent uint64
+
 	// Load-signal bookkeeping for adaptive partitioning: busyNs is the
 	// wall time spent in RunUntil since the last done frame (shipped as
 	// a delta and reset), busyTotal the cumulative time for obs
 	// snapshots, prevExec the executed-event watermark behind the
-	// per-window delta.
+	// per-window delta. Written only by whichever pool thread holds the
+	// LP inside a window; read at barriers.
 	busyNs    int64
 	busyTotal int64
 	prevExec  uint64
@@ -75,14 +86,16 @@ func (lp *LP) Send(to int, delay float64, data []byte) {
 		Seq:  lp.sendSeq,
 		Data: data,
 	}
-	lp.w.sent++
+	lp.pendSent++
+	// The ownership map is only mutated at window barriers (migration,
+	// restore), so the lookup is safe from any pool thread mid-window.
 	if target, local := lp.w.lps[to]; local {
 		// Local fast path, buffered with the same ordering key so
 		// local and remote delivery are indistinguishable.
-		lp.w.localBuf = append(lp.w.localBuf, localEvent{ev: ev, lp: target})
+		lp.local = append(lp.local, localEvent{ev: ev, lp: target})
 		return
 	}
-	lp.w.outbox = append(lp.w.outbox, ev)
+	lp.outbox = append(lp.outbox, ev)
 }
 
 type localEvent struct {
@@ -111,6 +124,14 @@ type Worker struct {
 	mergeBuf []Event // deliver's reused merge scratch
 	sent     uint64
 	received uint64
+
+	// Intra-worker execution pool (Threads > 1): poolEnd/poolSeq/
+	// poolTimed are plain fields published to the pool threads by the
+	// token barrier inside pl.Run, exactly like parsim's windowEnd.
+	pl        *pool.Pool
+	poolEnd   float64
+	poolSeq   uint64
+	poolTimed bool
 
 	// collectLoads mirrors the config's RebalanceEvery > 0: the
 	// coordinator wants per-LP load deltas on every done frame.
@@ -169,6 +190,18 @@ type Worker struct {
 	// exhausted reconnect is fatal, the pre-journal behavior).
 	MaxPark int
 
+	// Threads is the intra-worker execution pool size: with Threads > 1
+	// the worker's LPs run across that many persistent goroutines
+	// inside each window (hierarchical parallelism — distributed across
+	// nodes, parallel within them). 0 or 1 executes LPs inline on the
+	// serve goroutine. Results are bit-identical for every value: each
+	// LP writes its own outbox during the window and the barrier merges
+	// them in canonical LP order, so only wall time changes. The model
+	// must keep per-LP state independent during a window (mutate shared
+	// structures only in Setup / Migrator hooks, which run at
+	// barriers). Set before Run.
+	Threads int
+
 	// Setup is called once after the config frame arrives, when
 	// engines exist and seeds are known; the model installs OnMessage
 	// handlers and initial events here. Checkpointable models schedule
@@ -198,7 +231,7 @@ func NewWorker(lpIDs ...int) *Worker {
 		w.lps[id] = lp
 		w.order = append(w.order, lp)
 	}
-	slices.SortFunc(w.order, func(a, b *LP) int { return cmp.Compare(a.ID, b.ID) })
+	slices.SortFunc(w.order, lpOrder)
 	for _, lp := range w.order {
 		w.ids = append(w.ids, lp.ID)
 	}
@@ -320,6 +353,7 @@ func (w *Worker) RunConn(conn net.Conn) error {
 	if err := w.applyConfig(cfg); err != nil {
 		return err
 	}
+	defer w.closePool()
 	w.link = l
 	return w.serveConn()
 }
@@ -361,6 +395,7 @@ func (w *Worker) run(reconnect bool) error {
 		}
 	}
 	defer w.link.close()
+	defer w.closePool()
 
 	// Serve, resuming the session across transport failures.
 	for {
@@ -446,7 +481,18 @@ func (w *Worker) applyConfig(cfg *frame) error {
 		wo := newWorkerObs(every, spans, len(w.order))
 		w.obs = wo
 		for i, lp := range w.order {
-			lp.E.SetObserver(des.Observer{Recorder: wo.lpRecs[i], Metrics: &wo.met, Track: lp.ID})
+			lp.E.SetObserver(des.Observer{Recorder: wo.lpRecs[i], Metrics: wo.lpMets[i], Track: lp.ID})
+		}
+	}
+	// The intra-worker pool outlives windows, migrations, and
+	// reconnects; it is created once here and closed when the worker's
+	// run ends. With obs on, each pool thread gets its own span ring so
+	// the merged cluster trace shows per-thread busy/wait phases.
+	if w.Threads > 1 {
+		w.pl = pool.New(w.Threads, w.runLP)
+		if wo := w.obs; wo != nil {
+			wo.addPoolRecs(w.Threads)
+			w.pl.SetObserve(w.observePoolPhases)
 		}
 	}
 	if w.Setup == nil {
@@ -458,8 +504,19 @@ func (w *Worker) applyConfig(cfg *frame) error {
 			return fatalf("distsim: LP %d has no OnMessage handler", lp.ID)
 		}
 	}
+	// Models may Send during Setup; those land in the per-LP buffers
+	// like any window-time send and flush here, before the first window.
+	w.flushSends()
 	w.ready = true
 	return nil
+}
+
+// closePool joins the intra-worker pool threads; idempotent, called
+// when the worker's run ends.
+func (w *Worker) closePool() {
+	if w.pl != nil {
+		w.pl.Close()
+	}
 }
 
 // initLP equips an LP with its engine — seeded from the LP id alone,
@@ -574,22 +631,13 @@ func (w *Worker) serveConn() error {
 				wo.deliver.Observe(d)
 				wo.rec.Record(obs.Span{Wall: t0, Dur: d, Time: f.End, Seq: f.WinSeq, Kind: obs.KindDeliver})
 			}
-			// Per-LP wall timing feeds the rebalancer's load signal (and
-			// the obs per-LP counters): two clock reads per LP per
-			// window, nothing when neither consumer is on.
-			if timed := w.collectLoads || w.obs != nil; timed {
-				for _, lp := range w.order {
-					t := obs.Now()
-					lp.E.RunUntil(f.End)
-					d := obs.Now() - t
-					lp.busyNs += d
-					lp.busyTotal += d
-				}
-			} else {
-				for _, lp := range w.order {
-					lp.E.RunUntil(f.End)
-				}
-			}
+			// Execute the window — inline at Threads <= 1, across the
+			// persistent pool otherwise — then drain the per-LP send
+			// buffers into the worker-level outbox/local buffer in
+			// canonical LP order, restoring the exact sequence a
+			// sequential pass would have produced.
+			w.runWindow(f.End, f.WinSeq)
+			w.flushSends()
 			// The done frame piggybacks the earliest pending event time
 			// across this worker's engines and local buffer, so a
 			// skip-enabled coordinator can jump windows nobody has work
@@ -870,6 +918,95 @@ func (w *Worker) Stats() WorkerStats {
 func (w *Worker) sleep(d time.Duration) {
 	w.wire.BackoffNs.Add(uint64(d))
 	time.Sleep(d)
+}
+
+// runWindow executes every owned LP through the window ending at end.
+// LPs whose next event lies beyond the window are skipped without
+// entering their engine loop — and without the two load-timing clock
+// reads — so sparse windows pay nothing per idle LP. Per-LP wall
+// timing feeds the rebalancer's load signal (and the obs per-LP
+// counters): two clock reads per non-idle LP per window, nothing when
+// neither consumer is on.
+//
+// With Threads > 1 the LPs run across the persistent pool instead:
+// poolEnd/poolSeq/poolTimed are published to the pool threads by the
+// token barrier inside pl.Run, and the barrier's done-tokens publish
+// everything the LPs wrote (engine state, per-LP buffers, busy
+// counters) back to the serve goroutine. Windows are independent
+// within themselves by the conservative lookahead argument, so the
+// only cross-LP structures touched mid-window are the per-LP buffers
+// — which is exactly why they are per-LP.
+func (w *Worker) runWindow(end float64, seq uint64) {
+	w.poolEnd = end
+	w.poolSeq = seq
+	w.poolTimed = w.collectLoads || w.obs != nil
+	if w.pl == nil {
+		for i := range w.order {
+			w.runLP(0, i)
+		}
+		return
+	}
+	w.pl.Run(len(w.order))
+}
+
+// runLP executes one LP through the current window; it is the pool
+// body, and the inline path at Threads <= 1. PeekTime may pop
+// tombstones, but this thread is the only one touching the LP during
+// the window.
+func (w *Worker) runLP(_, i int) {
+	lp := w.order[i]
+	if lp.E.PeekTime() > w.poolEnd {
+		return
+	}
+	if !w.poolTimed {
+		lp.E.RunUntil(w.poolEnd)
+		return
+	}
+	t := obs.Now()
+	lp.E.RunUntil(w.poolEnd)
+	d := obs.Now() - t
+	lp.busyNs += d
+	lp.busyTotal += d
+}
+
+// observePoolPhases records one pool thread's busy/wait phases of a
+// window into that thread's own span ring (single-writer), anchored on
+// the window's barrier sequence so MergeTracks aligns them with the
+// coordinator timeline. The wait span covers the thread blocked
+// through the barrier, the done-frame round trip, and the next
+// window's release — the intra-node slice of the synchronization cost.
+func (w *Worker) observePoolPhases(pw int, waitStart, busyStart, busyEnd int64) {
+	r := w.obs.poolRecs[pw]
+	if waitStart != busyStart {
+		r.Record(obs.Span{Kind: obs.KindBarrierWait, Wall: waitStart, Dur: busyStart - waitStart,
+			Time: w.poolEnd, Seq: w.poolSeq})
+	}
+	r.Record(obs.Span{Kind: obs.KindWindowBusy, Wall: busyStart, Dur: busyEnd - busyStart,
+		Time: w.poolEnd, Seq: w.poolSeq})
+}
+
+// flushSends drains every LP's window-local send buffers into the
+// worker-level outbox and local buffer, in canonical LP order. Each
+// per-LP buffer is already internally ordered by eventOrder (From is
+// the LP itself, Seq is its monotonic send sequence), and w.order is
+// lpOrder-sorted, so the concatenation equals the sequence sequential
+// execution would have appended directly — the done frame, the stash a
+// restarted coordinator replays, and the snapshot image are all
+// byte-identical to a Threads-1 run. Buffers are truncated, not
+// released: the backing arrays are reused by the next window's sends.
+func (w *Worker) flushSends() {
+	for _, lp := range w.order {
+		if len(lp.outbox) > 0 {
+			w.outbox = append(w.outbox, lp.outbox...)
+			lp.outbox = lp.outbox[:0]
+		}
+		if len(lp.local) > 0 {
+			w.localBuf = append(w.localBuf, lp.local...)
+			lp.local = lp.local[:0]
+		}
+		w.sent += lp.pendSent
+		lp.pendSent = 0
+	}
 }
 
 // deliver merges the coordinator's inbound events with the local

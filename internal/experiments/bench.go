@@ -369,6 +369,53 @@ func benchCases() []struct {
 			},
 		})
 	}
+	// WorkerWindowParallel prices one lookahead window of the
+	// intra-worker execution pool, mirroring distsim's
+	// BenchmarkWorkerWindowParallel: dense isolates the pool's
+	// dispatch-and-barrier overhead against the inline baseline, and
+	// skewed gives the hot LPs a 200us wall hold per event so the
+	// threads-4 over threads-1 ns/op ratio is the intra-worker speedup
+	// (acceptance asks >= 1.3x on this 4-LP skew; see BENCH_8.json).
+	// Deliver runs outside the timed region, so allocs/op pins the
+	// pooled outbox path — per-LP Send buffering plus the
+	// canonical-order barrier flush — at zero.
+	for _, load := range []struct {
+		name   string
+		hot    int
+		skew   float64
+		holdNs int
+	}{
+		{"dense", 0, 1, 0},
+		{"skewed", 2, 4, 200_000},
+	} {
+		for _, threads := range []int{1, 2, 4} {
+			load, threads := load, threads
+			cases = append(cases, struct {
+				name string
+				fn   func(b *testing.B)
+			}{
+				name: fmt.Sprintf("WorkerWindowParallel/%s/threads-%d", load.name, threads),
+				fn: func(b *testing.B) {
+					b.ReportAllocs()
+					h := distsim.NewWorkerWindowBench(threads, 4, 8, 0.3, 5, load.hot, load.skew, load.holdNs)
+					defer h.Close()
+					h.Window() // warm: spawn the pool, size the buffers
+					h.Deliver()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						h.Window()
+						b.StopTimer()
+						h.Deliver()
+						b.StartTimer()
+					}
+					b.StopTimer()
+					if h.Events() == 0 {
+						b.Fatal("benchmark executed no events")
+					}
+				},
+			})
+		}
+	}
 	// MigrationCost prices the worker half of one live LP migration
 	// round trip (two extract+adopt transfers, no wire): the
 	// coordinator-visible cost a migration adds to a window barrier.

@@ -25,13 +25,13 @@ package parsim
 import (
 	"fmt"
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/checkpoint"
 	"repro/internal/des"
 	"repro/internal/eventq"
 	"repro/internal/obs"
+	"repro/internal/pool"
 )
 
 // Message is a cross-LP event payload.
@@ -88,12 +88,13 @@ func (lp *LP) Received() uint64 { return lp.recv }
 // Federation is a set of LPs advancing in conservative lock-step
 // windows over a persistent pool of workers.
 //
-// The pool is started once per Run and reused for every window: the
-// coordinator publishes the window end, releases one token per worker
-// through a shared channel, workers claim LPs off an atomic cursor,
-// and a counting barrier (one done-token per worker) closes the
-// window. Rebuilding the goroutines and channels per window — the
-// naive translation of "fork workers for each window" — costs a pool
+// The pool (internal/pool, extracted from the original parsim
+// implementation so the distributed worker can reuse it) is created
+// once per Run and reused for every window: the coordinator publishes
+// the window end, releases one token per worker, workers claim LPs off
+// an atomic cursor, and a counting barrier closes the window.
+// Rebuilding the goroutines and channels per window — the naive
+// translation of "fork workers for each window" — costs a pool
 // construction and teardown every lookahead interval, which is exactly
 // the execution-context churn the paper's engine guidance warns about;
 // with fine lookaheads the simulation executes thousands of windows
@@ -117,11 +118,10 @@ type Federation struct {
 	msgOps []des.Op
 	model  checkpoint.Checkpointable
 
-	// per-Run worker-pool state
-	windowEnd float64       // published before workers are released
-	cursor    atomic.Int64  // next LP index to claim
-	start     chan struct{} // one token per worker per window; closed to stop
-	done      chan struct{} // one token per worker per window
+	// per-Run worker-pool state: windowEnd is published to the pool
+	// workers by the token barrier inside pl.Run.
+	windowEnd float64
+	pl        *pool.Pool
 
 	// observability (EnableObservability); every structure below is
 	// single-writer: per-LP recorders are written only by whichever
@@ -305,25 +305,14 @@ func (f *Federation) Run(horizon float64) {
 			panic(fmt.Sprintf("parsim: LP %d has no OnMessage handler", lp.Index))
 		}
 	}
-	workers := f.poolWorkers()
-	if workers > 1 {
-		f.start = make(chan struct{})
-		f.done = make(chan struct{})
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			w := w
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				f.workerLoop(w)
-			}()
-		}
-		defer func() {
-			close(f.start) // stop signal: workers drain and exit
-			wg.Wait()
-			f.start, f.done = nil, nil
-		}()
+	f.pl = pool.New(f.poolWorkers(), f.runLP)
+	if f.obsOn {
+		f.pl.SetObserve(f.observePhases)
 	}
+	defer func() {
+		f.pl.Close() // stop signal: workers drain and exit
+		f.pl = nil
+	}()
 	for windowEnd := f.clock + f.lookahead; ; windowEnd += f.lookahead {
 		if windowEnd > horizon {
 			windowEnd = horizon
@@ -333,7 +322,7 @@ func (f *Federation) Run(horizon float64) {
 		if f.obsOn {
 			wallStart = obs.Now()
 		}
-		f.runWindow(windowEnd, workers)
+		f.runWindow(windowEnd)
 		f.deliver()
 		if f.obsOn {
 			f.windowWall.Observe(obs.Now() - wallStart)
@@ -345,100 +334,50 @@ func (f *Federation) Run(horizon float64) {
 	}
 }
 
-// runWindow executes every LP up to windowEnd using the persistent
-// worker pool (or inline when there is a single worker). LPs whose
-// next event lies beyond the window are skipped without entering their
-// engine loop.
-func (f *Federation) runWindow(windowEnd float64, workers int) {
-	if workers == 1 {
-		var busyStart int64
-		if f.obsOn {
-			busyStart = obs.Now()
-		}
-		for _, lp := range f.lps {
-			if lp.E.PeekTime() > windowEnd {
-				f.idleSkips.Add(1)
-				continue
-			}
-			lp.E.RunUntil(windowEnd)
-		}
-		if f.obsOn {
-			f.observeWindow(0, busyStart, obs.Now(), windowEnd)
-		}
+// runWindow executes every LP up to windowEnd on the persistent
+// worker pool (inline on the calling goroutine when the pool has a
+// single worker). LPs whose next event lies beyond the window are
+// skipped without entering their engine loop.
+func (f *Federation) runWindow(windowEnd float64) {
+	// windowEnd is a plain field: the pool's token barrier publishes it
+	// to every worker before any runLP call of this window.
+	f.windowEnd = windowEnd
+	f.pl.Run(len(f.lps))
+}
+
+// runLP is the pool body: execute one LP through the current window.
+// An LP with nothing due this window never enters its engine loop.
+// PeekTime may pop tombstones, but this pool worker is the only one
+// touching the LP during the window.
+func (f *Federation) runLP(_, i int) {
+	lp := f.lps[i]
+	if lp.E.PeekTime() > f.windowEnd {
+		f.idleSkips.Add(1)
 		return
 	}
-	f.windowEnd = windowEnd
-	f.cursor.Store(0)
-	// Release exactly one token per worker; each token send
-	// happens-before the matching receive, publishing windowEnd and the
-	// reset cursor to that worker.
-	for w := 0; w < workers; w++ {
-		f.start <- struct{}{}
-	}
-	// Counting barrier: the window is over when every worker reports.
-	for w := 0; w < workers; w++ {
-		<-f.done
-	}
+	lp.E.RunUntil(f.windowEnd)
 }
 
-// workerLoop is the body of one persistent pool worker: per window it
-// claims LPs off the shared cursor until none remain, then reports to
-// the barrier. A closed start channel is the stop signal.
-//
-// With observability on, the worker times two phases of each cycle:
-// busy (claiming and running LPs) and barrier wait (from reporting its
-// done-token until the next start-token arrives — the window-close
-// barrier, message delivery, and the release of the next window). The
-// barrier-wait histogram is the measurable synchronization cost the
-// paper's C4 discussion attributes to conservative execution.
-func (f *Federation) workerLoop(w int) {
-	var waitStart int64
-	if f.obsOn {
-		waitStart = obs.Now()
+// observePhases is the pool's per-worker phase hook. The wait phase —
+// from reporting one window's done-token until the next start-token
+// arrives (the window-close barrier, message delivery, and the release
+// of the next window) — is the measurable synchronization cost the
+// paper's C4 discussion attributes to conservative execution. Inline
+// mode has no barrier (waitStart == busyStart) and records only the
+// busy phase, preserving the single-worker baseline's histograms.
+func (f *Federation) observePhases(w int, waitStart, busyStart, busyEnd int64) {
+	if waitStart != busyStart {
+		wait := busyStart - waitStart
+		f.barrierWait[w].Observe(wait)
+		f.workerRecs[w].Record(obs.Span{
+			Kind: obs.KindBarrierWait, Track: int32(w), Wall: waitStart, Dur: wait,
+		})
 	}
-	for range f.start {
-		var busyStart int64
-		if f.obsOn {
-			busyStart = obs.Now()
-			wait := busyStart - waitStart
-			f.barrierWait[w].Observe(wait)
-			f.workerRecs[w].Record(obs.Span{
-				Kind: obs.KindBarrierWait, Track: int32(w), Wall: waitStart, Dur: wait,
-			})
-		}
-		windowEnd := f.windowEnd
-		for {
-			i := int(f.cursor.Add(1)) - 1
-			if i >= len(f.lps) {
-				break
-			}
-			lp := f.lps[i]
-			// An LP with nothing due this window never enters its
-			// engine loop. PeekTime may pop tombstones, but this worker
-			// is the only one touching the LP during the window.
-			if lp.E.PeekTime() > windowEnd {
-				f.idleSkips.Add(1)
-				continue
-			}
-			lp.E.RunUntil(windowEnd)
-		}
-		if f.obsOn {
-			f.observeWindow(w, busyStart, obs.Now(), windowEnd)
-		}
-		f.done <- struct{}{}
-		if f.obsOn {
-			waitStart = obs.Now()
-		}
-	}
-}
-
-// observeWindow records one worker's busy phase of a window.
-func (f *Federation) observeWindow(w int, busyStart, busyEnd int64, windowEnd float64) {
 	busy := busyEnd - busyStart
 	f.busy[w].Observe(busy)
 	f.workerRecs[w].Record(obs.Span{
 		Kind: obs.KindWindowBusy, Track: int32(w), Wall: busyStart, Dur: busy,
-		Time: windowEnd,
+		Time: f.windowEnd,
 	})
 }
 

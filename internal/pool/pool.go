@@ -1,0 +1,209 @@
+// Package pool provides the persistent worker pool that both the
+// shared-memory federation (internal/parsim) and the distributed
+// worker's intra-node execution pool (internal/distsim) run lookahead
+// windows on.
+//
+// The design is the one proved out by parsim and motivated by the
+// paper's engine guidance: goroutines are started once and reused for
+// every window, because rebuilding the execution contexts per window —
+// the naive "fork workers for each window" translation — costs a pool
+// construction and teardown every lookahead interval, and with fine
+// lookaheads a simulation executes thousands of windows per second, so
+// the churn dominates. Per window the coordinator publishes any shared
+// state (e.g. the window end), releases one token per worker through a
+// shared channel, workers claim items off an atomic cursor, and a
+// counting barrier (one done-token per worker) closes the window.
+//
+// Memory ordering: each start-token send happens-before the matching
+// receive, so anything the caller writes before Run is visible to every
+// worker; each done-token send happens-before the matching receive, so
+// anything a worker writes during the window is visible to the caller
+// after Run returns. Callers therefore need no extra locking for state
+// that is only touched outside windows or by a single worker within
+// one.
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Pool runs batches of independent items over a fixed set of
+// persistent workers. A Pool with one worker executes Run inline on
+// the caller's goroutine — no goroutines, channels, or atomics are
+// touched — so a single-threaded caller pays nothing for the
+// abstraction.
+type Pool struct {
+	workers int
+	body    func(worker, item int)
+	observe func(worker int, waitStart, busyStart, busyEnd int64)
+
+	items  int           // published before tokens are released
+	cursor atomic.Int64  // next item index to claim
+	start  chan struct{} // one token per worker per Run; closed to stop
+	done   chan struct{} // one token per worker per Run
+	wg     sync.WaitGroup
+	closed bool
+
+	// Panic propagation: a body panic on a pool goroutine would kill
+	// the whole process, whereas the same panic under inline execution
+	// unwinds through Run to the caller. The first panicking worker
+	// parks its value here (CAS elects the winner), the claim loops
+	// drain without running further items, and Run re-panics on the
+	// caller's goroutine after the barrier — same observable contract
+	// as inline mode.
+	aborted  atomic.Bool
+	panicVal any
+}
+
+// New creates a pool of the given size. body is invoked as
+// body(worker, item) for every item of every Run; for workers > 1 it
+// must be safe to call concurrently for distinct items. Worker
+// goroutines are started lazily on the first Run that needs them.
+func New(workers int, body func(worker, item int)) *Pool {
+	if workers < 1 || body == nil {
+		panic(fmt.Sprintf("pool: New(workers=%d, body=%p)", workers, body))
+	}
+	return &Pool{workers: workers, body: body}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// SetObserve attaches a per-worker, per-Run phase hook:
+// observe(worker, waitStart, busyStart, busyEnd), all obs.Now
+// timestamps. The wait phase [waitStart, busyStart) is the time the
+// worker spent blocked between reporting one window's done-token and
+// receiving the next start-token — the synchronization barrier cost.
+// The busy phase [busyStart, busyEnd) covers claiming and running
+// items. In inline mode (one worker) there is no barrier, and the hook
+// is called with waitStart == busyStart. With no hook attached the
+// pool reads no clocks at all. Must be called before the first Run.
+func (p *Pool) SetObserve(fn func(worker int, waitStart, busyStart, busyEnd int64)) {
+	if p.start != nil {
+		panic("pool: SetObserve after Run")
+	}
+	p.observe = fn
+}
+
+// Run executes body for every item in [0, items) and returns when all
+// are done. Items are claimed dynamically, so a worker stuck on an
+// expensive item does not hold idle workers hostage. The item count
+// may differ between Runs (e.g. after an LP migration). Run must not
+// be called concurrently with itself or Close.
+func (p *Pool) Run(items int) {
+	if p.closed {
+		panic("pool: Run after Close")
+	}
+	if p.workers == 1 {
+		if p.observe == nil {
+			for i := 0; i < items; i++ {
+				p.body(0, i)
+			}
+			return
+		}
+		busyStart := obs.Now()
+		for i := 0; i < items; i++ {
+			p.body(0, i)
+		}
+		p.observe(0, busyStart, busyStart, obs.Now())
+		return
+	}
+	if p.start == nil {
+		p.start = make(chan struct{})
+		p.done = make(chan struct{})
+		for w := 0; w < p.workers; w++ {
+			w := w
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				p.workerLoop(w)
+			}()
+		}
+	}
+	p.items = items
+	p.cursor.Store(0)
+	// Release exactly one token per worker; each send happens-before
+	// the matching receive, publishing items, the reset cursor, and any
+	// caller state written before Run.
+	for w := 0; w < p.workers; w++ {
+		p.start <- struct{}{}
+	}
+	// Counting barrier: the batch is over when every worker reports.
+	for w := 0; w < p.workers; w++ {
+		<-p.done
+	}
+	if p.aborted.Load() {
+		// Re-raise the body panic on the caller's goroutine, exactly
+		// where inline execution would have raised it. The flag resets
+		// so a caller that recovers can keep using the pool.
+		r := p.panicVal
+		p.panicVal = nil
+		p.aborted.Store(false)
+		panic(r)
+	}
+}
+
+// runItem executes one body call, converting a panic into the abort
+// flag Run re-raises. Returning normally (not re-panicking here) keeps
+// the worker alive to reach the barrier, so Run never deadlocks.
+func (p *Pool) runItem(w, i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			if p.aborted.CompareAndSwap(false, true) {
+				// Only Run reads panicVal, after the done barrier — the
+				// done-token send orders this write before that read.
+				p.panicVal = r
+			}
+		}
+	}()
+	p.body(w, i)
+}
+
+// workerLoop is the body of one persistent worker: per Run it claims
+// items off the shared cursor until none remain, then reports to the
+// barrier. A closed start channel is the stop signal.
+func (p *Pool) workerLoop(w int) {
+	var waitStart int64
+	if p.observe != nil {
+		waitStart = obs.Now()
+	}
+	for range p.start {
+		var busyStart int64
+		if p.observe != nil {
+			busyStart = obs.Now()
+		}
+		for {
+			i := int(p.cursor.Add(1)) - 1
+			if i >= p.items || p.aborted.Load() {
+				break
+			}
+			p.runItem(w, i)
+		}
+		if p.observe != nil {
+			p.observe(w, waitStart, busyStart, obs.Now())
+		}
+		p.done <- struct{}{}
+		if p.observe != nil {
+			waitStart = obs.Now()
+		}
+	}
+}
+
+// Close stops and joins the worker goroutines. It is idempotent and
+// safe on a pool whose workers were never started. The pool must not
+// be used again after Close.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.start != nil {
+		close(p.start) // stop signal: workers drain and exit
+		p.wg.Wait()
+		p.start, p.done = nil, nil
+	}
+}

@@ -1,0 +1,170 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversEveryItemOnce pins the claim protocol: across many
+// reused-pool Runs, every item index is executed exactly once per Run,
+// for pool sizes spanning inline, fewer-workers-than-items, and
+// more-workers-than-nonzero-items shapes.
+func TestRunCoversEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		var hits [17]atomic.Int64
+		p := New(workers, func(_, item int) { hits[item].Add(1) })
+		defer p.Close()
+		const runs = 50
+		for r := 0; r < runs; r++ {
+			p.Run(len(hits))
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != runs {
+				t.Fatalf("workers=%d item %d executed %d times, want %d", workers, i, got, runs)
+			}
+		}
+	}
+}
+
+// TestItemCountMayChangeBetweenRuns models LP migration: the batch
+// size shrinks and grows across Runs of one persistent pool.
+func TestItemCountMayChangeBetweenRuns(t *testing.T) {
+	var total atomic.Int64
+	p := New(4, func(_, item int) { total.Add(int64(item) + 1) })
+	defer p.Close()
+	want := int64(0)
+	for _, n := range []int{6, 2, 0, 9, 1} {
+		p.Run(n)
+		want += int64(n*(n+1)) / 2
+	}
+	if got := total.Load(); got != want {
+		t.Fatalf("sum over runs = %d, want %d", got, want)
+	}
+}
+
+// TestWorkerIndexInRange checks that the worker index passed to body
+// identifies one of the pool's workers — callers key per-worker
+// single-writer state (recorders, histograms) off it.
+func TestWorkerIndexInRange(t *testing.T) {
+	const workers = 3
+	var bad atomic.Int64
+	p := New(workers, func(w, _ int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	defer p.Close()
+	for r := 0; r < 20; r++ {
+		p.Run(10)
+	}
+	if bad.Load() != 0 {
+		t.Fatalf("body saw %d out-of-range worker indices", bad.Load())
+	}
+}
+
+// TestObservePhases checks the hook fires once per worker per Run with
+// ordered timestamps, and that inline mode reports no wait phase.
+func TestObservePhases(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var calls, disordered atomic.Int64
+		p := New(workers, func(_, _ int) {})
+		p.SetObserve(func(w int, waitStart, busyStart, busyEnd int64) {
+			calls.Add(1)
+			if waitStart > busyStart || busyStart > busyEnd {
+				disordered.Add(1)
+			}
+			if workers == 1 && waitStart != busyStart {
+				disordered.Add(1)
+			}
+		})
+		const runs = 7
+		for r := 0; r < runs; r++ {
+			p.Run(5)
+		}
+		p.Close()
+		if got := calls.Load(); got != int64(workers*runs) {
+			t.Fatalf("workers=%d observe called %d times, want %d", workers, got, workers*runs)
+		}
+		if disordered.Load() != 0 {
+			t.Fatalf("workers=%d observe saw %d disordered phase timestamps", workers, disordered.Load())
+		}
+	}
+}
+
+// TestCallerStatePublishedToWorkers pins the memory-ordering contract:
+// plain (non-atomic) caller state written before Run is visible to
+// every worker, and plain per-item results written by workers are
+// visible to the caller after Run. Run under -race this is the proof
+// the token barrier provides the needed happens-before edges.
+func TestCallerStatePublishedToWorkers(t *testing.T) {
+	var windowEnd float64 // plain field, as callers use it
+	results := make([]float64, 32)
+	p := New(4, func(_, item int) { results[item] = windowEnd })
+	defer p.Close()
+	for r := 1; r <= 10; r++ {
+		windowEnd = float64(r) * 0.5
+		p.Run(len(results))
+		for i, got := range results {
+			if got != windowEnd {
+				t.Fatalf("run %d: item %d saw windowEnd %v, want %v", r, i, got, windowEnd)
+			}
+		}
+	}
+}
+
+// TestCloseIdempotentAndLazy: Close before any Run (no goroutines
+// started), double Close, and Close after Runs all succeed.
+func TestCloseIdempotentAndLazy(t *testing.T) {
+	p := New(4, func(_, _ int) {})
+	p.Close()
+	p.Close()
+
+	q := New(4, func(_, _ int) {})
+	q.Run(3)
+	q.Close()
+	q.Close()
+}
+
+// TestBodyPanicPropagates pins the inline/pooled panic contract: a
+// body panic surfaces as a Run panic with the original value on the
+// caller's goroutine (never a process-killing goroutine crash), and a
+// caller that recovers can keep using the pool.
+func TestBodyPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		boom := false
+		p := New(workers, func(_, item int) {
+			if boom && item == 3 {
+				panic("test: body exploded")
+			}
+		})
+		for r := 0; r < 3; r++ {
+			boom = r == 1
+			got := func() (v any) {
+				defer func() { v = recover() }()
+				p.Run(8)
+				return nil
+			}()
+			if boom && got != "test: body exploded" {
+				t.Fatalf("workers=%d run %d: recovered %v, want the body's panic value", workers, r, got)
+			}
+			if !boom && got != nil {
+				t.Fatalf("workers=%d run %d: unexpected panic %v", workers, r, got)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestZeroAllocSteadyState pins that a warmed-up pool's Run performs
+// no allocations: token sends, the cursor, and the barrier are all
+// allocation-free, so per-window cost is bounded by channel ops alone.
+func TestZeroAllocSteadyState(t *testing.T) {
+	var sink atomic.Int64
+	p := New(4, func(_, item int) { sink.Add(int64(item)) })
+	defer p.Close()
+	p.Run(8) // warm up: spawn workers
+	allocs := testing.AllocsPerRun(100, func() { p.Run(8) })
+	if allocs != 0 {
+		t.Fatalf("steady-state Run allocates %v per op, want 0", allocs)
+	}
+}
